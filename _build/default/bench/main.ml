@@ -1,0 +1,877 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (Tables 7-1 and 7-2) plus ablation benches for the qualitative claims
+   of Sections 2, 3.3, 3.5, 5.1 and 5.2.  See DESIGN.md for the
+   experiment index and EXPERIMENTS.md for paper-vs-measured records.
+
+   Absolute milliseconds depend on the calibrated cost tables in
+   Mach_hw.Arch; what must hold is the *shape*: who wins, by what rough
+   factor, and where crossovers fall. *)
+
+open Mach_hw
+open Mach_core
+open Mach_util
+open Mach_workload
+
+let kb = 1024
+let mb = 1024 * 1024
+
+let fmt_ms v =
+  if v >= 10_000.0 then Printf.sprintf "%.1f s" (v /. 1000.0)
+  else if v >= 10.0 then Printf.sprintf "%.0f ms" v
+  else Printf.sprintf "%.2f ms" v
+
+(* ------------------------------------------------------------------ *)
+(* Machine/OS construction helpers                                     *)
+(* ------------------------------------------------------------------ *)
+
+let frames_for arch ~mem_bytes = mem_bytes / arch.Arch.hw_page_size
+
+let boot_mach ?(mem = 16 * mb) ?(cpus = 1) ?page_multiple arch =
+  let machine =
+    Machine.create ~arch ~memory_frames:(frames_for arch ~mem_bytes:mem)
+      ~cpus ()
+  in
+  (* As on real Mach, the boot-time page size is at least 4 KB. *)
+  let page_multiple =
+    match page_multiple with
+    | Some m -> m
+    | None -> max 1 (4096 / arch.Arch.hw_page_size)
+  in
+  let kernel = Kernel.create ~page_multiple machine in
+  let fs = Mach_pagers.Simfs.create machine () in
+  let os = Mach_os.make kernel ~fs in
+  (machine, kernel, fs, os)
+
+let boot_bsd ?(mem = 16 * mb) ?(cpus = 1) ?(buffers = 400) arch =
+  let machine =
+    Machine.create ~arch ~memory_frames:(frames_for arch ~mem_bytes:mem)
+      ~cpus ()
+  in
+  let fs = Mach_pagers.Simfs.create machine () in
+  let bsd = Mach_bsd.Bsd_vm.create machine ~fs ~buffers () in
+  let os = Bsd_os.make bsd ~fs in
+  (machine, bsd, fs, os)
+
+(* ------------------------------------------------------------------ *)
+(* Table 7-1: zero fill and fork                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Zero-fill: allocate 64 KB, dirty every page, report ms per 1 KB. *)
+let zero_fill_ms (os : Os_iface.t) =
+  let cpu = 0 in
+  let p = os.Os_iface.proc_create ~name:"zf" in
+  os.Os_iface.proc_run ~cpu p;
+  let size = 64 * kb in
+  let addr = os.Os_iface.alloc ~cpu p ~size in
+  os.Os_iface.reset ();
+  os.Os_iface.touch ~cpu p ~addr ~size ~write:true;
+  let ms = os.Os_iface.elapsed_ms () in
+  os.Os_iface.proc_exit ~cpu p;
+  ms /. 64.0
+
+(* Fork with 256 KB dirty: fork and the child exits, as in the classic
+   fork benchmark; Mach pays copy-on-write marking, traditional UNIX pays
+   the full copy. *)
+let fork_ms (os : Os_iface.t) =
+  let cpu = 0 in
+  let p = os.Os_iface.proc_create ~name:"fk" in
+  os.Os_iface.proc_run ~cpu p;
+  let size = 256 * kb in
+  let addr = os.Os_iface.alloc ~cpu p ~size in
+  os.Os_iface.touch ~cpu p ~addr ~size ~write:true;
+  os.Os_iface.reset ();
+  let child = os.Os_iface.proc_fork ~cpu p in
+  os.Os_iface.proc_exit ~cpu child;
+  let ms = os.Os_iface.elapsed_ms () in
+  os.Os_iface.proc_exit ~cpu p;
+  ms
+
+let table7_1 () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Table 7-1 (VM operations): measured here vs paper (Mach / UNIX)"
+      ~columns:[ "Operation"; "Mach"; "UNIX"; "paper Mach"; "paper UNIX" ]
+  in
+  let rows =
+    [ (Arch.rt_pc, "RT PC", ".45ms", ".58ms", "41ms", "145ms");
+      (Arch.uvax2, "uVAX II", ".58ms", "1.2ms", "59ms", "220ms");
+      (Arch.sun3_160, "SUN 3/160", ".23ms", ".27ms", "68ms", "89ms") ]
+  in
+  List.iter
+    (fun (arch, name, pzf_m, pzf_u, pfk_m, pfk_u) ->
+       let _, _, _, mach_os = boot_mach arch in
+       let _, _, _, bsd_os = boot_bsd arch in
+       let zf_m = zero_fill_ms mach_os and zf_u = zero_fill_ms bsd_os in
+       let fk_m = fork_ms mach_os and fk_u = fork_ms bsd_os in
+       Tablefmt.row t
+         [ "zero fill 1K (" ^ name ^ ")"; fmt_ms zf_m; fmt_ms zf_u; pzf_m;
+           pzf_u ];
+       Tablefmt.row t
+         [ "fork 256K (" ^ name ^ ")"; fmt_ms fk_m; fmt_ms fk_u; pfk_m;
+           pfk_u ])
+    rows;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table 7-1: file reading on a VAX 8200                               *)
+(* ------------------------------------------------------------------ *)
+
+let file_read_pair (os : Os_iface.t) ~name ~size =
+  let cpu = 0 in
+  os.Os_iface.install_file ~name ~data:(Bytes.make size 'F');
+  os.Os_iface.reset ();
+  ignore (os.Os_iface.read_file ~cpu ~name ~offset:0 ~len:size);
+  let first = os.Os_iface.elapsed_ms () in
+  os.Os_iface.reset ();
+  ignore (os.Os_iface.read_file ~cpu ~name ~offset:0 ~len:size);
+  let second = os.Os_iface.elapsed_ms () in
+  (first, second)
+
+let table7_1_files () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Table 7-1 (file reading, VAX 8200): elapsed, first then second read"
+      ~columns:[ "Operation"; "Mach"; "UNIX"; "paper Mach"; "paper UNIX" ]
+  in
+  let _, _, _, mach_os = boot_mach ~mem:(16 * mb) Arch.vax8200 in
+  let _, _, _, bsd_os = boot_bsd ~mem:(16 * mb) ~buffers:400 Arch.vax8200 in
+  let m1, m2 = file_read_pair mach_os ~name:"/big" ~size:(5 * mb / 2) in
+  let u1, u2 = file_read_pair bsd_os ~name:"/big" ~size:(5 * mb / 2) in
+  Tablefmt.row t
+    [ "read 2.5M file, 1st"; fmt_ms m1; fmt_ms u1; "5.2s"; "5.0s" ];
+  Tablefmt.row t
+    [ "read 2.5M file, 2nd"; fmt_ms m2; fmt_ms u2; "1.2s"; "5.0s" ];
+  let m1, m2 = file_read_pair mach_os ~name:"/small" ~size:(50 * kb) in
+  let u1, u2 = file_read_pair bsd_os ~name:"/small" ~size:(50 * kb) in
+  Tablefmt.row t
+    [ "read 50K file, 1st"; fmt_ms m1; fmt_ms u1; "0.2s"; "0.5s" ];
+  Tablefmt.row t
+    [ "read 50K file, 2nd"; fmt_ms m2; fmt_ms u2; "0.1s"; "0.2s" ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table 7-2: compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile_run boot_os cfg =
+  let os = boot_os () in
+  Compile_workload.setup os cfg;
+  Compile_workload.run os cfg
+
+let table7_2 () =
+  let t =
+    Tablefmt.create ~title:"Table 7-2 (compilation): measured vs paper"
+      ~columns:[ "Operation"; "Mach"; "UNIX"; "paper Mach"; "paper UNIX" ]
+  in
+  (* "400 buffers": both systems restricted; modelled as a small buffer
+     pool for UNIX and tighter memory for Mach. *)
+  let mach_400 () =
+    let _, _, _, os = boot_mach ~mem:(2 * mb) Arch.vax8650 in
+    os
+  and bsd_400 () =
+    let _, _, _, os = boot_bsd ~mem:(8 * mb) ~buffers:400 Arch.vax8650 in
+    os
+  and mach_gen () =
+    let _, _, _, os = boot_mach ~mem:(32 * mb) Arch.vax8650 in
+    os
+  and bsd_gen () =
+    let _, _, _, os = boot_bsd ~mem:(32 * mb) ~buffers:900 Arch.vax8650 in
+    os
+  in
+  let cfg13 = Compile_workload.thirteen_programs in
+  let cfgk = Compile_workload.kernel_build in
+  Tablefmt.row t
+    [ "13 programs (8650, 400 buffers)";
+      fmt_ms (compile_run mach_400 cfg13);
+      fmt_ms (compile_run bsd_400 cfg13); "23s"; "28s" ];
+  Tablefmt.row t
+    [ "kernel build (8650, 400 buffers)";
+      fmt_ms (compile_run mach_400 cfgk);
+      fmt_ms (compile_run bsd_400 cfgk); "19:58min"; "23:38min" ];
+  Tablefmt.row t
+    [ "13 programs (8650, generic)";
+      fmt_ms (compile_run mach_gen cfg13);
+      fmt_ms (compile_run bsd_gen cfg13); "19s"; "1:16min" ];
+  Tablefmt.row t
+    [ "kernel build (8650, generic)";
+      fmt_ms (compile_run mach_gen cfgk);
+      fmt_ms (compile_run bsd_gen cfgk); "15:50min"; "34:10min" ];
+  let mach_sun () =
+    let _, _, _, os = boot_mach Arch.sun3_160 in
+    os
+  and bsd_sun () =
+    let _, _, _, os = boot_bsd Arch.sun3_160 in
+    os
+  in
+  let cfg = Compile_workload.fork_test in
+  Tablefmt.row t
+    [ "compile fork test (SUN 3/160)";
+      fmt_ms (compile_run mach_sun cfg);
+      fmt_ms (compile_run bsd_sun cfg); "3s"; "6s" ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.1: pmap architecture comparison                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed workload: 12 tasks, each with 192 KB dirty; one 256 KB file
+   mapped into every task and read repeatedly round-robin (sharing =
+   alias pressure on the RT PC; 12 > 8 contexts = steals on the SUN 3). *)
+let pmap_arch_one arch =
+  let mem = 12 * mb in
+  let machine, kernel, fs, _os = boot_mach ~mem arch in
+  let sys = Kernel.sys kernel in
+  Mach_pagers.Simfs.install_file fs ~name:"/shared"
+    ~data:(Bytes.make (256 * kb) 'S');
+  let n_tasks = 12 in
+  let tasks =
+    List.init n_tasks (fun i ->
+        Kernel.create_task kernel ~name:(Printf.sprintf "t%d" i) ())
+  in
+  let ps = Kernel.page_size kernel in
+  let sweep task a limit write =
+    Kernel.run_task kernel ~cpu:0 task;
+    let rec loop va =
+      if va < limit then begin
+        Machine.touch machine ~cpu:0 ~va ~write;
+        loop (va + ps)
+      end
+    in
+    loop a
+  in
+  let privates =
+    List.map
+      (fun task ->
+         Kernel.run_task kernel ~cpu:0 task;
+         let addr =
+           match
+             Vm_user.allocate sys task ~size:(192 * kb) ~anywhere:true ()
+           with
+           | Ok a -> a
+           | Error e -> failwith (Kr.to_string e)
+         in
+         sweep task addr (addr + (192 * kb)) true;
+         (task, addr))
+      tasks
+  in
+  let shareds =
+    List.map
+      (fun task ->
+         Kernel.run_task kernel ~cpu:0 task;
+         match
+           Mach_pagers.Vnode_pager.map_file sys fs task ~name:"/shared" ()
+         with
+         | Ok (a, s) -> (task, a, s)
+         | Error e -> failwith (Kr.to_string e))
+      tasks
+  in
+  Machine.reset_clocks machine;
+  (* Three round-robin sweeps over shared and private memory. *)
+  for _round = 1 to 3 do
+    List.iter (fun (task, a, s) -> sweep task a (a + s) false) shareds;
+    List.iter
+      (fun (task, addr) -> sweep task addr (addr + (192 * kb)) false)
+      privates
+  done;
+  let pstats = Mach_pmap.Pmap_domain.total_stats kernel.Kernel.domain in
+  let mstats = Machine.stats machine in
+  (* The NS32082 cannot allocate beyond 16 MB of VA. *)
+  let va_limit_hit =
+    match
+      Vm_user.allocate sys (List.hd tasks) ~at:(20 * mb) ~size:(64 * kb)
+        ~anywhere:false ()
+    with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  let usable_mem =
+    Resident.total_pages sys.Vm_sys.resident * Kernel.page_size kernel
+  in
+  ( arch.Arch.name,
+    mstats.Machine.faults,
+    sys.Vm_sys.stats.Vm_sys.fast_reloads,
+    pstats.Mach_pmap.Pmap.alias_evictions,
+    pstats.Mach_pmap.Pmap.context_steals,
+    Mach_pmap.Pmap_domain.total_map_bytes kernel.Kernel.domain,
+    usable_mem,
+    va_limit_hit,
+    Machine.elapsed_ms machine )
+
+let pmap_arch () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Section 5.1: the same VM workload over five memory architectures\n\
+         (12 tasks x 192KB private + one 256KB file shared by all; 12MB \
+         machine)"
+      ~columns:
+        [ "pmap"; "faults"; "reloads"; "alias evict"; "ctx steals";
+          "map bytes"; "usable mem"; "VA>16M?"; "elapsed" ]
+  in
+  List.iter
+    (fun arch ->
+       let name, faults, reloads, aliases, steals, mapb, usable, vahit, ms
+         =
+         pmap_arch_one arch
+       in
+       Tablefmt.row t
+         [ name; string_of_int faults; string_of_int reloads;
+           string_of_int aliases; string_of_int steals;
+           Printf.sprintf "%dK" (mapb / 1024);
+           Printf.sprintf "%dM" (usable / mb);
+           (if vahit then "blocked" else "ok"); fmt_ms ms ])
+    [ Arch.uvax2; Arch.rt_pc; Arch.sun3_160; Arch.ns32082; Arch.rp3_tlb ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.2: TLB shootdown strategies                                *)
+(* ------------------------------------------------------------------ *)
+
+let shootdown_one strategy =
+  let arch = Arch.ns32082 in
+  let machine =
+    Machine.create ~arch
+      ~memory_frames:(frames_for arch ~mem_bytes:(8 * mb)) ~cpus:4
+      ~shootdown:strategy ()
+  in
+  let kernel = Kernel.create machine in
+  let sys = Kernel.sys kernel in
+  let task = Kernel.create_task kernel ~name:"shared" () in
+  let size = 128 * kb in
+  for cpu = 0 to 3 do
+    Kernel.run_task kernel ~cpu task
+  done;
+  let addr =
+    match Vm_user.allocate sys task ~size ~anywhere:true () with
+    | Ok a -> a
+    | Error e -> failwith (Kr.to_string e)
+  in
+  let ps = Kernel.page_size kernel in
+  for cpu = 0 to 3 do
+    let rec sweep va =
+      if va < addr + size then begin
+        Machine.touch machine ~cpu ~va ~write:true;
+        sweep (va + ps)
+      end
+    in
+    sweep addr
+  done;
+  Machine.reset_clocks machine;
+  for round = 1 to 30 do
+    (* Readers warm their TLBs on a page each... *)
+    let reader_va cpu =
+      addr + ((((round * 7) + cpu) mod (size / ps)) * ps)
+    in
+    for cpu = 1 to 3 do
+      Machine.touch machine ~cpu ~va:(reader_va cpu) ~write:false
+    done;
+    (* ...CPU 0 revokes write access... *)
+    Mach_pmap.Pmap_domain.set_current_cpu kernel.Kernel.domain 0;
+    (match
+       Vm_user.protect sys task ~addr ~size ~set_max:false
+         ~prot:Prot.read_only
+     with
+     | Ok () -> ()
+     | Error e -> failwith (Kr.to_string e));
+    (* ...and the readers touch the same pages again: under the lazy
+       strategy these are served by stale TLB entries. *)
+    for cpu = 1 to 3 do
+      Machine.touch machine ~cpu ~va:(reader_va cpu) ~write:false
+    done;
+    (match
+       Vm_user.protect sys task ~addr ~size ~set_max:false
+         ~prot:Prot.read_write
+     with
+     | Ok () -> ()
+     | Error e -> failwith (Kr.to_string e));
+    if round mod 10 = 0 then Machine.tick machine
+  done;
+  let s = Machine.stats machine in
+  ( s.Machine.ipis, s.Machine.deferred_flushes, s.Machine.stale_tlb_uses,
+    Machine.elapsed_ms machine )
+
+let shootdown () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Section 5.2: TLB consistency strategies on a 4-CPU NS32082\n\
+         (30 rounds of protection change on 128KB shared by 4 CPUs)"
+      ~columns:
+        [ "strategy"; "IPIs"; "deferred flushes"; "stale TLB uses";
+          "elapsed" ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+       let ipis, deferred, stale, ms = shootdown_one strategy in
+       Tablefmt.row t
+         [ name; string_of_int ipis; string_of_int deferred;
+           string_of_int stale; fmt_ms ms ])
+    [ ("interrupt all CPUs (case 1)", Machine.Immediate_ipi);
+      ("defer to timer interrupt (case 2)", Machine.Deferred_timer);
+      ("allow temporary inconsistency (case 3)", Machine.Lazy_local) ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 3.5: shadow-object chains and collapsing                     *)
+(* ------------------------------------------------------------------ *)
+
+let shadow_one ~collapse =
+  let arch = Arch.vax8200 in
+  let machine, kernel, _fs, _os = boot_mach ~mem:(24 * mb) arch in
+  let sys = Kernel.sys kernel in
+  sys.Vm_sys.collapse_enabled <- collapse;
+  let task0 = Kernel.create_task kernel ~name:"gen0" () in
+  Kernel.run_task kernel ~cpu:0 task0;
+  let size = 64 * kb in
+  let addr =
+    match Vm_user.allocate sys task0 ~size ~anywhere:true () with
+    | Ok a -> a
+    | Error e -> failwith (Kr.to_string e)
+  in
+  let ps = Kernel.page_size kernel in
+  let dirty task limit =
+    Kernel.run_task kernel ~cpu:0 task;
+    let rec loop va =
+      if va < limit then begin
+        Machine.touch machine ~cpu:0 ~va ~write:true;
+        loop (va + ps)
+      end
+    in
+    loop addr
+  in
+  dirty task0 (addr + size);
+  Machine.reset_clocks machine;
+  (* Repeatedly fork, dirty half the pages in the child, drop the
+     parent: the classic shadow-chain builder. *)
+  let generations = 12 in
+  let current = ref task0 in
+  for _g = 1 to generations do
+    let child = Kernel.fork_task kernel ~cpu:0 !current in
+    dirty child (addr + (size / 2));
+    Kernel.terminate_task kernel ~cpu:0 !current;
+    current := child
+  done;
+  Kernel.run_task kernel ~cpu:0 !current;
+  let chain =
+    match Vm_map.resolve_object_at sys (Task.map !current) ~va:addr with
+    | Some (o, _) -> Vm_object.chain_length o
+    | None -> 0
+  in
+  let ms = Machine.elapsed_ms machine in
+  let collapses = sys.Vm_sys.stats.Vm_sys.collapses in
+  let resident =
+    Resident.active_count sys.Vm_sys.resident
+    + Resident.inactive_count sys.Vm_sys.resident
+  in
+  Kernel.terminate_task kernel ~cpu:0 !current;
+  (chain, collapses, resident, ms)
+
+let shadow () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Section 3.5: shadow-chain garbage collection\n\
+         (12 generations of fork + dirty half of 64KB, parent dies each \
+         time)"
+      ~columns:
+        [ "collapse"; "final chain"; "collapses"; "resident pages";
+          "elapsed" ]
+  in
+  List.iter
+    (fun flag ->
+       let chain, collapses, resident, ms = shadow_one ~collapse:flag in
+       Tablefmt.row t
+         [ (if flag then "enabled" else "disabled (ablation)");
+           string_of_int chain; string_of_int collapses;
+           string_of_int resident; fmt_ms ms ])
+    [ true; false ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 3.3: the memory-object cache                                 *)
+(* ------------------------------------------------------------------ *)
+
+let object_cache_one ~cache =
+  let arch = Arch.vax8200 in
+  let machine, kernel, fs, _os = boot_mach ~mem:(16 * mb) arch in
+  let sys = Kernel.sys kernel in
+  sys.Vm_sys.cache_enabled <- cache;
+  Mach_pagers.Simfs.install_file fs ~name:"/bin/cc"
+    ~data:(Bytes.make (256 * kb) 'T');
+  let disk = Mach_pagers.Simfs.disk fs in
+  Mach_pagers.Simdisk.reset_counters disk;
+  Machine.reset_clocks machine;
+  for _i = 1 to 10 do
+    let task = Kernel.create_task kernel ~name:"exec" () in
+    Kernel.run_task kernel ~cpu:0 task;
+    (match
+       Mach_pagers.Vnode_pager.map_file sys fs task ~name:"/bin/cc" ()
+     with
+     | Ok (a, s) ->
+       let rec sweepv va =
+         if va < a + s then begin
+           Machine.touch machine ~cpu:0 ~va ~write:false;
+           sweepv (va + Kernel.page_size kernel)
+         end
+       in
+       sweepv a
+     | Error e -> failwith (Kr.to_string e));
+    Kernel.terminate_task kernel ~cpu:0 task
+  done;
+  ( Mach_pagers.Simdisk.reads disk,
+    sys.Vm_sys.stats.Vm_sys.cache_hits,
+    Machine.elapsed_ms machine )
+
+let object_cache () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Section 3.3: object cache over 10 execs of the same 256KB text"
+      ~columns:[ "object cache"; "disk reads"; "cache hits"; "elapsed" ]
+  in
+  List.iter
+    (fun flag ->
+       let reads, hits, ms = object_cache_one ~cache:flag in
+       Tablefmt.row t
+         [ (if flag then "enabled" else "disabled (ablation)");
+           string_of_int reads; string_of_int hits; fmt_ms ms ])
+    [ true; false ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: large messages by copy-on-write remapping                 *)
+(* ------------------------------------------------------------------ *)
+
+let ipc_one ~out_of_line ~size =
+  let arch = Arch.vax8200 in
+  let machine, kernel, _fs, _os = boot_mach ~mem:(24 * mb) arch in
+  let sys = Kernel.sys kernel in
+  let sender = Kernel.create_task kernel ~name:"sender" () in
+  let receiver = Kernel.create_task kernel ~name:"receiver" () in
+  Kernel.run_task kernel ~cpu:0 sender;
+  let addr =
+    match Vm_user.allocate sys sender ~size ~anywhere:true () with
+    | Ok a -> a
+    | Error e -> failwith (Kr.to_string e)
+  in
+  let ps = Kernel.page_size kernel in
+  let rec dirty va =
+    if va < addr + size then begin
+      Machine.touch machine ~cpu:0 ~va ~write:true;
+      dirty (va + ps)
+    end
+  in
+  dirty addr;
+  let port = Mach_ipc.Ipc.create_port ~name:"svc" () in
+  Machine.reset_clocks machine;
+  if out_of_line then begin
+    (match
+       Mach_ipc.Ipc.send_region sys sender port ~tag:"bulk" ~addr ~size ()
+     with
+     | Ok () -> ()
+     | Error e -> failwith (Kr.to_string e));
+    match Mach_ipc.Ipc.receive_region sys receiver port with
+    | Ok (raddr, rsize) ->
+      (* The receiver looks at the first byte of each page (faulting the
+         COW mappings in lazily). *)
+      Kernel.run_task kernel ~cpu:0 receiver;
+      let rec peek va =
+        if va < raddr + rsize then begin
+          Machine.touch machine ~cpu:0 ~va ~write:false;
+          peek (va + ps)
+        end
+      in
+      peek raddr
+    | Error e -> failwith (Kr.to_string e)
+  end
+  else begin
+    (* Inline: read out of the sender, copy into the message, copy out in
+       the receiver. *)
+    let data =
+      match Vm_user.read sys sender ~addr ~size with
+      | Ok b -> b
+      | Error e -> failwith (Kr.to_string e)
+    in
+    Mach_ipc.Ipc.send sys port
+      (Mach_ipc.Ipc.message "bulk" ~items:[ Mach_ipc.Ipc.Inline data ]);
+    match Mach_ipc.Ipc.receive sys port with
+    | Some m ->
+      Kernel.run_task kernel ~cpu:0 receiver;
+      let raddr =
+        match Vm_user.allocate sys receiver ~size ~anywhere:true () with
+        | Ok a -> a
+        | Error e -> failwith (Kr.to_string e)
+      in
+      (match m.Mach_ipc.Ipc.msg_items with
+       | [ Mach_ipc.Ipc.Inline b ] ->
+         (match Vm_user.write sys receiver ~addr:raddr ~data:b with
+          | Ok () -> ()
+          | Error e -> failwith (Kr.to_string e))
+       | _ -> assert false)
+    | None -> assert false
+  end;
+  Machine.elapsed_ms machine
+
+let ipc () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Section 2: transferring memory in a message — inline copy vs\n\
+         out-of-line copy-on-write remapping (receiver touches every page)"
+      ~columns:[ "size"; "inline copy"; "out-of-line (COW)" ]
+  in
+  List.iter
+    (fun size ->
+       let inline_ms = ipc_one ~out_of_line:false ~size in
+       let ool_ms = ipc_one ~out_of_line:true ~size in
+       Tablefmt.row t
+         [ Printf.sprintf "%dK" (size / kb); fmt_ms inline_ms;
+           fmt_ms ool_ms ])
+    [ 64 * kb; 256 * kb; 1 * mb; 4 * mb ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Mixed trace workload: Mach vs UNIX beyond the paper's fixed benches  *)
+(* ------------------------------------------------------------------ *)
+
+let mixed () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Mixed trace workload (reproducible random op mix; uVAX II, 8MB)"
+      ~columns:[ "trace"; "ops"; "Mach"; "UNIX"; "ratio" ]
+  in
+  List.iter
+    (fun seed ->
+       let trace = Workload.generate ~seed ~ops:300 in
+       let run_on os =
+         Workload.setup os trace;
+         Workload.run os trace
+       in
+       let _, _, _, mach_os = boot_mach ~mem:(8 * mb) Arch.uvax2 in
+       let _, _, _, bsd_os = boot_bsd ~mem:(8 * mb) Arch.uvax2 in
+       let m = run_on mach_os and u = run_on bsd_os in
+       Tablefmt.row t
+         [ Printf.sprintf "seed %d" seed;
+           string_of_int (Workload.op_count trace); fmt_ms m; fmt_ms u;
+           Printf.sprintf "%.2fx" (u /. m) ])
+    [ 11; 12; 13 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table 3-4: the optional pmap_copy routine at fork                    *)
+(* ------------------------------------------------------------------ *)
+
+let prewarm_one ~prewarm =
+  let machine, kernel, _fs, _os = boot_mach ~mem:(8 * mb) Arch.uvax2 in
+  let sys = Kernel.sys kernel in
+  sys.Vm_sys.pmap_prewarm_on_fork <- prewarm;
+  let parent = Kernel.create_task kernel ~name:"p" () in
+  Kernel.run_task kernel ~cpu:0 parent;
+  let size = 256 * kb in
+  let addr =
+    match Vm_user.allocate sys parent ~size ~anywhere:true () with
+    | Ok a -> a
+    | Error e -> failwith (Kr.to_string e)
+  in
+  let ps = Kernel.page_size kernel in
+  let rec dirty va =
+    if va < addr + size then begin
+      Machine.write_byte machine ~cpu:0 ~va 'p';
+      dirty (va + ps)
+    end
+  in
+  dirty addr;
+  Machine.reset_clocks machine;
+  let child = Kernel.fork_task kernel ~cpu:0 parent in
+  Kernel.run_task kernel ~cpu:0 child;
+  let rec sweep va =
+    if va < addr + size then begin
+      Machine.touch machine ~cpu:0 ~va ~write:false;
+      sweep (va + ps)
+    end
+  in
+  sweep addr;
+  ((Machine.stats machine).Machine.faults, Machine.elapsed_ms machine)
+
+let fork_prewarm () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Table 3-4 (optional pmap_copy): fork 256K + child reads it all\n\
+         (uVAX II; prewarming the child's pmap trades enters for faults)"
+      ~columns:[ "pmap_copy at fork"; "child faults"; "elapsed" ]
+  in
+  List.iter
+    (fun flag ->
+       let faults, ms = prewarm_one ~prewarm:flag in
+       Tablefmt.row t
+         [ (if flag then "used" else "not used (default)");
+           string_of_int faults; fmt_ms ms ])
+    [ false; true ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 6: copy-on-reference memory over the network                 *)
+(* ------------------------------------------------------------------ *)
+
+let net_one ~touch_fraction =
+  let arch = Arch.vax8200 in
+  let server_machine =
+    Machine.create ~arch ~memory_frames:(frames_for arch ~mem_bytes:(8 * mb)) ()
+  in
+  let client_machine =
+    Machine.create ~arch ~memory_frames:(frames_for arch ~mem_bytes:(8 * mb)) ()
+  in
+  let server_kernel = Kernel.create ~page_multiple:8 server_machine in
+  let client_kernel = Kernel.create ~page_multiple:8 client_machine in
+  let link = Mach_net.Netlink.create [ server_machine; client_machine ] in
+  let server_fs = Mach_pagers.Simfs.create server_machine () in
+  let size = 1 * mb in
+  Mach_pagers.Simfs.install_file server_fs ~name:"/data"
+    ~data:(Bytes.make size 'n');
+  let server =
+    Mach_net.Net_pager.serve link ~node:0 (Kernel.sys server_kernel)
+      server_fs
+  in
+  let sys = Kernel.sys client_kernel in
+  let task = Kernel.create_task client_kernel ~name:"client" () in
+  Kernel.run_task client_kernel ~cpu:0 task;
+  let addr, _ =
+    match
+      Mach_net.Net_pager.map_remote link ~node:1 sys task server
+        ~name:"/data" ()
+    with
+    | Ok v -> v
+    | Error e -> failwith (Kr.to_string e)
+  in
+  let ps = Kernel.page_size client_kernel in
+  let pages = size / ps in
+  let to_touch = max 1 (pages * touch_fraction / 100) in
+  Machine.reset_clocks client_machine;
+  Mach_net.Netlink.reset_counters link;
+  (* Touch a spread of pages (copy-on-reference). *)
+  for i = 0 to to_touch - 1 do
+    let page = i * pages / to_touch in
+    Machine.touch client_machine ~cpu:0 ~va:(addr + (page * ps))
+      ~write:false
+  done;
+  let lazy_ms = Machine.elapsed_ms client_machine in
+  let lazy_bytes = Mach_net.Netlink.bytes_moved link in
+  (* Eager comparison: ship the whole file first. *)
+  Machine.reset_clocks client_machine;
+  Mach_net.Netlink.reset_counters link;
+  ignore (Mach_net.Net_pager.fetch_whole link ~node:1 sys server ~name:"/data");
+  let eager_ms = Machine.elapsed_ms client_machine in
+  let eager_bytes = Mach_net.Netlink.bytes_moved link in
+  (lazy_ms, lazy_bytes, eager_ms, eager_bytes)
+
+let net_memory () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Section 6: remote memory object, copy-on-reference vs whole-file\n\
+         transfer (1MB file on a 10 Mbit link)"
+      ~columns:
+        [ "pages touched"; "lazy time"; "lazy bytes"; "eager time";
+          "eager bytes" ]
+  in
+  List.iter
+    (fun pct ->
+       let lazy_ms, lazy_b, eager_ms, eager_b = net_one ~touch_fraction:pct in
+       Tablefmt.row t
+         [ Printf.sprintf "%d%%" pct; fmt_ms lazy_ms;
+           Printf.sprintf "%dK" (lazy_b / kb); fmt_ms eager_ms;
+           Printf.sprintf "%dK" (eager_b / kb) ])
+    [ 5; 25; 50; 100 ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (wall-clock of the simulator itself)       *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  [ Test.make ~name:"table7_1:zero-fill-64K"
+      (Staged.stage (fun () ->
+           let _, _, _, os = boot_mach ~mem:(4 * mb) Arch.uvax2 in
+           ignore (zero_fill_ms os)));
+    Test.make ~name:"table7_1:fork-256K"
+      (Staged.stage (fun () ->
+           let _, _, _, os = boot_mach ~mem:(4 * mb) Arch.uvax2 in
+           ignore (fork_ms os)));
+    Test.make ~name:"table7_1_files:file-read-50K"
+      (Staged.stage (fun () ->
+           let _, _, _, os = boot_mach ~mem:(4 * mb) Arch.vax8200 in
+           ignore (file_read_pair os ~name:"/f" ~size:(50 * kb))));
+    Test.make ~name:"table7_2:fork-test-compile"
+      (Staged.stage (fun () ->
+           let _, _, _, os = boot_mach ~mem:(8 * mb) Arch.sun3_160 in
+           Compile_workload.setup os Compile_workload.fork_test;
+           ignore (Compile_workload.run os Compile_workload.fork_test)))
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"mach-vm" (bechamel_tests ()))
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      instance raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+       match Analyze.OLS.estimates ols with
+       | Some [ est ] ->
+         Printf.printf "%-45s %12.0f ns/run\n" name est
+       | Some _ | None -> Printf.printf "%-45s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("table7_1", table7_1);
+    ("table7_1_files", table7_1_files);
+    ("table7_2", table7_2);
+    ("pmap_arch", pmap_arch);
+    ("shootdown", shootdown);
+    ("shadow", shadow);
+    ("object_cache", object_cache);
+    ("ipc", ipc);
+    ("fork_prewarm", fork_prewarm);
+    ("mixed", mixed);
+    ("net_memory", net_memory) ]
+
+let usage () =
+  print_endline "usage: main.exe [-e EXPERIMENT] | raw";
+  print_endline "experiments:";
+  List.iter (fun (n, _) -> print_endline ("  " ^ n)) experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "-e" :: name :: _ ->
+    (match List.assoc_opt name experiments with
+     | Some f -> f ()
+     | None ->
+       usage ();
+       exit 1)
+  | _ :: "raw" :: _ -> run_bechamel ()
+  | [ _ ] ->
+    List.iter
+      (fun (name, f) ->
+         Printf.printf "=== %s ===\n%!" name;
+         f ())
+      experiments
+  | _ -> usage ()

@@ -1,0 +1,1 @@
+examples/external_pager.ml: Arch Bytes Char Hashtbl Kernel Kr Mach_core Mach_hw Mach_pagers Machine Port_pager Printf Vm_pageout Vm_user

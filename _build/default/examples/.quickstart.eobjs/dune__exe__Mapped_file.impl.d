@@ -1,0 +1,1 @@
+examples/mapped_file.ml: Arch Bytes Kernel Kr Mach_core Mach_hw Mach_pagers Machine Printf Simdisk Simfs String Vm_object Vm_pageout Vnode_pager

@@ -1,0 +1,1 @@
+examples/message_passing.ml: Arch Bytes Ipc Kernel Kr Mach_core Mach_hw Mach_ipc Machine Printf Vm_user

@@ -1,0 +1,1 @@
+examples/multiprocessor.ml: Arch Bytes Kernel Kr List Mach_core Mach_hw Machine Printf Prot Sched Vm_user

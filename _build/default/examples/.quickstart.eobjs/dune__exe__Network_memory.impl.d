@@ -1,0 +1,1 @@
+examples/network_memory.ml: Arch Bytes Char Kernel Kr List Mach_core Mach_hw Mach_net Mach_pagers Machine Net_pager Netlink Printf Simfs Vm_object Vm_pageout

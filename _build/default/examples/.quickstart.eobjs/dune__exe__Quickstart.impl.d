@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Bytes Inheritance Kernel Kr List Mach_core Mach_hw Machine Printf Prot Vm_map Vm_user

@@ -1,0 +1,1 @@
+examples/shared_memory.ml: Arch Bytes Inheritance Kernel Kr List Mach_core Mach_hw Machine Printf Vm_map Vm_user

@@ -1,0 +1,1 @@
+lib/bsd/bsd_vm.ml: Arch Array Buffer_cache Bytes Hashtbl List Mach_hw Mach_pagers Mach_pmap Machine Phys_mem Pmap Pmap_domain Prot Queue Simfs

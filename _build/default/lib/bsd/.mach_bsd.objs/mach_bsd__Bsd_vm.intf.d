@@ -1,0 +1,1 @@
+lib/bsd/bsd_vm.mli: Buffer_cache Bytes Mach_hw Mach_pagers

@@ -1,0 +1,1 @@
+lib/bsd/buffer_cache.ml: Bytes Dlist Hashtbl Mach_pagers Mach_util Simdisk Simfs

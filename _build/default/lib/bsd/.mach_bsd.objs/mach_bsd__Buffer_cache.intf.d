@@ -1,0 +1,1 @@
+lib/bsd/buffer_cache.mli: Bytes Mach_pagers

@@ -1,0 +1,1 @@
+lib/core/inheritance.ml: Format

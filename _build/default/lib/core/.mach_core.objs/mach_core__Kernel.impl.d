@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Arch Array Kr Mach_hw Mach_pmap Machine Pmap Pmap_domain Prot Task Types Vm_fault Vm_map Vm_pageout Vm_sys

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Mach_hw Mach_pmap Task Vm_sys

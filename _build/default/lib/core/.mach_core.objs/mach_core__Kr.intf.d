@@ -1,0 +1,1 @@
+lib/core/kr.mli: Format

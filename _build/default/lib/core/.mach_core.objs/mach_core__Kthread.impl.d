@@ -1,0 +1,1 @@
+lib/core/kthread.ml: List Printf Task

@@ -1,0 +1,1 @@
+lib/core/page_io.ml: Bytes Mach_hw Mach_pmap Machine Phys_mem Pmap_domain Resident Types Vm_sys

@@ -1,0 +1,1 @@
+lib/core/page_io.mli: Bytes Types Vm_sys

@@ -1,0 +1,1 @@
+lib/core/pager_ops.ml: List Mach_hw Mach_pmap Pmap_domain Prot Resident Types Vm_object Vm_pageout Vm_sys

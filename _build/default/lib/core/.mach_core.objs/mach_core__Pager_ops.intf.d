@@ -1,0 +1,1 @@
+lib/core/pager_ops.mli: Mach_hw Types Vm_sys

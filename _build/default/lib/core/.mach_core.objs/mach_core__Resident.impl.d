@@ -1,0 +1,1 @@
+lib/core/resident.ml: Dlist Hashtbl Mach_hw Mach_util Phys_mem Types

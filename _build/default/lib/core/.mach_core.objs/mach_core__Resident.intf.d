@@ -1,0 +1,1 @@
+lib/core/resident.mli: Mach_hw Types

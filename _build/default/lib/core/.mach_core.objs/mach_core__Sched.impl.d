@@ -1,0 +1,1 @@
+lib/core/sched.ml: Kernel Kthread List Mach_hw Machine Queue

@@ -1,0 +1,1 @@
+lib/core/swap_pager.ml: Bytes Hashtbl Mach_hw Types Vm_sys

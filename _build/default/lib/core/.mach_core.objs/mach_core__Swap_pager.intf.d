@@ -1,0 +1,1 @@
+lib/core/swap_pager.mli: Types Vm_sys

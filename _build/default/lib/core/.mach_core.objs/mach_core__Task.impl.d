@@ -1,0 +1,1 @@
+lib/core/task.ml: Arch Mach_hw Mach_pmap Machine Pmap Pmap_domain Types Vm_map Vm_sys

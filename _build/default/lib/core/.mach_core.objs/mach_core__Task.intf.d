@@ -1,0 +1,1 @@
+lib/core/task.mli: Mach_pmap Types Vm_sys

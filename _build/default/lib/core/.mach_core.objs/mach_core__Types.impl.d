@@ -1,0 +1,1 @@
+lib/core/types.ml: Bytes Dlist Inheritance Mach_hw Mach_pmap Mach_util Prot

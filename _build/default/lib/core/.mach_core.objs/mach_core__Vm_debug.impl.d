@@ -1,0 +1,1 @@
+lib/core/vm_debug.ml: Format Inheritance List Mach_hw Mach_pmap Machine Phys_mem Pmap Pmap_domain Printf Prot Resident String Types Vm_map Vm_sys

@@ -1,0 +1,1 @@
+lib/core/vm_debug.mli: Format Types Vm_sys

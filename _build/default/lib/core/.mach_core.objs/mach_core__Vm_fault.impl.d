@@ -1,0 +1,1 @@
+lib/core/vm_fault.ml: Kr Mach_hw Mach_pmap Machine Page_io Phys_mem Pmap Pmap_domain Prot Resident Types Vm_map Vm_object Vm_sys

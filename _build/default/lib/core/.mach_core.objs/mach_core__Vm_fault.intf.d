@@ -1,0 +1,1 @@
+lib/core/vm_fault.mli: Kr Types Vm_sys

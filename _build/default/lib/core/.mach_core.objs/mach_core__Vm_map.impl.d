@@ -1,0 +1,1 @@
+lib/core/vm_map.ml: Dlist Inheritance Kr List Mach_hw Mach_pmap Mach_util Pmap Pmap_domain Prot Resident Types Vm_object Vm_sys

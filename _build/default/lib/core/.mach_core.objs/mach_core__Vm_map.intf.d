@@ -1,0 +1,1 @@
+lib/core/vm_map.mli: Inheritance Kr Mach_hw Mach_pmap Types Vm_sys

@@ -1,0 +1,1 @@
+lib/core/vm_object.ml: Hashtbl List Mach_pmap Mach_util Pmap_domain Resident Types Vm_sys

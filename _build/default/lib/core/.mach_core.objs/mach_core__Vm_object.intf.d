@@ -1,0 +1,1 @@
+lib/core/vm_object.mli: Types Vm_sys

@@ -1,0 +1,1 @@
+lib/core/vm_pageout.ml: Mach_hw Mach_pmap Machine Page_io Pmap_domain Resident Swap_pager Types Vm_sys

@@ -1,0 +1,1 @@
+lib/core/vm_pageout.mli: Types Vm_sys

@@ -1,0 +1,1 @@
+lib/core/vm_sys.ml: Arch Hashtbl Mach_hw Mach_pmap Machine Pmap_domain Resident Types

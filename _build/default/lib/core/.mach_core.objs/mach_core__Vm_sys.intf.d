@@ -1,0 +1,1 @@
+lib/core/vm_sys.mli: Hashtbl Mach_hw Mach_pmap Resident Types

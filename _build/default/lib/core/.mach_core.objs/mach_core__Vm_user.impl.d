@@ -1,0 +1,1 @@
+lib/core/vm_user.ml: Arch Bytes Kr Mach_hw Machine Phys_mem Resident Task Types Vm_fault Vm_map Vm_object Vm_sys

@@ -1,0 +1,1 @@
+lib/core/vm_user.mli: Bytes Inheritance Kr Mach_hw Task Types Vm_map Vm_sys

@@ -1,0 +1,53 @@
+type status = Ready | Running of int | Suspended | Terminated
+
+type step = cpu:int -> unit
+
+type t = {
+  th_id : int;
+  th_name : string;
+  th_task : Task.t;
+  mutable th_status : status;
+  mutable th_steps : step list;
+}
+
+let next_id = ref 0
+
+let make ~task ?name steps =
+  incr next_id;
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "thread-%d" !next_id
+  in
+  { th_id = !next_id; th_name = name; th_task = task; th_status = Ready;
+    th_steps = steps }
+
+let id t = t.th_id
+let name t = t.th_name
+let task t = t.th_task
+let status t = t.th_status
+
+let steps_remaining t = List.length t.th_steps
+
+let suspend t =
+  match t.th_status with
+  | Terminated -> ()
+  | Ready | Running _ | Suspended -> t.th_status <- Suspended
+
+let resume t =
+  match t.th_status with
+  | Suspended -> t.th_status <- Ready
+  | Ready | Running _ | Terminated -> ()
+
+let run_one_step t ~cpu =
+  match t.th_steps with
+  | [] -> t.th_status <- Terminated
+  | step :: rest ->
+    t.th_status <- Running cpu;
+    step ~cpu;
+    t.th_steps <- rest;
+    (match t.th_status with
+     | Suspended -> () (* the step suspended itself *)
+     | Running _ | Ready ->
+       t.th_status <- (if rest = [] then Terminated else Ready)
+     | Terminated -> ())

@@ -1,0 +1,73 @@
+open Mach_hw
+open Types
+open Mach_pmap
+
+let phys (sys : Vm_sys.t) = Machine.phys sys.Vm_sys.machine
+
+let hw_size sys = Phys_mem.page_size (phys sys)
+
+let charge_move (sys : Vm_sys.t) len =
+  Vm_sys.charge sys (((len + 15) / 16) * (Vm_sys.cost sys).Mach_hw.Arch.move_16b)
+
+let zero (sys : Vm_sys.t) p =
+  let m = Resident.multiple sys.Vm_sys.resident in
+  for i = 0 to m - 1 do
+    Pmap_domain.zero_page sys.Vm_sys.domain ~pfn:(p.pfn + i)
+  done
+
+let copy (sys : Vm_sys.t) ~src ~dst =
+  let m = Resident.multiple sys.Vm_sys.resident in
+  for i = 0 to m - 1 do
+    Pmap_domain.copy_page sys.Vm_sys.domain ~src:(src.pfn + i)
+      ~dst:(dst.pfn + i)
+  done
+
+let copy_in sys p ~off data =
+  let hw = hw_size sys in
+  let len = Bytes.length data in
+  if off < 0 || off + len > sys.Vm_sys.page_size then
+    invalid_arg "Page_io.copy_in";
+  let rec loop pos =
+    if pos < len then begin
+      let abs = off + pos in
+      let frame = p.pfn + (abs / hw) in
+      let foff = abs mod hw in
+      let chunk = min (hw - foff) (len - pos) in
+      Phys_mem.write (phys sys) frame ~offset:foff (Bytes.sub data pos chunk);
+      loop (pos + chunk)
+    end
+  in
+  loop 0;
+  charge_move sys len
+
+let copy_out sys p ~off ~len =
+  let hw = hw_size sys in
+  if off < 0 || len < 0 || off + len > sys.Vm_sys.page_size then
+    invalid_arg "Page_io.copy_out";
+  let buf = Bytes.create len in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = off + pos in
+      let frame = p.pfn + (abs / hw) in
+      let foff = abs mod hw in
+      let chunk = min (hw - foff) (len - pos) in
+      Bytes.blit
+        (Phys_mem.read (phys sys) frame ~offset:foff ~len:chunk)
+        0 buf pos chunk;
+      loop (pos + chunk)
+    end
+  in
+  loop 0;
+  charge_move sys len;
+  buf
+
+let fill sys p data =
+  let ps = sys.Vm_sys.page_size in
+  if Bytes.length data >= ps then copy_in sys p ~off:0 (Bytes.sub data 0 ps)
+  else begin
+    let b = Bytes.make ps '\000' in
+    Bytes.blit data 0 b 0 (Bytes.length data);
+    copy_in sys p ~off:0 b
+  end
+
+let contents sys p = copy_out sys p ~off:0 ~len:sys.Vm_sys.page_size

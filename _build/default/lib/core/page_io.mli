@@ -1,0 +1,27 @@
+(** Moving data between machine-independent pages and byte buffers.
+
+    A machine-independent page spans several hardware frames; these
+    helpers hide the frame arithmetic for the fault handler, the pageout
+    daemon, pagers and file I/O paths.  All charge the architecture's
+    bulk-move cost. *)
+
+val fill : Vm_sys.t -> Types.page -> Bytes.t -> unit
+(** [fill sys p data] copies [data] into the page (zero padding any
+    tail). *)
+
+val contents : Vm_sys.t -> Types.page -> Bytes.t
+(** [contents sys p] is the whole page as bytes. *)
+
+val copy_out : Vm_sys.t -> Types.page -> off:int -> len:int -> Bytes.t
+(** [copy_out sys p ~off ~len] extracts a sub-range of the page.  The
+    range must lie within the page. *)
+
+val copy_in : Vm_sys.t -> Types.page -> off:int -> Bytes.t -> unit
+(** [copy_in sys p ~off data] overwrites a sub-range of the page. *)
+
+val zero : Vm_sys.t -> Types.page -> unit
+(** [zero sys p] zero-fills the page ([pmap_zero_page] per frame). *)
+
+val copy : Vm_sys.t -> src:Types.page -> dst:Types.page -> unit
+(** [copy sys ~src ~dst] copies a whole page ([pmap_copy_page] per
+    frame). *)

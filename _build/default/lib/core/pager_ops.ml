@@ -1,0 +1,76 @@
+open Mach_hw
+open Types
+open Mach_pmap
+
+(* Visit the resident pages of [o] with offsets in [offset, offset+length),
+   page aligned. *)
+let pages_in_range (sys : Vm_sys.t) o ~offset ~length f =
+  let ps = sys.Vm_sys.page_size in
+  let lo = offset - (offset mod ps) in
+  let hi = offset + length in
+  List.iter
+    (fun p -> if p.pg_offset >= lo && p.pg_offset < hi then f p)
+    (Resident.object_pages o)
+
+let each_frame (sys : Vm_sys.t) p f =
+  let m = Resident.multiple sys.Vm_sys.resident in
+  for i = 0 to m - 1 do
+    f (p.pfn + i)
+  done
+
+let is_dirty sys p =
+  let m = Resident.multiple sys.Vm_sys.resident in
+  let rec loop i =
+    i < m
+    && (Pmap_domain.is_modified sys.Vm_sys.domain ~pfn:(p.pfn + i)
+        || loop (i + 1))
+  in
+  loop 0
+
+let clean_request sys o ~offset ~length =
+  let written = ref 0 in
+  pages_in_range sys o ~offset ~length (fun p ->
+      if is_dirty sys p then begin
+        (* Writing back races with writers: take write permission away
+           first so the cleaned copy is coherent. *)
+        each_frame sys p (fun pfn ->
+            Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn);
+        Vm_pageout.clean_page sys p;
+        incr written
+      end);
+  !written
+
+let flush_request sys o ~offset ~length =
+  let flushed = ref 0 in
+  let victims = ref [] in
+  pages_in_range sys o ~offset ~length (fun p -> victims := p :: !victims);
+  List.iter
+    (fun p ->
+       Vm_object.free_page sys p;
+       incr flushed)
+    !victims;
+  !flushed
+
+let set_caching sys o should_cache =
+  (match o.obj_pager with
+   | Some pg -> pg.pgr_should_cache := should_cache
+   | None -> ());
+  if not should_cache then Vm_object.uncache sys o
+
+let lock_request sys o ~offset ~length ~lock =
+  pages_in_range sys o ~offset ~length (fun p ->
+      if lock.Prot.read then
+        (* Locking reads means no access at all: drop the mappings. *)
+        each_frame sys p (fun pfn ->
+            Pmap_domain.remove_all sys.Vm_sys.domain ~pfn ~urgent:false)
+      else if lock.Prot.write then
+        each_frame sys p (fun pfn ->
+            Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn))
+
+let readonly sys o =
+  o.obj_readonly <- true;
+  pages_in_range sys o ~offset:0 ~length:o.obj_size (fun p ->
+      each_frame sys p (fun pfn ->
+          Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn))
+
+let is_readonly o = o.obj_readonly

@@ -1,0 +1,46 @@
+(** Kernel-side implementations of the remaining pager-to-kernel calls of
+    Table 3-2.
+
+    A pager manages "virtually all aspects of a memory object including
+    physical memory caching"; beyond supplying data it can force cached
+    data out, destroy it, lock ranges against access, and control
+    retention.  These entry points are what the kernel does when such a
+    message arrives on the paging_object_request port. *)
+
+open Types
+
+val clean_request : Vm_sys.t -> obj -> offset:int -> length:int -> int
+(** [pager_clean_request]: force modified physically cached data in
+    [\[offset, offset+length)] back to the memory object via
+    [pager_data_write].  Returns the number of pages written.  Pages stay
+    resident and their modify bits are cleared. *)
+
+val flush_request : Vm_sys.t -> obj -> offset:int -> length:int -> int
+(** [pager_flush_request]: force physically cached data to be destroyed.
+    Dirty pages are {e not} written back — the pager asked for
+    destruction.  Every pmap mapping is removed first.  Returns the
+    number of pages flushed. *)
+
+val set_caching : Vm_sys.t -> obj -> bool -> unit
+(** [pager_cache]: tell the kernel whether to retain knowledge about the
+    memory object after all references to it are gone.  Turning caching
+    off while the object is already cached pushes it out of the cache. *)
+
+val lock_request :
+  Vm_sys.t -> obj -> offset:int -> length:int -> lock:Mach_hw.Prot.t ->
+  unit
+(** [pager_data_lock]: prevent the listed kinds of access to the range
+    until a fresh [pmap_enter] grants them again — concretely, every
+    current hardware mapping of those pages is reduced by removing the
+    permissions in [lock].  (A full implementation would also hold new
+    faults until unlock; the simulation re-faults immediately, which
+    preserves the data-visibility semantics.) *)
+
+val readonly : Vm_sys.t -> obj -> unit
+(** [pager_readonly]: the pager will never accept data writes; the kernel
+    must copy on any write attempt.  Realised by write-protecting current
+    mappings and marking the object so the fault path shadows instead of
+    dirtying it. *)
+
+val is_readonly : obj -> bool
+(** Whether {!readonly} was applied (tests). *)

@@ -1,0 +1,141 @@
+open Mach_util
+open Mach_hw
+open Types
+
+type t = {
+  phys : Phys_mem.t;
+  page_size : int;
+  multiple : int;
+  hash : (int * int, page) Hashtbl.t; (* (obj_id, offset) -> page *)
+  free : page Dlist.t;
+  active : page Dlist.t;
+  inactive : page Dlist.t;
+  mutable total : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~phys ~multiple ?(frame_limit = max_int) () =
+  if not (is_power_of_two multiple) then
+    invalid_arg "Resident.create: multiple must be a power of two";
+  let t =
+    {
+      phys;
+      page_size = multiple * Phys_mem.page_size phys;
+      multiple;
+      hash = Hashtbl.create 1024;
+      free = Dlist.create ();
+      active = Dlist.create ();
+      inactive = Dlist.create ();
+      total = 0;
+    }
+  in
+  let frames = min frame_limit (Phys_mem.frame_count phys) in
+  let groups = frames / multiple in
+  for g = 0 to groups - 1 do
+    let base = g * multiple in
+    let usable = ref true in
+    for i = 0 to multiple - 1 do
+      if not (Phys_mem.frame_exists phys (base + i)) then usable := false
+    done;
+    if !usable then begin
+      let p =
+        {
+          pfn = base;
+          pg_obj = None;
+          pg_offset = 0;
+          pg_wire_count = 0;
+          pg_busy = false;
+          pg_queue = Q_free;
+          pg_queue_node = None;
+          pg_obj_node = None;
+        }
+      in
+      p.pg_queue_node <- Some (Dlist.push_back t.free p);
+      t.total <- t.total + 1
+    end
+  done;
+  t
+
+let page_size t = t.page_size
+let multiple t = t.multiple
+let total_pages t = t.total
+let free_count t = Dlist.length t.free
+let active_count t = Dlist.length t.active
+let inactive_count t = Dlist.length t.inactive
+
+let queue_list t = function
+  | Q_free -> Some t.free
+  | Q_active -> Some t.active
+  | Q_inactive -> Some t.inactive
+  | Q_none -> None
+
+let unlink_queue t p =
+  match queue_list t p.pg_queue, p.pg_queue_node with
+  | Some q, Some node -> Dlist.remove q node
+  | None, None -> ()
+  | Some _, None | None, Some _ -> assert false
+
+let set_queue t p q =
+  unlink_queue t p;
+  p.pg_queue <- q;
+  p.pg_queue_node <-
+    (match queue_list t q with
+     | None -> None
+     | Some lst -> Some (Dlist.push_back lst p))
+
+let alloc t =
+  match Dlist.first t.free with
+  | None -> None
+  | Some node ->
+    let p = Dlist.value node in
+    set_queue t p Q_none;
+    assert (p.pg_obj = None);
+    Some p
+
+let lookup t ~obj ~offset = Hashtbl.find_opt t.hash (obj.obj_id, offset)
+
+let insert t p ~obj ~offset =
+  assert (p.pg_obj = None);
+  assert (offset mod t.page_size = 0);
+  assert (not (Hashtbl.mem t.hash (obj.obj_id, offset)));
+  p.pg_obj <- Some obj;
+  p.pg_offset <- offset;
+  p.pg_obj_node <- Some (Dlist.push_back obj.obj_pages p);
+  Hashtbl.add t.hash (obj.obj_id, offset) p
+
+let remove_from_object t p =
+  match p.pg_obj, p.pg_obj_node with
+  | Some obj, Some node ->
+    Hashtbl.remove t.hash (obj.obj_id, p.pg_offset);
+    Dlist.remove obj.obj_pages node;
+    p.pg_obj <- None;
+    p.pg_obj_node <- None;
+    p.pg_offset <- 0
+  | None, None -> ()
+  | Some _, None | None, Some _ -> assert false
+
+let free_page t p =
+  remove_from_object t p;
+  p.pg_busy <- false;
+  p.pg_wire_count <- 0;
+  set_queue t p Q_free
+
+let enqueue t p q =
+  assert (q <> Q_free);
+  set_queue t p q
+
+let take_pop t lst =
+  match Dlist.first lst with
+  | None -> None
+  | Some node ->
+    let p = Dlist.value node in
+    set_queue t p Q_none;
+    Some p
+
+let take_inactive t = take_pop t t.inactive
+let take_active t = take_pop t t.active
+
+let iter_free t f = Dlist.iter f t.free
+
+let object_pages o = Dlist.to_list o.obj_pages

@@ -1,0 +1,79 @@
+(** The resident page table (Section 3.1).
+
+    Physical memory is treated primarily as a cache for the contents of
+    virtual memory objects.  This module keeps one {!Types.page} entry per
+    machine-independent page, where a page is a boot-time power-of-two
+    multiple of the hardware page size; each entry may simultaneously be
+    linked into a memory-object page list, an allocation queue (free,
+    active or inactive/reclaimable), and the object/offset hash bucket
+    used for fast fault-time lookup.
+
+    Byte offsets key the hash so the implementation is independent of any
+    particular notion of physical page size. *)
+
+type t
+(** The resident page table for one kernel. *)
+
+val create :
+  phys:Mach_hw.Phys_mem.t -> multiple:int -> ?frame_limit:int -> unit -> t
+(** [create ~phys ~multiple ()] groups [phys]'s present hardware frames
+    into machine-independent pages of [multiple] consecutive frames
+    (aligned); incomplete or hole-straddling groups are unusable, as are
+    frames at or beyond [frame_limit] (an architecture's physical address
+    limit).  All usable pages start free.  [multiple] must be a power of
+    two. *)
+
+val page_size : t -> int
+(** Machine-independent page size in bytes. *)
+
+val multiple : t -> int
+(** Hardware frames per machine-independent page. *)
+
+val total_pages : t -> int
+(** Usable pages, free or not. *)
+
+val free_count : t -> int
+val active_count : t -> int
+val inactive_count : t -> int
+
+val alloc : t -> Types.page option
+(** [alloc t] takes a page off the free queue ([None] when memory is
+    exhausted).  The page is on no queue and belongs to no object; its
+    previous contents are whatever the last owner left (callers zero or
+    overwrite as the fault logic dictates). *)
+
+val lookup : t -> obj:Types.obj -> offset:int -> Types.page option
+(** [lookup t ~obj ~offset] is the fault-path hash lookup by memory object
+    and byte offset. *)
+
+val insert : t -> Types.page -> obj:Types.obj -> offset:int -> unit
+(** [insert t p ~obj ~offset] gives [p] its object/offset identity,
+    linking it into [obj]'s page list and the hash.  [offset] must be
+    page aligned and not already occupied. *)
+
+val remove_from_object : t -> Types.page -> unit
+(** [remove_from_object t p] strips [p]'s identity (hash and object list);
+    the page remains allocated. *)
+
+val free_page : t -> Types.page -> unit
+(** [free_page t p] removes [p] from its object (if any) and any queue and
+    returns it to the free queue. *)
+
+val enqueue : t -> Types.page -> Types.pageq -> unit
+(** [enqueue t p q] moves [p] to queue [q] (removing it from its current
+    queue).  [Q_free] must be reached via {!free_page} instead. *)
+
+val take_inactive : t -> Types.page option
+(** [take_inactive t] pops the oldest inactive page for the pageout
+    daemon; the page ends up on no queue. *)
+
+val take_active : t -> Types.page option
+(** [take_active t] pops the oldest active page (used by the daemon to
+    refill the inactive queue). *)
+
+val iter_free : t -> (Types.page -> unit) -> unit
+(** [iter_free t f] applies [f] to every page on the free queue (without
+    disturbing it); used by consistency checkers. *)
+
+val object_pages : Types.obj -> Types.page list
+(** [object_pages o] is [o]'s resident pages, in list order. *)

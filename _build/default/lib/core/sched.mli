@@ -1,0 +1,31 @@
+(** A round-robin multiprocessor scheduler over simulated threads.
+
+    Dispatches ready threads onto the machine's CPUs one step at a time:
+    before a step runs, the thread's task becomes current on that CPU
+    ([pmap_activate], fault routing), so threads of one task genuinely
+    share an address space while threads of different tasks context
+    switch.  The simulation is deterministic: CPUs are filled in order
+    and the ready queue is FIFO. *)
+
+type t
+
+val create : Kernel.t -> t
+(** [create kernel] is a scheduler over [kernel]'s machine. *)
+
+val spawn : t -> task:Task.t -> ?name:string -> Kthread.step list -> Kthread.t
+(** [spawn t ~task steps] creates a thread and enqueues it. *)
+
+val alive : t -> int
+(** Threads not yet terminated. *)
+
+val step : t -> bool
+(** [step t] runs one scheduling round: every CPU that can get a ready
+    thread executes one of its steps.  Returns [false] when no thread
+    could run (all terminated or suspended). *)
+
+val run : t -> ?max_rounds:int -> unit -> unit
+(** [run t ()] steps until nothing is runnable.  [max_rounds] (default
+    100000) guards against runaway threads. *)
+
+val threads : t -> Kthread.t list
+(** All threads ever spawned, oldest first. *)

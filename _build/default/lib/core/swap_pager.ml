@@ -1,0 +1,34 @@
+open Types
+
+(* Registry of swap stores by pager id, so [stored_bytes] can answer for a
+   pager without widening the pager record. *)
+let stores : (int, (int, Bytes.t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let make (sys : Vm_sys.t) ~name =
+  let id = fresh_pager_id () in
+  let store : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.add stores id store;
+  let machine = sys.Vm_sys.machine in
+  let cpu () = Vm_sys.current_cpu sys in
+  {
+    pgr_id = id;
+    pgr_name = name;
+    pgr_request =
+      (fun ~offset ~length ->
+         match Hashtbl.find_opt store offset with
+         | Some data ->
+           Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~bytes:length;
+           Data_provided (Bytes.sub data 0 (min length (Bytes.length data)))
+         | None -> Data_unavailable);
+    pgr_write =
+      (fun ~offset ~data ->
+         Mach_hw.Machine.charge_disk machine ~cpu:(cpu ())
+           ~bytes:(Bytes.length data);
+         Hashtbl.replace store offset (Bytes.copy data));
+    pgr_should_cache = ref false;
+  }
+
+let stored_bytes p =
+  match Hashtbl.find_opt stores p.pgr_id with
+  | None -> 0
+  | Some store -> Hashtbl.fold (fun _ b acc -> acc + Bytes.length b) store 0

@@ -1,0 +1,17 @@
+(** The default pager.
+
+    Memory with no pager is automatically zero filled, and page-out of
+    anonymous memory goes to a default pager (Section 3.3; Mach's used
+    4.3bsd file systems, eliminating separate paging partitions).  Here
+    the backing store is an in-memory table whose transfers are charged as
+    disk I/O, so evicted anonymous pages survive and cost what swap
+    costs. *)
+
+val make : Vm_sys.t -> name:string -> Types.pager
+(** [make sys ~name] is a fresh default-pager instance for one memory
+    object.  Reads of never-written offsets answer [Data_unavailable]
+    (zero fill). *)
+
+val stored_bytes : Types.pager -> int
+(** [stored_bytes p] is how much backing store [p] currently holds; 0 for
+    pagers not made by this module.  Used by tests. *)

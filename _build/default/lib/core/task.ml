@@ -1,0 +1,51 @@
+open Mach_hw
+open Mach_pmap
+
+type t = {
+  task_id : int;
+  task_name : string;
+  task_map : Types.vmap;
+  task_pmap : Pmap.t;
+  mutable task_dead : bool;
+}
+
+let next_id = ref 0
+
+let addr_limits (sys : Vm_sys.t) =
+  let arch = Machine.arch sys.Vm_sys.machine in
+  (sys.Vm_sys.page_size, arch.Arch.user_va_limit)
+
+let create sys ?(name = "task") () =
+  incr next_id;
+  let low, high = addr_limits sys in
+  let pmap = Pmap_domain.create_pmap sys.Vm_sys.domain in
+  {
+    task_id = !next_id;
+    task_name = name;
+    task_map = Vm_map.create sys ~pmap:(Some pmap) ~low ~high;
+    task_pmap = pmap;
+    task_dead = false;
+  }
+
+let fork sys parent =
+  assert (not parent.task_dead);
+  incr next_id;
+  let pmap = Pmap_domain.create_pmap sys.Vm_sys.domain in
+  let map = Vm_map.fork sys parent.task_map ~child_pmap:pmap in
+  {
+    task_id = !next_id;
+    task_name = parent.task_name ^ "-child";
+    task_map = map;
+    task_pmap = pmap;
+    task_dead = false;
+  }
+
+let terminate sys t =
+  if not t.task_dead then begin
+    t.task_dead <- true;
+    Vm_map.deallocate sys t.task_map
+  end
+
+let map t = t.task_map
+
+let pmap t = t.task_pmap

@@ -1,0 +1,119 @@
+(* The four basic memory-management data structures of Section 3:
+
+     1. the resident page table entry ([page]),
+     2. the address map ([vmap] of [entry]),
+     3. the memory object ([obj], with its pager),
+     4. the pmap (machine-dependent; see {!Mach_pmap.Pmap}).
+
+   They are mutually recursive in exactly the way the paper's C structures
+   point at each other, so they live together in this module; all
+   behaviour is in the Vm_* modules.  Machine-independent code is the
+   authoritative owner of everything here. *)
+
+open Mach_util
+open Mach_hw
+
+(* Which paging queue a resident page is on (Section 3.1: allocation
+   queues are maintained for free, reclaimable and allocated pages). *)
+type pageq =
+  | Q_none      (* wired or in transit *)
+  | Q_free
+  | Q_active
+  | Q_inactive  (* reclaimable *)
+
+type page = {
+  pfn : int;
+      (* first hardware frame of this (machine-independent) page; a Mach
+         page spans [page_multiple] consecutive hardware frames *)
+  mutable pg_obj : obj option;          (* owning memory object *)
+  mutable pg_offset : int;              (* byte offset within the object *)
+  mutable pg_wire_count : int;
+  mutable pg_busy : bool;               (* being filled or written back *)
+  mutable pg_queue : pageq;
+  mutable pg_queue_node : page Dlist.node option;
+  mutable pg_obj_node : page Dlist.node option;
+}
+
+and obj = {
+  obj_id : int;
+  mutable obj_size : int;               (* bytes *)
+  mutable obj_ref : int;                (* mapping + shadow references *)
+  obj_pages : page Dlist.t;             (* the memory-object page list *)
+  mutable obj_pager : pager option;
+  mutable obj_shadow : obj option;
+  mutable obj_shadow_offset : int;
+      (* this object's offset 0 corresponds to [obj_shadow_offset] in the
+         shadowed object *)
+  mutable obj_temporary : bool;         (* anonymous kernel-managed memory *)
+  mutable obj_can_persist : bool;       (* eligible for the object cache *)
+  mutable obj_cached : bool;            (* ref 0 but retained in the cache *)
+  mutable obj_readonly : bool;
+      (* pager_readonly: the pager never accepts writes, so the kernel
+         must interpose a shadow on any write attempt *)
+  mutable obj_dead : bool;              (* terminated; must hold no pages *)
+}
+
+(* A pager instance manages one memory object (it is addressed through
+   that object's paging_object port in real Mach).  The closures carry the
+   kernel-to-pager calls of Table 3-1 that move data; the pager answers in
+   the style of the pager-to-kernel calls of Table 3-2. *)
+and pager = {
+  pgr_id : int;
+  pgr_name : string;
+  pgr_request : offset:int -> length:int -> pager_reply;
+      (* pager_data_request: the kernel wants [length] bytes at [offset] *)
+  pgr_write : offset:int -> data:Bytes.t -> unit;
+      (* pager_data_write: the kernel cleans a dirty page *)
+  pgr_should_cache : bool ref;
+      (* pager_cache: retain the object after its last unmap *)
+}
+
+and pager_reply =
+  | Data_provided of Bytes.t   (* pager_data_provided *)
+  | Data_unavailable           (* pager_data_unavailable: zero fill *)
+
+and backing =
+  | No_backing     (* allocated but never touched; object made at fault *)
+  | Backed of obj
+  | Submap of vmap (* a sharing map (Section 3.4) *)
+
+and entry = {
+  mutable e_start : int;                (* inclusive, page aligned *)
+  mutable e_end : int;                  (* exclusive *)
+  mutable e_backing : backing;
+  mutable e_offset : int;               (* offset into backing at e_start *)
+  mutable e_prot : Prot.t;              (* current protection *)
+  mutable e_max_prot : Prot.t;          (* maximum protection *)
+  mutable e_inherit : Inheritance.t;
+  mutable e_needs_copy : bool;
+      (* data must be shadowed before this entry's first write *)
+  mutable e_wired : bool;
+  mutable e_node : entry Dlist.node option; (* position in its map *)
+}
+
+and vmap = {
+  map_id : int;
+  map_entries : entry Dlist.t;          (* sorted, non-overlapping *)
+  mutable map_hint : entry Dlist.node option; (* last-fault hint *)
+  map_pmap : Mach_pmap.Pmap.t option;   (* None for sharing maps *)
+  mutable map_ref : int;
+  map_low : int;
+  map_high : int;
+}
+
+let next_obj_id = ref 0
+let next_map_id = ref 0
+let next_pager_id = ref 0
+
+let fresh_obj_id () = incr next_obj_id; !next_obj_id
+let fresh_map_id () = incr next_map_id; !next_map_id
+let fresh_pager_id () = incr next_pager_id; !next_pager_id
+
+let entry_size e = e.e_end - e.e_start
+
+let is_submap e = match e.e_backing with Submap _ -> true | Backed _ | No_backing -> false
+
+(* Offset within the entry's backing for address [va]. *)
+let entry_offset_of e va =
+  assert (va >= e.e_start && va < e.e_end);
+  e.e_offset + (va - e.e_start)

@@ -1,0 +1,47 @@
+(** Consistency checking over the machine-independent VM structures.
+
+    The paper notes that the object/locking rules are the complex part of
+    Mach VM; this module makes the implicit invariants explicit and
+    checkable, for use in tests (after randomised workloads) and when
+    debugging:
+
+    - address maps are sorted, page aligned, non-overlapping, inside
+      their bounds, and their current protection never exceeds the
+      maximum;
+    - backing references point at live objects and live sharing maps, and
+      sharing maps are never nested;
+    - memory-object page lists agree with the object/offset hash and
+      with each page's own identity; shadow chains are acyclic;
+    - every page sits on exactly the queue its state says, free pages
+      belong to no object, and no freed frame retains a hardware
+      mapping;
+    - every hardware mapping recorded by the pv layer is confirmed by the
+      owning pmap's [pmap_extract]. *)
+
+val check_map : Vm_sys.t -> Types.vmap -> string list
+(** [check_map sys m] is the list of invariant violations found in [m]
+    (and any sharing maps or objects it references); empty when
+    healthy. *)
+
+val check_resident : Vm_sys.t -> string list
+(** [check_resident sys] checks the resident page table's queues and
+    hash, and that free frames are unmapped. *)
+
+val check_all : Vm_sys.t -> maps:Types.vmap list -> string list
+(** [check_all sys ~maps] runs every check over the given root maps plus
+    the global structures. *)
+
+val assert_ok : Vm_sys.t -> maps:Types.vmap list -> unit
+(** [assert_ok sys ~maps] raises [Failure] with a readable summary if any
+    check fails; used as a test oracle. *)
+
+val pp_map : Vm_sys.t -> Format.formatter -> Types.vmap -> unit
+(** [pp_map sys ppf m] pretty-prints the address map: one line per entry
+    with range, protections, inheritance, backing (object chain lengths,
+    resident page counts) — the shape a kernel debugger would show. *)
+
+val pp_object : Vm_sys.t -> Format.formatter -> Types.obj -> unit
+(** [pp_object sys ppf o] prints one object and its shadow chain. *)
+
+val dump_map : Vm_sys.t -> Types.vmap -> string
+(** [dump_map sys m] is [pp_map] rendered to a string. *)

@@ -1,0 +1,190 @@
+open Mach_hw
+open Types
+open Mach_pmap
+
+let zero_mach_page = Page_io.zero
+
+let copy_mach_page sys ~src ~dst = Page_io.copy sys ~src ~dst
+
+let fill_page_bytes = Page_io.fill
+
+(* Enter every hardware frame of [p] at [page_va] in [pmap]. *)
+let enter_page (sys : Vm_sys.t) pmap ~page_va p ~prot =
+  let phys = Machine.phys sys.Vm_sys.machine in
+  let hw = Phys_mem.page_size phys in
+  let m = Resident.multiple sys.Vm_sys.resident in
+  for i = 0 to m - 1 do
+    pmap.Pmap.enter ~va:(page_va + (i * hw)) ~pfn:(p.pfn + i) ~prot
+      ~wired:(p.pg_wire_count > 0)
+  done
+
+let activate_page (sys : Vm_sys.t) p =
+  if p.pg_wire_count = 0 then
+    Resident.enqueue sys.Vm_sys.resident p Q_active
+
+(* Allocate a fresh page and give it an identity in [obj] at [offset]. *)
+let new_page_in (sys : Vm_sys.t) obj ~offset =
+  let p = Vm_sys.grab_page sys in
+  Resident.insert sys.Vm_sys.resident p ~obj ~offset;
+  p
+
+let fault sys map ~va ~write =
+  let stats = sys.Vm_sys.stats in
+  stats.Vm_sys.faults <- stats.Vm_sys.faults + 1;
+  match Vm_map.lookup_fault sys map ~va ~write with
+  | Error _ as e -> e
+  | Ok fl ->
+    let ps = sys.Vm_sys.page_size in
+    let page_va = va - (va mod ps) in
+    let entry = fl.Vm_map.fl_entry in
+    (* Byte offset of the faulting page within the entry's window; stable
+       across the backing rewrites below. *)
+    let rel = fl.Vm_map.fl_offset - (va mod ps) - entry.e_offset in
+    assert (rel mod ps = 0);
+    (* Never-touched region: create its anonymous memory object now. *)
+    let first_obj =
+      match entry.e_backing with
+      | Backed o -> o
+      | No_backing ->
+        let o = Vm_object.create_anonymous sys ~size:(entry_size entry) in
+        entry.e_backing <- Backed o;
+        entry.e_offset <- 0;
+        o
+      | Submap _ -> assert false (* lookup_fault resolved submaps *)
+    in
+    (* Write to a needs-copy entry — or to an object whose pager declared
+       it read-only (pager_readonly, Table 3-2) — interpose a shadow
+       object that will collect this map's modified pages (Section
+       3.4). *)
+    let first_obj =
+      if write && (entry.e_needs_copy || first_obj.obj_readonly) then begin
+        let s =
+          Vm_object.shadow sys first_obj ~offset:entry.e_offset
+            ~size:(entry_size entry)
+        in
+        entry.e_backing <- Backed s;
+        entry.e_offset <- 0;
+        entry.e_needs_copy <- false;
+        s
+      end
+      else first_obj
+    in
+    let offset = entry.e_offset + rel in
+    let pmap =
+      match map.map_pmap with
+      | Some p -> p
+      | None -> invalid_arg "Vm_fault.fault: map has no pmap"
+    in
+    (* Protection for the hardware mapping: copy-on-write situations must
+       trap the next write. *)
+    let mapped_prot ~cow = if cow then Prot.remove_write fl.Vm_map.fl_prot
+      else fl.Vm_map.fl_prot
+    in
+    let finish p ~prot =
+      enter_page sys pmap ~page_va p ~prot;
+      activate_page sys p;
+      Ok p
+    in
+    (* When the authoritative entry lives in a sharing map, a page copied
+       up into its shadow changes what every sharer should see, but their
+       pmaps may still map the old page.  Invalidate all mappings of the
+       source page so each sharer re-faults through the updated chain;
+       tasks that reference the old object through their own entries
+       (snapshot holders) re-fault to the same page and are unaffected. *)
+    let shared_entry =
+      match fl.Vm_map.fl_map.map_pmap with None -> true | Some _ -> false
+    in
+    let invalidate_shared_source src =
+      if shared_entry then begin
+        let m = Resident.multiple sys.Vm_sys.resident in
+        for i = 0 to m - 1 do
+          Pmap_domain.remove_all sys.Vm_sys.domain ~pfn:(src.pfn + i)
+            ~urgent:false
+        done
+      end
+    in
+    (* Walk the shadow chain.  At each level the resident page wins;
+       failing that the object's *own* pager is asked (a shadow that has
+       paged out to the default pager must answer from there, never from
+       the object it shadows); only when the pager has nothing — or there
+       is no pager — does the search descend. *)
+    let rec search obj off =
+      match Vm_object.lookup_resident sys obj ~offset:off with
+      | Some p -> `Found (obj, p)
+      | None ->
+        let from_pager =
+          match obj.obj_pager with
+          | None -> None
+          | Some pager ->
+            (match pager.pgr_request ~offset:off ~length:ps with
+             | Data_provided data -> Some data
+             | Data_unavailable -> None)
+        in
+        (match from_pager with
+         | Some data ->
+           let p = new_page_in sys obj ~offset:off in
+           p.pg_busy <- true;
+           fill_page_bytes sys p data;
+           p.pg_busy <- false;
+           stats.Vm_sys.pager_reads <- stats.Vm_sys.pager_reads + 1;
+           `Found (obj, p)
+         | None ->
+           (match obj.obj_shadow with
+            | Some next -> search next (off + obj.obj_shadow_offset)
+            | None -> `Bottom))
+    in
+    (match search first_obj offset with
+     | `Found (owner, p) when owner == first_obj ->
+       stats.Vm_sys.fast_reloads <- stats.Vm_sys.fast_reloads + 1;
+       finish p
+         ~prot:(mapped_prot ~cow:(entry.e_needs_copy || owner.obj_readonly))
+     | `Found (_, src) ->
+       if write then begin
+         (* Copy the page up into the first object. *)
+         let p = new_page_in sys first_obj ~offset in
+         copy_mach_page sys ~src ~dst:p;
+         stats.Vm_sys.cow_copies <- stats.Vm_sys.cow_copies + 1;
+         invalidate_shared_source src;
+         Vm_object.collapse sys first_obj;
+         (* The copy may have moved the page up; look it up afresh. *)
+         (match Vm_object.lookup_resident sys first_obj ~offset with
+          | Some p -> finish p ~prot:(mapped_prot ~cow:false)
+          | None -> assert false)
+       end
+       else
+         (* Map the lower object's page without write permission so a
+            later write still faults and copies. *)
+         finish src ~prot:(mapped_prot ~cow:true)
+     | `Bottom ->
+       (* Nothing anywhere in the chain: memory with no backing data is
+          automatically zero filled, directly in the first object. *)
+       let p = new_page_in sys first_obj ~offset in
+       zero_mach_page sys p;
+       stats.Vm_sys.zero_fills <- stats.Vm_sys.zero_fills + 1;
+       finish p
+         ~prot:
+           (mapped_prot
+              ~cow:
+                ((entry.e_needs_copy && not write)
+                 || first_obj.obj_readonly)))
+
+let wire sys map ~va =
+  match fault sys map ~va ~write:true with
+  | Error _ as e -> e
+  | Ok p ->
+    p.pg_wire_count <- p.pg_wire_count + 1;
+    Resident.enqueue sys.Vm_sys.resident p Q_none;
+    Ok ()
+
+let unwire sys map ~va =
+  match Vm_map.resolve_object_at sys map ~va with
+  | None -> Error Kr.Invalid_address
+  | Some (o, offset) ->
+    let offset = offset - (offset mod sys.Vm_sys.page_size) in
+    (match Vm_object.chain_lookup sys o ~offset with
+     | `Found (_, p, _) when p.pg_wire_count > 0 ->
+       p.pg_wire_count <- p.pg_wire_count - 1;
+       if p.pg_wire_count = 0 then
+         Resident.enqueue sys.Vm_sys.resident p Q_active;
+       Ok ()
+     | `Found _ | `Absent _ -> Error Kr.Invalid_argument)

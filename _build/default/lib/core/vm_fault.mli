@@ -1,0 +1,37 @@
+(** The page-fault handler.
+
+    All virtual-memory information can be reconstructed at fault time from
+    the machine-independent data structures; this module is where that
+    happens.  A fault:
+
+    + looks the address up in the task's address map (following one
+      sharing-map level) and checks protection;
+    + creates the backing anonymous object if the region was never
+      touched;
+    + on a write to a needs-copy entry, interposes a shadow object;
+    + searches the shadow chain for the page; a miss at the bottom is
+      filled from the bottom object's pager, or zero-filled;
+    + a write to a page found below the first object copies it up
+      (copy-on-write); a read maps it without write permission;
+    + enters the mapping in the task's pmap and activates the page.
+
+    Faults that merely re-enter a mapping the pmap discarded (a stolen
+    SUN 3 context, an evicted RT PC alias, a TLB-only machine reload) are
+    counted as fast reloads. *)
+
+val fault :
+  Vm_sys.t -> Types.vmap -> va:int -> write:bool ->
+  (Types.page, Kr.t) result
+(** [fault sys map ~va ~write] resolves a fault at [va] and returns the
+    resident page now mapped there.  Errors: [Invalid_address] outside any
+    entry, [Protection_failure] when the access exceeds the entry's
+    current protection, [Memory_error] when a pager fails. *)
+
+val wire : Vm_sys.t -> Types.vmap -> va:int -> (unit, Kr.t) result
+(** [wire sys map ~va] faults the page in for write and wires it: it
+    leaves the paging queues and becomes immune to pageout until
+    {!unwire}. *)
+
+val unwire : Vm_sys.t -> Types.vmap -> va:int -> (unit, Kr.t) result
+(** [unwire sys map ~va] undoes one {!wire}, reactivating the page when
+    the wire count reaches zero. *)

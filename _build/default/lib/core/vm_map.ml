@@ -1,0 +1,675 @@
+open Mach_util
+open Mach_hw
+open Types
+open Mach_pmap
+
+(* ---- alignment helpers ---------------------------------------------- *)
+
+let page_trunc (sys : Vm_sys.t) addr = addr - (addr mod sys.Vm_sys.page_size)
+
+let page_round (sys : Vm_sys.t) size =
+  let ps = sys.Vm_sys.page_size in
+  (size + ps - 1) / ps * ps
+
+(* ---- construction ---------------------------------------------------- *)
+
+let create (_sys : Vm_sys.t) ~pmap ~low ~high =
+  {
+    map_id = fresh_map_id ();
+    map_entries = Dlist.create ();
+    map_hint = None;
+    map_pmap = pmap;
+    map_ref = 1;
+    map_low = low;
+    map_high = high;
+  }
+
+let reference m = m.map_ref <- m.map_ref + 1
+
+let entry_count m = Dlist.length m.map_entries
+
+let entries m = Dlist.to_list m.map_entries
+
+(* ---- entry search ---------------------------------------------------- *)
+
+let contains e va = va >= e.e_start && va < e.e_end
+
+(* The paper: fast lookup on faults is achieved by keeping last-fault
+   hints, searching from the last entry found. *)
+let find_node m ~va =
+  let hit node =
+    m.map_hint <- Some node;
+    Some node
+  in
+  let scan_from start =
+    let rec loop = function
+      | None -> None
+      | Some node ->
+        let e = Dlist.value node in
+        if contains e va then hit node
+        else if e.e_start > va then None
+        else loop (Dlist.next node)
+    in
+    loop start
+  in
+  match m.map_hint with
+  | Some node when Dlist.linked node ->
+    let e = Dlist.value node in
+    if contains e va then hit node
+    else if va >= e.e_end then scan_from (Dlist.next node)
+    else scan_from (Dlist.first m.map_entries)
+  | Some _ | None -> scan_from (Dlist.first m.map_entries)
+
+let find m ~va =
+  match find_node m ~va with
+  | None -> None
+  | Some node -> Some (Dlist.value node)
+
+(* First entry whose end lies beyond [va] (i.e. containing or after). *)
+let first_node_beyond m ~va =
+  let rec loop = function
+    | None -> None
+    | Some node ->
+      if (Dlist.value node).e_end > va then Some node
+      else loop (Dlist.next node)
+  in
+  loop (Dlist.first m.map_entries)
+
+(* ---- backing reference management ------------------------------------ *)
+
+let backing_ref = function
+  | No_backing -> ()
+  | Backed o -> Vm_object.reference o
+  | Submap sm -> reference sm
+
+let rec backing_unref sys = function
+  | No_backing -> ()
+  | Backed o -> Vm_object.deallocate sys o
+  | Submap sm -> deallocate sys sm
+
+(* ---- entry insertion and removal ------------------------------------- *)
+
+and make_entry ~start_ ~end_ ~backing ~offset ~prot ~max_prot ~inherit_
+    ~needs_copy =
+  {
+    e_start = start_;
+    e_end = end_;
+    e_backing = backing;
+    e_offset = offset;
+    e_prot = prot;
+    e_max_prot = max_prot;
+    e_inherit = inherit_;
+    e_needs_copy = needs_copy;
+    e_wired = false;
+    e_node = None;
+  }
+
+and insert_entry m e =
+  (* Keep the list sorted; ranges never overlap. *)
+  let node =
+    match first_node_beyond m ~va:e.e_start with
+    | None -> Dlist.push_back m.map_entries e
+    | Some node ->
+      assert ((Dlist.value node).e_start >= e.e_end);
+      Dlist.insert_before m.map_entries node e
+  in
+  e.e_node <- Some node
+
+and remove_entry sys m node ~unmap =
+  let e = Dlist.value node in
+  (match m.map_hint with
+   | Some h when h == node -> m.map_hint <- None
+   | Some _ | None -> ());
+  Dlist.remove m.map_entries node;
+  e.e_node <- None;
+  (match m.map_pmap with
+   | Some pmap when unmap ->
+     pmap.Pmap.remove ~start_va:e.e_start ~end_va:e.e_end
+   | Some _ | None -> ());
+  backing_unref sys e.e_backing
+
+and deallocate sys m =
+  assert (m.map_ref > 0);
+  m.map_ref <- m.map_ref - 1;
+  if m.map_ref = 0 then begin
+    Dlist.iter_nodes (fun node -> remove_entry sys m node ~unmap:false) m.map_entries;
+    match m.map_pmap with
+    | Some pmap -> pmap.Pmap.destroy ()
+    | None -> ()
+  end
+
+(* ---- clipping --------------------------------------------------------- *)
+
+(* Split [e] so that it starts exactly at [addr]; the piece before [addr]
+   becomes a new entry.  No-op when [addr] is outside (or at the start
+   of) [e]. *)
+let clip_start _sys m node addr =
+  let e = Dlist.value node in
+  if addr > e.e_start && addr < e.e_end then begin
+    let left =
+      make_entry ~start_:e.e_start ~end_:addr ~backing:e.e_backing
+        ~offset:e.e_offset ~prot:e.e_prot ~max_prot:e.e_max_prot
+        ~inherit_:e.e_inherit ~needs_copy:e.e_needs_copy
+    in
+    left.e_wired <- e.e_wired;
+    backing_ref e.e_backing;
+    e.e_offset <- e.e_offset + (addr - e.e_start);
+    e.e_start <- addr;
+    left.e_node <- Some (Dlist.insert_before m.map_entries node left)
+  end
+
+(* Split [e] so that it ends exactly at [addr]; the piece from [addr]
+   onward becomes a new entry. *)
+let clip_end _sys m node addr =
+  let e = Dlist.value node in
+  if addr > e.e_start && addr < e.e_end then begin
+    let right =
+      make_entry ~start_:addr ~end_:e.e_end ~backing:e.e_backing
+        ~offset:(e.e_offset + (addr - e.e_start)) ~prot:e.e_prot
+        ~max_prot:e.e_max_prot ~inherit_:e.e_inherit
+        ~needs_copy:e.e_needs_copy
+    in
+    right.e_wired <- e.e_wired;
+    backing_ref e.e_backing;
+    e.e_end <- addr;
+    right.e_node <- Some (Dlist.insert_after m.map_entries node right)
+  end
+
+(* Apply [f] to every entry node overlapping [lo, hi), clipped exactly to
+   the range.  [f] may remove the node. *)
+let iter_range_clipped sys m ~lo ~hi f =
+  let rec loop node_opt =
+    match node_opt with
+    | None -> ()
+    | Some node ->
+      let e = Dlist.value node in
+      if e.e_start >= hi then ()
+      else begin
+        clip_start sys m node lo;
+        clip_end sys m node hi;
+        let next = Dlist.next node in
+        f node;
+        loop next
+      end
+  in
+  loop (first_node_beyond m ~va:lo)
+
+(* ---- free-space search ------------------------------------------------ *)
+
+let find_space m ~size ~hint_addr =
+  let cursor = ref (max m.map_low hint_addr) in
+  let result = ref None in
+  let check_gap limit =
+    if !result = None && !cursor + size <= limit then result := Some !cursor
+  in
+  Dlist.iter
+    (fun e ->
+       check_gap e.e_start;
+       if e.e_end > !cursor then cursor := e.e_end)
+    m.map_entries;
+  check_gap m.map_high;
+  !result
+
+let range_free m ~lo ~hi =
+  match first_node_beyond m ~va:lo with
+  | None -> true
+  | Some node -> (Dlist.value node).e_start >= hi
+
+(* ---- allocation ------------------------------------------------------- *)
+
+let default_max_prot = Prot.all
+
+let alloc_common sys m ?at ~size ~anywhere ~backing ~offset ~prot ~max_prot
+    ~needs_copy () =
+  if size <= 0 then Error Kr.Invalid_argument
+  else begin
+    let size = page_round sys size in
+    let place =
+      if anywhere then begin
+        let hint_addr =
+          match at with Some a -> page_trunc sys a | None -> m.map_low
+        in
+        match find_space m ~size ~hint_addr with
+        | Some addr -> Ok addr
+        | None ->
+          (* Retry from the bottom before giving up. *)
+          (match find_space m ~size ~hint_addr:m.map_low with
+           | Some addr -> Ok addr
+           | None -> Error Kr.No_space)
+      end
+      else
+        match at with
+        | None -> Error Kr.Invalid_argument
+        | Some a ->
+          let a = page_trunc sys a in
+          if a < m.map_low || a + size > m.map_high then
+            Error Kr.Invalid_address
+          else if range_free m ~lo:a ~hi:(a + size) then Ok a
+          else Error Kr.No_space
+    in
+    match place with
+    | Error _ as e -> e
+    | Ok addr ->
+      let e =
+        make_entry ~start_:addr ~end_:(addr + size) ~backing ~offset ~prot
+          ~max_prot ~inherit_:Inheritance.default ~needs_copy
+      in
+      insert_entry m e;
+      Ok addr
+  end
+
+let allocate sys m ?at ~size ~anywhere () =
+  alloc_common sys m ?at ~size ~anywhere ~backing:No_backing ~offset:0
+    ~prot:Prot.read_write ~max_prot:default_max_prot ~needs_copy:false ()
+
+(* Write-protect, in every pmap, the resident pages of [o] whose offsets
+   lie in [lo, hi): the pmap_copy_on_write operation of Table 3-3 applied
+   over a range. *)
+let cow_protect sys o ~lo ~hi =
+  List.iter
+    (fun p ->
+       if p.pg_offset >= lo && p.pg_offset < hi then
+         Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn:p.pfn)
+    (Resident.object_pages o)
+
+let allocate_object sys m o ~offset ?at ~size ~anywhere
+    ?(prot = Prot.read_write) ?(max_prot = default_max_prot)
+    ?(copy = false) () =
+  let r =
+    alloc_common sys m ?at ~size ~anywhere ~backing:(Backed o) ~offset
+      ~prot ~max_prot ~needs_copy:copy ()
+  in
+  (match r with
+   | Ok _ when copy -> cow_protect sys o ~lo:offset ~hi:(offset + size)
+   | Ok _ | Error _ -> ());
+  r
+
+let deallocate_range sys m ~addr ~size =
+  if size < 0 then Error Kr.Invalid_argument
+  else begin
+    let lo = page_trunc sys addr in
+    let hi = lo + page_round sys (size + (addr - lo)) in
+    iter_range_clipped sys m ~lo ~hi (fun node ->
+        remove_entry sys m node ~unmap:true);
+    Ok ()
+  end
+
+(* ---- protection and inheritance -------------------------------------- *)
+
+let pmap_protect_range m e prot =
+  match m.map_pmap with
+  | Some pmap ->
+    pmap.Pmap.protect ~start_va:e.e_start ~end_va:e.e_end ~prot
+  | None -> ()
+
+let protect sys m ~addr ~size ~set_max ~prot =
+  if size < 0 then Error Kr.Invalid_argument
+  else begin
+    let lo = page_trunc sys addr in
+    let hi = lo + page_round sys (size + (addr - lo)) in
+    (* Validate before mutating: raising current protection beyond the
+       maximum fails as a whole. *)
+    let ok = ref true in
+    let rec validate node_opt =
+      match node_opt with
+      | None -> ()
+      | Some node ->
+        let e = Dlist.value node in
+        if e.e_start < hi then begin
+          if (not set_max) && not (Prot.subset prot ~of_:e.e_max_prot) then
+            ok := false;
+          validate (Dlist.next node)
+        end
+    in
+    validate (first_node_beyond m ~va:lo);
+    if not !ok then Error Kr.Protection_failure
+    else begin
+      iter_range_clipped sys m ~lo ~hi (fun node ->
+          let e = Dlist.value node in
+          if set_max then begin
+            e.e_max_prot <- Prot.inter e.e_max_prot prot;
+            if not (Prot.subset e.e_prot ~of_:e.e_max_prot) then begin
+              e.e_prot <- Prot.inter e.e_prot e.e_max_prot;
+              pmap_protect_range m e e.e_prot
+            end
+          end
+          else begin
+            e.e_prot <- prot;
+            (* Hardware permissions only ever shrink here; raising takes
+               effect lazily through faults. *)
+            pmap_protect_range m e prot
+          end);
+      Ok ()
+    end
+  end
+
+let set_inheritance sys m ~addr ~size inh =
+  if size < 0 then Error Kr.Invalid_argument
+  else begin
+    let lo = page_trunc sys addr in
+    let hi = lo + page_round sys (size + (addr - lo)) in
+    iter_range_clipped sys m ~lo ~hi (fun node ->
+        (Dlist.value node).e_inherit <- inh);
+    Ok ()
+  end
+
+type region_info = {
+  ri_start : int;
+  ri_end : int;
+  ri_prot : Prot.t;
+  ri_max_prot : Prot.t;
+  ri_inherit : Inheritance.t;
+  ri_shared : bool;
+  ri_needs_copy : bool;
+}
+
+let regions m =
+  List.map
+    (fun e ->
+       {
+         ri_start = e.e_start;
+         ri_end = e.e_end;
+         ri_prot = e.e_prot;
+         ri_max_prot = e.e_max_prot;
+         ri_inherit = e.e_inherit;
+         ri_shared = is_submap e;
+         ri_needs_copy = e.e_needs_copy;
+       })
+    (entries m)
+
+(* ---- sharing maps ----------------------------------------------------- *)
+
+(* Convert [e]'s backing into a sharing map holding the old backing, so
+   that the region can be shared read/write across address maps. *)
+let ensure_submap sys e =
+  match e.e_backing with
+  | Submap sm -> sm
+  | (Backed _ | No_backing) as old ->
+    let size = entry_size e in
+    let sm = create sys ~pmap:None ~low:0 ~high:size in
+    let sub =
+      make_entry ~start_:0 ~end_:size ~backing:old ~offset:e.e_offset
+        ~prot:e.e_prot ~max_prot:e.e_max_prot ~inherit_:e.e_inherit
+        ~needs_copy:e.e_needs_copy
+    in
+    insert_entry sm sub;
+    e.e_backing <- Submap sm; (* the old backing reference moved into sm *)
+    e.e_offset <- 0;
+    e.e_needs_copy <- false;
+    sm
+
+(* ---- copy-on-write copying ------------------------------------------- *)
+
+(* Share [src]'s object copy-on-write; returns what the copy should be
+   backed by.  [lo, hi) bounds the byte range of the object involved. *)
+let cow_share_object sys o ~lo ~hi =
+  Vm_object.reference o;
+  cow_protect sys o ~lo ~hi;
+  o
+
+(* Build child-map entries for a parent entry with Copy inheritance,
+   appending them to [push].  For plain entries one child entry results;
+   for shared (sharing-map) entries, one per overlapping sub-entry, each
+   marked copy-on-write on both sides. *)
+let copy_entry_cow sys e push =
+  match e.e_backing with
+  | No_backing ->
+    push
+      (make_entry ~start_:e.e_start ~end_:e.e_end ~backing:No_backing
+         ~offset:0 ~prot:e.e_prot ~max_prot:e.e_max_prot
+         ~inherit_:e.e_inherit ~needs_copy:false)
+  | Backed o ->
+    let lo = e.e_offset and hi = e.e_offset + entry_size e in
+    let o = cow_share_object sys o ~lo ~hi in
+    e.e_needs_copy <- true;
+    push
+      (make_entry ~start_:e.e_start ~end_:e.e_end ~backing:(Backed o)
+         ~offset:e.e_offset ~prot:e.e_prot ~max_prot:e.e_max_prot
+         ~inherit_:e.e_inherit ~needs_copy:true)
+  | Submap sm ->
+    (* Copy each overlapping piece of the sharing map; sub-entries get
+       clipped so needs-copy marks exactly the window. *)
+    let win_lo = e.e_offset and win_hi = e.e_offset + entry_size e in
+    iter_range_clipped sys sm ~lo:win_lo ~hi:win_hi (fun node ->
+        let s = Dlist.value node in
+        let child_start = e.e_start + (s.e_start - win_lo) in
+        let child_end = child_start + entry_size s in
+        match s.e_backing with
+        | No_backing ->
+          push
+            (make_entry ~start_:child_start ~end_:child_end
+               ~backing:No_backing ~offset:0 ~prot:e.e_prot
+               ~max_prot:e.e_max_prot ~inherit_:e.e_inherit
+               ~needs_copy:false)
+        | Backed o ->
+          let lo = s.e_offset and hi = s.e_offset + entry_size s in
+          let o = cow_share_object sys o ~lo ~hi in
+          s.e_needs_copy <- true;
+          push
+            (make_entry ~start_:child_start ~end_:child_end
+               ~backing:(Backed o) ~offset:s.e_offset ~prot:e.e_prot
+               ~max_prot:e.e_max_prot ~inherit_:e.e_inherit
+               ~needs_copy:true)
+        | Submap _ ->
+          (* Sharing maps are never nested (Section 3.4). *)
+          assert false)
+
+let fork sys parent ~child_pmap =
+  let child =
+    create sys ~pmap:(Some child_pmap) ~low:parent.map_low
+      ~high:parent.map_high
+  in
+  let push e = insert_entry child e in
+  List.iter
+    (fun e ->
+       match e.e_inherit with
+       | Inheritance.None_ -> ()
+       | Inheritance.Shared ->
+         let sm = ensure_submap sys e in
+         reference sm;
+         push
+           (make_entry ~start_:e.e_start ~end_:e.e_end ~backing:(Submap sm)
+              ~offset:e.e_offset ~prot:e.e_prot ~max_prot:e.e_max_prot
+              ~inherit_:e.e_inherit ~needs_copy:false)
+       | Inheritance.Copy -> copy_entry_cow sys e push)
+    (entries parent);
+  (* Optionally pre-load the child's pmap from the parent's via the
+     Table 3-4 pmap_copy routine (write permission stripped, so
+     copy-on-write semantics are untouched): the child then starts
+     without reload faults on inherited pages. *)
+  if sys.Vm_sys.pmap_prewarm_on_fork then begin
+    match parent.map_pmap with
+    | Some src ->
+      (match src.Pmap.copy with
+       | Some pmap_copy ->
+         Dlist.iter
+           (fun e ->
+              pmap_copy ~dst:child_pmap ~dst_start:e.e_start
+                ~len:(entry_size e) ~src_start:e.e_start)
+           child.map_entries
+       | None -> ())
+    | None -> ()
+  end;
+  child
+
+(* ---- fault-path lookup ------------------------------------------------ *)
+
+type fault_lookup = {
+  fl_map : vmap;
+  fl_entry : entry;
+  fl_offset : int;
+  fl_prot : Prot.t;
+}
+
+let lookup_fault _sys m ~va ~write =
+  match find m ~va with
+  | None -> Error Kr.Invalid_address
+  | Some e ->
+    if not (Prot.allows e.e_prot ~write) then Error Kr.Protection_failure
+    else begin
+      match e.e_backing with
+      | Backed _ | No_backing ->
+        Ok
+          { fl_map = m; fl_entry = e; fl_offset = entry_offset_of e va;
+            fl_prot = e.e_prot }
+      | Submap sm ->
+        let off = entry_offset_of e va in
+        (match find sm ~va:off with
+         | None -> Error Kr.Invalid_address
+         | Some s ->
+           let prot = Prot.inter e.e_prot s.e_prot in
+           if not (Prot.allows prot ~write) then
+             Error Kr.Protection_failure
+           else
+             Ok
+               { fl_map = sm; fl_entry = s;
+                 fl_offset = entry_offset_of s off; fl_prot = prot })
+    end
+
+let resolve_object_at _sys m ~va =
+  match find m ~va with
+  | None -> None
+  | Some e ->
+    (match e.e_backing with
+     | Backed o -> Some (o, entry_offset_of e va)
+     | No_backing -> None
+     | Submap sm ->
+       let off = entry_offset_of e va in
+       (match find sm ~va:off with
+        | Some ({ e_backing = Backed o; _ } as s) ->
+          Some (o, entry_offset_of s off)
+        | Some _ | None -> None))
+
+(* ---- virtual copies (vm_copy / out-of-line message data) -------------- *)
+
+type copy_item = { ci_obj : obj option; ci_offset : int; ci_size : int }
+
+type map_copy = { mc_items : copy_item list; mc_size : int }
+
+let copy_size c = c.mc_size
+
+let extract_copy sys m ~addr ~size =
+  if size <= 0 then Error Kr.Invalid_argument
+  else begin
+    let lo = page_trunc sys addr in
+    let hi = lo + page_round sys (size + (addr - lo)) in
+    (* The whole range must be allocated. *)
+    let covered = ref lo in
+    let rec check node_opt =
+      match node_opt with
+      | None -> ()
+      | Some node ->
+        let e = Dlist.value node in
+        if e.e_start <= !covered && e.e_end > !covered then begin
+          covered := e.e_end;
+          if !covered < hi then check (Dlist.next node)
+        end
+    in
+    check (first_node_beyond m ~va:lo);
+    if !covered < hi then Error Kr.Invalid_address
+    else begin
+      let items = ref [] in
+      let push i = items := i :: !items in
+      let capture_backed e =
+        match e.e_backing with
+        | No_backing ->
+          push { ci_obj = None; ci_offset = 0; ci_size = entry_size e }
+        | Backed o ->
+          let olo = e.e_offset and ohi = e.e_offset + entry_size e in
+          let o = cow_share_object sys o ~lo:olo ~hi:ohi in
+          e.e_needs_copy <- true;
+          push { ci_obj = Some o; ci_offset = olo; ci_size = entry_size e }
+        | Submap _ -> assert false
+      in
+      iter_range_clipped sys m ~lo ~hi (fun node ->
+          let e = Dlist.value node in
+          match e.e_backing with
+          | No_backing | Backed _ -> capture_backed e
+          | Submap sm ->
+            let win_lo = e.e_offset
+            and win_hi = e.e_offset + entry_size e in
+            iter_range_clipped sys sm ~lo:win_lo ~hi:win_hi
+              (fun sub_node -> capture_backed (Dlist.value sub_node)));
+      Ok { mc_items = List.rev !items; mc_size = hi - lo }
+    end
+  end
+
+let insert_copy sys m c ?at () =
+  let place =
+    match at with
+    | Some a ->
+      let a = page_trunc sys a in
+      if a < m.map_low || a + c.mc_size > m.map_high then
+        Error Kr.Invalid_address
+      else if range_free m ~lo:a ~hi:(a + c.mc_size) then Ok a
+      else Error Kr.No_space
+    | None ->
+      (match find_space m ~size:c.mc_size ~hint_addr:m.map_low with
+       | Some a -> Ok a
+       | None -> Error Kr.No_space)
+  in
+  match place with
+  | Error _ as e -> e
+  | Ok base ->
+    let cursor = ref base in
+    List.iter
+      (fun item ->
+         let backing, offset, needs_copy =
+           match item.ci_obj with
+           | None -> (No_backing, 0, false)
+           | Some o -> (Backed o, item.ci_offset, true)
+         in
+         let e =
+           make_entry ~start_:!cursor ~end_:(!cursor + item.ci_size)
+             ~backing ~offset ~prot:Prot.read_write
+             ~max_prot:default_max_prot ~inherit_:Inheritance.default
+             ~needs_copy
+         in
+         insert_entry m e;
+         cursor := !cursor + item.ci_size)
+      c.mc_items;
+    Ok base
+
+let discard_copy sys c =
+  List.iter
+    (fun item ->
+       match item.ci_obj with
+       | Some o -> Vm_object.deallocate sys o
+       | None -> ())
+    c.mc_items
+
+(* ---- simplify --------------------------------------------------------- *)
+
+let mergeable a b =
+  a.e_end = b.e_start
+  && Prot.equal a.e_prot b.e_prot
+  && Prot.equal a.e_max_prot b.e_max_prot
+  && Inheritance.equal a.e_inherit b.e_inherit
+  && a.e_needs_copy = b.e_needs_copy
+  && a.e_wired = b.e_wired
+  &&
+  match a.e_backing, b.e_backing with
+  | Backed oa, Backed ob ->
+    oa == ob && a.e_offset + entry_size a = b.e_offset
+  | No_backing, No_backing -> true
+  | Submap sa, Submap sb ->
+    sa == sb && a.e_offset + entry_size a = b.e_offset
+  | (Backed _ | No_backing | Submap _), _ -> false
+
+let simplify sys m =
+  let rec loop node_opt =
+    match node_opt with
+    | None -> ()
+    | Some node ->
+      (match Dlist.next node with
+       | None -> ()
+       | Some next_node ->
+         let a = Dlist.value node and b = Dlist.value next_node in
+         if mergeable a b then begin
+           a.e_end <- b.e_end;
+           remove_entry sys m next_node ~unmap:false;
+           loop (Some node)
+         end
+         else loop (Some next_node))
+  in
+  loop (Dlist.first m.map_entries)

@@ -1,0 +1,112 @@
+open Mach_hw
+open Types
+open Mach_pmap
+
+(* Per-frame attribute checks aggregated over a machine-independent page. *)
+let any_frame (sys : Vm_sys.t) p f =
+  let m = Resident.multiple sys.Vm_sys.resident in
+  let rec loop i = i < m && (f (p.pfn + i) || loop (i + 1)) in
+  loop 0
+
+let each_frame (sys : Vm_sys.t) p f =
+  let m = Resident.multiple sys.Vm_sys.resident in
+  for i = 0 to m - 1 do
+    f (p.pfn + i)
+  done
+
+let is_referenced sys p =
+  any_frame sys p (fun pfn ->
+      Pmap_domain.is_referenced sys.Vm_sys.domain ~pfn)
+
+let is_modified sys p =
+  any_frame sys p (fun pfn -> Pmap_domain.is_modified sys.Vm_sys.domain ~pfn)
+
+let clear_referenced sys p =
+  each_frame sys p (fun pfn ->
+      Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn)
+
+let clear_modified sys p =
+  each_frame sys p (fun pfn ->
+      Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn)
+
+let page_bytes = Page_io.contents
+
+let deactivate_some (sys : Vm_sys.t) ~count =
+  let rec loop n =
+    if n > 0 then
+      match Resident.take_active sys.Vm_sys.resident with
+      | None -> ()
+      | Some p ->
+        clear_referenced sys p;
+        Resident.enqueue sys.Vm_sys.resident p Q_inactive;
+        loop (n - 1)
+  in
+  loop count
+
+(* Write a dirty page to its object's pager, attaching a default pager to
+   anonymous objects on their first pageout. *)
+let clean_page (sys : Vm_sys.t) p =
+  match p.pg_obj with
+  | None -> ()
+  | Some o ->
+    let pager =
+      match o.obj_pager with
+      | Some pg -> pg
+      | None ->
+        let pg = Swap_pager.make sys ~name:"default-pager" in
+        o.obj_pager <- Some pg;
+        pg
+    in
+    pager.pgr_write ~offset:p.pg_offset ~data:(page_bytes sys p);
+    clear_modified sys p;
+    sys.Vm_sys.stats.Vm_sys.pageouts <-
+      sys.Vm_sys.stats.Vm_sys.pageouts + 1
+
+let run (sys : Vm_sys.t) ~wanted =
+  let res = sys.Vm_sys.resident in
+  (* Keep the inactive queue stocked: roughly a third of what is in
+     circulation, and at least what this call needs. *)
+  let circulating = Resident.active_count res + Resident.inactive_count res in
+  let want_inactive = max wanted (circulating / 3) in
+  if Resident.inactive_count res < want_inactive then
+    deactivate_some sys ~count:(want_inactive - Resident.inactive_count res);
+  let freed = ref 0 in
+  let examined = ref 0 in
+  let budget = (2 * Resident.inactive_count res) + 8 in
+  while
+    !freed < wanted && !examined < budget
+    &&
+    match Resident.take_inactive res with
+    | None -> false
+    | Some p ->
+      incr examined;
+      if p.pg_busy || p.pg_wire_count > 0 then
+        (* Should not be queued at all; make it so. *)
+        Resident.enqueue res p Q_none
+      else if is_referenced sys p then begin
+        (* Second chance. *)
+        clear_referenced sys p;
+        Resident.enqueue res p Q_active;
+        sys.Vm_sys.stats.Vm_sys.reactivations <-
+          sys.Vm_sys.stats.Vm_sys.reactivations + 1
+      end
+      else begin
+        (* Remove all mappings first, then wait for every TLB to flush
+           before recycling the frame (Section 5.2, case 2). *)
+        each_frame sys p (fun pfn ->
+            Pmap_domain.remove_all sys.Vm_sys.domain ~pfn ~urgent:false);
+        Machine.tick sys.Vm_sys.machine;
+        if is_modified sys p then clean_page sys p;
+        each_frame sys p (fun pfn ->
+            Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn;
+            Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn);
+        Resident.free_page res p;
+        incr freed
+      end;
+      true
+  do
+    ()
+  done
+
+let install sys =
+  sys.Vm_sys.reclaim <- Some (fun sys ~wanted -> run sys ~wanted)

@@ -1,0 +1,91 @@
+open Mach_hw
+open Mach_pmap
+
+type stats = {
+  mutable faults : int;
+  mutable zero_fills : int;
+  mutable cow_copies : int;
+  mutable pager_reads : int;
+  mutable pageouts : int;
+  mutable reactivations : int;
+  mutable shadows_created : int;
+  mutable collapses : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable fast_reloads : int;
+  mutable rmw_bug_upgrades : int;
+}
+
+type t = {
+  machine : Machine.t;
+  domain : Pmap_domain.t;
+  resident : Resident.t;
+  page_size : int;
+  mutable object_cache : Types.obj list;
+  mutable object_cache_limit : int;
+  mutable cache_enabled : bool;
+  mutable collapse_enabled : bool;
+  mutable pmap_prewarm_on_fork : bool;
+  mutable pager_objects : (int, Types.obj) Hashtbl.t;
+  mutable reclaim : (t -> wanted:int -> unit) option;
+  mutable free_target : int;
+  stats : stats;
+}
+
+exception Out_of_memory
+
+let fresh_stats () =
+  { faults = 0; zero_fills = 0; cow_copies = 0; pager_reads = 0;
+    pageouts = 0; reactivations = 0; shadows_created = 0; collapses = 0;
+    cache_hits = 0; cache_misses = 0; fast_reloads = 0;
+    rmw_bug_upgrades = 0 }
+
+let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
+  let arch = Machine.arch machine in
+  let frame_limit =
+    match arch.Arch.phys_limit with
+    | None -> max_int
+    | Some bytes -> bytes / arch.Arch.hw_page_size
+  in
+  let resident =
+    Resident.create ~phys:(Machine.phys machine) ~multiple:page_multiple
+      ~frame_limit ()
+  in
+  let total = Resident.total_pages resident in
+  {
+    machine;
+    domain;
+    resident;
+    page_size = Resident.page_size resident;
+    object_cache = [];
+    object_cache_limit;
+    cache_enabled = true;
+    collapse_enabled = true;
+    pmap_prewarm_on_fork = false;
+    pager_objects = Hashtbl.create 64;
+    reclaim = None;
+    free_target = max 4 (total / 16);
+    stats = fresh_stats ();
+  }
+
+let current_cpu t = Pmap_domain.current_cpu t.domain
+
+let charge t c = Machine.charge t.machine ~cpu:(current_cpu t) c
+
+let cost t = (Machine.arch t.machine).Arch.cost
+
+let grab_page t =
+  let try_reclaim wanted =
+    match t.reclaim with
+    | None -> ()
+    | Some f -> f t ~wanted
+  in
+  if Resident.free_count t.resident < t.free_target then
+    try_reclaim (t.free_target - Resident.free_count t.resident);
+  match Resident.alloc t.resident with
+  | Some p -> p
+  | None ->
+    try_reclaim 1;
+    (match Resident.alloc t.resident with
+     | Some p -> p
+     | None -> raise Out_of_memory)

@@ -1,0 +1,79 @@
+(** Shared state of one kernel's virtual memory system.
+
+    Everything the Vm_* modules need in common: the machine and pmap
+    domain, the resident page table, the memory-object cache (Section
+    3.3), tunables for the ablation benches (object cache and shadow
+    collapse can be disabled), and machine-independent statistics. *)
+
+type stats = {
+  mutable faults : int;            (** vm_fault invocations *)
+  mutable zero_fills : int;        (** pages zero-filled on demand *)
+  mutable cow_copies : int;        (** pages copied by write faults *)
+  mutable pager_reads : int;       (** pages filled from a pager *)
+  mutable pageouts : int;          (** pages cleaned/evicted by the daemon *)
+  mutable reactivations : int;     (** inactive pages saved by their
+                                       reference bit (second chance) *)
+  mutable shadows_created : int;   (** shadow objects created *)
+  mutable collapses : int;         (** shadow objects collapsed away *)
+  mutable cache_hits : int;        (** memory objects revived from cache *)
+  mutable cache_misses : int;      (** objects (re)built from their pager *)
+  mutable fast_reloads : int;      (** faults resolved purely by re-entering
+                                       a mapping the pmap had dropped *)
+  mutable rmw_bug_upgrades : int;  (** protection faults reported as reads
+                                       by the NS32082 bug and upgraded to
+                                       writes by the kernel workaround *)
+}
+
+type t = {
+  machine : Mach_hw.Machine.t;
+  domain : Mach_pmap.Pmap_domain.t;
+  resident : Resident.t;
+  page_size : int;                 (** machine-independent page size *)
+  mutable object_cache : Types.obj list;
+      (** cached objects, most recently used first (all have [obj_cached]
+          set and reference count 0) *)
+  mutable object_cache_limit : int;
+  mutable cache_enabled : bool;    (** ablation switch for the cache *)
+  mutable collapse_enabled : bool; (** ablation switch for shadow-chain
+                                       collapsing *)
+  mutable pmap_prewarm_on_fork : bool;
+      (** use the optional [pmap_copy] routine (Table 3-4) at fork to
+          pre-load the child's pmap with (write-stripped) copies of the
+          parent's mappings, trading enter work for avoided faults *)
+  mutable pager_objects : (int, Types.obj) Hashtbl.t;
+      (** live or cached object for each pager id, so re-mapping a file
+          finds the existing object *)
+  mutable reclaim : (t -> wanted:int -> unit) option;
+      (** pageout hook, installed by {!Vm_pageout}; called when the free
+          list runs low *)
+  mutable free_target : int;       (** keep at least this many pages free *)
+  stats : stats;
+}
+
+exception Out_of_memory
+(** Raised when a page is needed, the free list is empty, and reclaiming
+    produced nothing. *)
+
+val create :
+  machine:Mach_hw.Machine.t -> domain:Mach_pmap.Pmap_domain.t ->
+  page_multiple:int -> ?object_cache_limit:int -> unit -> t
+(** [create ~machine ~domain ~page_multiple ()] builds the VM state; the
+    machine-independent page size is [page_multiple] hardware pages.  The
+    resident table honours the architecture's physical address limit. *)
+
+val grab_page : t -> Types.page
+(** [grab_page t] allocates a free page, invoking the pageout hook if the
+    free list is low, raising {!Out_of_memory} if nothing can be
+    reclaimed.  The returned page is on no queue and in no object. *)
+
+val charge : t -> int -> unit
+(** [charge t c] adds [c] cycles to the current CPU's clock. *)
+
+val current_cpu : t -> int
+(** CPU executing kernel code, as recorded in the pmap domain. *)
+
+val cost : t -> Mach_hw.Arch.cost
+(** The architecture's cost table. *)
+
+val fresh_stats : unit -> stats
+(** All-zero counters. *)

@@ -1,0 +1,151 @@
+open Mach_hw
+open Types
+
+type statistics = {
+  vs_page_size : int;
+  vs_pages_total : int;
+  vs_pages_free : int;
+  vs_pages_active : int;
+  vs_pages_inactive : int;
+  vs_faults : int;
+  vs_zero_fills : int;
+  vs_cow_copies : int;
+  vs_pager_reads : int;
+  vs_pageouts : int;
+  vs_reactivations : int;
+  vs_object_cache_hits : int;
+  vs_object_cache_misses : int;
+}
+
+let syscall (sys : Vm_sys.t) = Vm_sys.charge sys (Vm_sys.cost sys).Arch.syscall
+
+let allocate sys task ?at ~size ~anywhere () =
+  syscall sys;
+  Vm_map.allocate sys (Task.map task) ?at ~size ~anywhere ()
+
+let allocate_with_pager sys task ~pager ~offset ?at ~size ~anywhere
+    ?(copy = false) () =
+  syscall sys;
+  if offset < 0 || offset mod sys.Vm_sys.page_size <> 0 then
+    Error Kr.Invalid_argument
+  else begin
+    let size = ((size + sys.Vm_sys.page_size - 1) / sys.Vm_sys.page_size)
+               * sys.Vm_sys.page_size
+    in
+    let o = Vm_object.create_with_pager sys pager ~size:(offset + size) in
+    match
+      Vm_map.allocate_object sys (Task.map task) o ~offset ?at ~size
+        ~anywhere ~copy ()
+    with
+    | Ok _ as r -> r
+    | Error _ as e ->
+      Vm_object.deallocate sys o;
+      e
+  end
+
+let deallocate sys task ~addr ~size =
+  syscall sys;
+  Vm_map.deallocate_range sys (Task.map task) ~addr ~size
+
+let protect sys task ~addr ~size ~set_max ~prot =
+  syscall sys;
+  Vm_map.protect sys (Task.map task) ~addr ~size ~set_max ~prot
+
+let inherit_ sys task ~addr ~size inh =
+  syscall sys;
+  Vm_map.set_inheritance sys (Task.map task) ~addr ~size inh
+
+let copy sys task ~src ~dst ~size =
+  syscall sys;
+  let map = Task.map task in
+  match Vm_map.extract_copy sys map ~addr:src ~size with
+  | Error _ as e -> e
+  | Ok c ->
+    (match Vm_map.deallocate_range sys map ~addr:dst ~size with
+     | Error _ as e ->
+       Vm_map.discard_copy sys c;
+       e
+     | Ok () ->
+       (match Vm_map.insert_copy sys map c ~at:dst () with
+        | Ok _ -> Ok ()
+        | Error _ as e ->
+          Vm_map.discard_copy sys c;
+          e))
+
+(* Kernel-mode data movement between a task's space and a buffer: fault
+   each page in, then copy through physical memory, charging move cost. *)
+let move sys task ~addr ~len ~f =
+  let phys = Machine.phys sys.Vm_sys.machine in
+  let hw = Phys_mem.page_size phys in
+  let ps = sys.Vm_sys.page_size in
+  let write = (match f with `Into_task _ -> true | `Out_of_task _ -> false) in
+  let rec loop addr done_ =
+    if done_ >= len then Ok ()
+    else begin
+      match Vm_fault.fault sys (Task.map task) ~va:addr ~write with
+      | Error _ as e -> e
+      | Ok page ->
+        let in_page = ps - (addr mod ps) in
+        let run = min in_page (len - done_) in
+        (* Copy [run] bytes spanning hardware frames of this page. *)
+        let rec frames off n =
+          if n > 0 then begin
+            let frame = page.pfn + (off / hw) in
+            let foff = off mod hw in
+            let chunk = min n (hw - foff) in
+            let bufpos = done_ + (off - (addr mod ps)) in
+            (match f with
+             | `Out_of_task buf ->
+               Bytes.blit
+                 (Phys_mem.read phys frame ~offset:foff ~len:chunk)
+                 0 buf bufpos chunk
+             | `Into_task buf ->
+               Phys_mem.write phys frame ~offset:foff
+                 (Bytes.sub buf bufpos chunk));
+            frames (off + chunk) (n - chunk)
+          end
+        in
+        frames (addr mod ps) run;
+        Vm_sys.charge sys
+          (((run + 15) / 16) * (Vm_sys.cost sys).Arch.move_16b);
+        loop (addr + run) (done_ + run)
+    end
+  in
+  loop addr 0
+
+let read sys task ~addr ~size =
+  syscall sys;
+  if size < 0 then Error Kr.Invalid_argument
+  else begin
+    let buf = Bytes.create size in
+    match move sys task ~addr ~len:size ~f:(`Out_of_task buf) with
+    | Ok () -> Ok buf
+    | Error _ as e -> e
+  end
+
+let write sys task ~addr ~data =
+  syscall sys;
+  move sys task ~addr ~len:(Bytes.length data) ~f:(`Into_task data)
+
+let regions sys task =
+  syscall sys;
+  Vm_map.regions (Task.map task)
+
+let statistics (sys : Vm_sys.t) =
+  let res = sys.Vm_sys.resident in
+  let s = sys.Vm_sys.stats in
+  {
+    vs_page_size = sys.Vm_sys.page_size;
+    vs_pages_total = Resident.total_pages res;
+    vs_pages_free = Resident.free_count res;
+    vs_pages_active = Resident.active_count res;
+    vs_pages_inactive = Resident.inactive_count res;
+    vs_faults = s.Vm_sys.faults;
+    vs_zero_fills = s.Vm_sys.zero_fills;
+    vs_cow_copies = s.Vm_sys.cow_copies;
+    vs_pager_reads = s.Vm_sys.pager_reads;
+    vs_pageouts = s.Vm_sys.pageouts;
+    vs_reactivations = s.Vm_sys.reactivations;
+    vs_object_cache_hits = s.Vm_sys.cache_hits;
+    vs_object_cache_misses = s.Vm_sys.cache_misses;
+  }

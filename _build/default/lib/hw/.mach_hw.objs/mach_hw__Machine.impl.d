@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Arch Array Bytes List Phys_mem Prot Queue Tlb Translator

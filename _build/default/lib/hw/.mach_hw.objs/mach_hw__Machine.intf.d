@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Arch Bytes Phys_mem Tlb Translator

@@ -1,0 +1,328 @@
+type fault = {
+  fault_va : int;
+  fault_write : bool;
+  fault_kind : [ `Invalid | `Protection ];
+}
+
+exception Memory_violation of { va : int; write : bool; reason : string }
+exception Unresolved_fault of fault
+
+type shootdown_strategy = Immediate_ipi | Deferred_timer | Lazy_local
+
+type flush_request =
+  | Flush_page of { asid : int; vpn : int }
+  | Flush_asid of int
+  | Flush_all
+
+type stats = {
+  mutable faults : int;
+  mutable ipis : int;
+  mutable shootdowns : int;
+  mutable deferred_flushes : int;
+  mutable stale_tlb_uses : int;
+  mutable disk_ops : int;
+  mutable disk_bytes : int;
+}
+
+type cpu = {
+  id : int;
+  tlb : Tlb.t;
+  mutable translator : Translator.t option;
+  mutable clock : int;
+  pending : flush_request Queue.t;
+}
+
+type t = {
+  arch : Arch.t;
+  phys : Phys_mem.t;
+  cpus : cpu array;
+  mutable shootdown_mode : shootdown_strategy;
+  tick_interval : int;
+  stats : stats;
+  mutable fault_handler : (cpu:int -> fault -> unit) option;
+  mutable on_translated : (pfn:int -> write:bool -> unit) option;
+}
+
+let fresh_stats () =
+  { faults = 0; ipis = 0; shootdowns = 0; deferred_flushes = 0;
+    stale_tlb_uses = 0; disk_ops = 0; disk_bytes = 0 }
+
+let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
+    ?(shootdown = Immediate_ipi) ?(tick_interval_ms = 10) () =
+  if cpus < 1 then invalid_arg "Machine.create: need at least one CPU";
+  let phys =
+    Phys_mem.create ~page_size:arch.Arch.hw_page_size ~frames:memory_frames
+      ~holes ()
+  in
+  let mk_cpu id =
+    { id; tlb = Tlb.create ~capacity:arch.Arch.tlb_entries;
+      translator = None; clock = 0; pending = Queue.create () }
+  in
+  { arch; phys; cpus = Array.init cpus mk_cpu;
+    shootdown_mode = shootdown;
+    tick_interval = tick_interval_ms * arch.Arch.cycles_per_ms;
+    stats = fresh_stats (); fault_handler = None; on_translated = None }
+
+let arch t = t.arch
+let phys t = t.phys
+let cpu_count t = Array.length t.cpus
+let stats t = t.stats
+
+let shootdown_strategy t = t.shootdown_mode
+let set_shootdown_strategy t s = t.shootdown_mode <- s
+
+let set_fault_handler t h = t.fault_handler <- Some h
+let set_on_translated t f = t.on_translated <- Some f
+
+let cpu_of t id =
+  if id < 0 || id >= Array.length t.cpus then
+    invalid_arg "Machine: bad CPU id";
+  t.cpus.(id)
+
+let charge t ~cpu c = (cpu_of t cpu).clock <- (cpu_of t cpu).clock + c
+
+let cycles t ~cpu = (cpu_of t cpu).clock
+
+let max_cycles t =
+  Array.fold_left (fun acc c -> max acc c.clock) 0 t.cpus
+
+let elapsed_ms t = Arch.cycles_to_ms t.arch (max_cycles t)
+
+let reset_clocks t =
+  Array.iter (fun c -> c.clock <- 0) t.cpus;
+  let s = t.stats in
+  s.faults <- 0; s.ipis <- 0; s.shootdowns <- 0; s.deferred_flushes <- 0;
+  s.stale_tlb_uses <- 0; s.disk_ops <- 0; s.disk_bytes <- 0
+
+let charge_disk t ~cpu ~bytes =
+  let cost = t.arch.Arch.cost in
+  let kb = (bytes + 1023) / 1024 in
+  charge t ~cpu (cost.Arch.disk_latency + (kb * cost.Arch.disk_per_kb));
+  t.stats.disk_ops <- t.stats.disk_ops + 1;
+  t.stats.disk_bytes <- t.stats.disk_bytes + bytes
+
+(* --- TLB maintenance ------------------------------------------------- *)
+
+let apply_flush c = function
+  | Flush_page { asid; vpn } -> Tlb.invalidate_page c.tlb ~asid ~vpn
+  | Flush_asid asid -> Tlb.invalidate_asid c.tlb ~asid
+  | Flush_all -> Tlb.invalidate_all c.tlb
+
+let flush_local t ~cpu req =
+  let c = cpu_of t cpu in
+  apply_flush c req;
+  charge t ~cpu t.arch.Arch.cost.Arch.tlb_flush
+
+let drain_pending t c =
+  if not (Queue.is_empty c.pending) then begin
+    Queue.iter (fun req -> apply_flush c req) c.pending;
+    t.stats.deferred_flushes <- t.stats.deferred_flushes + Queue.length c.pending;
+    Queue.clear c.pending;
+    c.clock <- c.clock + t.arch.Arch.cost.Arch.tlb_flush
+  end
+
+let tick t = Array.iter (fun c -> drain_pending t c) t.cpus
+
+let pending_flushes t ~cpu = Queue.length (cpu_of t cpu).pending
+
+let shootdown t ~initiator ~targets req ~urgent =
+  t.stats.shootdowns <- t.stats.shootdowns + 1;
+  flush_local t ~cpu:initiator req;
+  let remote = List.filter (fun id -> id <> initiator) targets in
+  if remote = [] then ()
+  else if urgent || t.shootdown_mode = Immediate_ipi then
+    List.iter
+      (fun id ->
+         let target = cpu_of t id in
+         t.stats.ipis <- t.stats.ipis + 1;
+         (* The initiator spins until the target acknowledges; both sides
+            pay for the interrupt. *)
+         charge t ~cpu:initiator t.arch.Arch.cost.Arch.ipi;
+         target.clock <- target.clock + t.arch.Arch.cost.Arch.ipi;
+         apply_flush target req;
+         target.clock <- target.clock + t.arch.Arch.cost.Arch.tlb_flush)
+      remote
+  else begin
+    List.iter (fun id -> Queue.add req (cpu_of t id).pending) remote;
+    match t.shootdown_mode with
+    | Deferred_timer ->
+      (* Case 2: the initiator may not use the changed mapping until every
+         CPU has taken a timer interrupt, so it waits out the rest of the
+         current tick period, after which all pending flushes land. *)
+      let c = cpu_of t initiator in
+      let remainder = t.tick_interval - (c.clock mod t.tick_interval) in
+      c.clock <- c.clock + remainder;
+      tick t
+    | Lazy_local -> ()
+    | Immediate_ipi -> assert false
+  end
+
+(* --- Translation and access ------------------------------------------ *)
+
+let stale_hit c ~asid ~vpn =
+  Queue.fold
+    (fun acc req ->
+       acc
+       ||
+       match req with
+       | Flush_page p -> p.asid = asid && p.vpn = vpn
+       | Flush_asid a -> a = asid
+       | Flush_all -> true)
+    false c.pending
+
+let set_translator t ~cpu tr =
+  let c = cpu_of t cpu in
+  let changed =
+    match c.translator, tr with
+    | None, None -> false
+    | Some a, Some b -> a.Translator.asid <> b.Translator.asid
+    | None, Some _ | Some _, None -> true
+  in
+  if changed then charge t ~cpu t.arch.Arch.cost.Arch.context_switch;
+  c.translator <- tr
+
+let active_asid t ~cpu =
+  match (cpu_of t cpu).translator with
+  | None -> None
+  | Some tr -> Some tr.Translator.asid
+
+let tlb_fill t ~cpu e = Tlb.insert (cpu_of t cpu).tlb e
+
+let deliver_fault t ~cpu f =
+  t.stats.faults <- t.stats.faults + 1;
+  charge t ~cpu t.arch.Arch.cost.Arch.fault_overhead;
+  match t.fault_handler with
+  | None ->
+    raise (Memory_violation
+             { va = f.fault_va; write = f.fault_write;
+               reason = "no fault handler installed" })
+  | Some h -> h ~cpu f
+
+(* The NS32082 reports a write access that faults on a read-only page as a
+   read fault (Section 5.1); the kernel has to recognise and repair this. *)
+let reported_write t ~write ~kind =
+  match kind with
+  | `Protection when write && t.arch.Arch.reports_rmw_as_read -> false
+  | `Protection | `Invalid -> write
+
+let translate t ~cpu ~va ~write =
+  if va < 0 then
+    raise (Memory_violation { va; write; reason = "negative address" });
+  let c = cpu_of t cpu in
+  let cost = t.arch.Arch.cost in
+  let vpn = va / t.arch.Arch.hw_page_size in
+  let fault kind =
+    { fault_va = va;
+      fault_write = reported_write t ~write ~kind;
+      fault_kind = kind }
+  in
+  let rec attempt retries =
+    if retries > 16 then raise (Unresolved_fault (fault `Invalid));
+    let cached =
+      match c.translator with
+      | None -> None
+      | Some tr ->
+        if Tlb.capacity c.tlb = 0 then None
+        else Tlb.lookup c.tlb ~asid:tr.Translator.asid ~vpn
+    in
+    match cached, c.translator with
+    | _, None ->
+      raise (Memory_violation { va; write; reason = "no address space" })
+    | Some e, Some tr ->
+      if Prot.allows e.Tlb.prot ~write then begin
+        if stale_hit c ~asid:tr.Translator.asid ~vpn then
+          t.stats.stale_tlb_uses <- t.stats.stale_tlb_uses + 1;
+        charge t ~cpu cost.Arch.mem_op;
+        (match t.on_translated with
+         | None -> ()
+         | Some f -> f ~pfn:e.Tlb.pfn ~write);
+        e.Tlb.pfn
+      end
+      else begin
+        (* Protection faults drop the stale entry before trapping. *)
+        Tlb.invalidate_page c.tlb ~asid:tr.Translator.asid ~vpn;
+        deliver_fault t ~cpu (fault `Protection);
+        attempt (retries + 1)
+      end
+    | None, Some tr ->
+      charge t ~cpu tr.Translator.walk_cost;
+      (match tr.Translator.lookup vpn with
+       | Translator.Mapped { pfn; prot } ->
+         if Tlb.capacity c.tlb > 0 then
+           Tlb.insert c.tlb
+             { Tlb.asid = tr.Translator.asid; vpn; pfn; prot };
+         if Prot.allows prot ~write then begin
+           charge t ~cpu cost.Arch.mem_op;
+           (match t.on_translated with
+            | None -> ()
+            | Some f -> f ~pfn ~write);
+           pfn
+         end
+         else begin
+           deliver_fault t ~cpu (fault `Protection);
+           attempt (retries + 1)
+         end
+       | Translator.Missing ->
+         deliver_fault t ~cpu (fault `Invalid);
+         attempt (retries + 1))
+  in
+  attempt 0
+
+let move_cost t len =
+  let cost = t.arch.Arch.cost in
+  ((len + 15) / 16) * cost.Arch.move_16b
+
+(* Split [va, va+len) into per-page runs and apply [f va offset_in_buffer
+   run_len]. *)
+let iter_page_runs t ~va ~len f =
+  let page = t.arch.Arch.hw_page_size in
+  let rec loop va done_ =
+    if done_ < len then begin
+      let in_page = page - (va mod page) in
+      let run = min in_page (len - done_) in
+      f va done_ run;
+      loop (va + run) (done_ + run)
+    end
+  in
+  if len < 0 then invalid_arg "Machine: negative length";
+  loop va 0
+
+let read t ~cpu ~va ~len =
+  let buf = Bytes.create len in
+  iter_page_runs t ~va ~len (fun va off run ->
+      let pfn = translate t ~cpu ~va ~write:false in
+      let page = t.arch.Arch.hw_page_size in
+      let data = Phys_mem.read t.phys pfn ~offset:(va mod page) ~len:run in
+      Bytes.blit data 0 buf off run;
+      charge t ~cpu (move_cost t run));
+  buf
+
+let write t ~cpu ~va data =
+  let len = Bytes.length data in
+  iter_page_runs t ~va ~len (fun va off run ->
+      let pfn = translate t ~cpu ~va ~write:true in
+      let page = t.arch.Arch.hw_page_size in
+      Phys_mem.write t.phys pfn ~offset:(va mod page)
+        (Bytes.sub data off run);
+      charge t ~cpu (move_cost t run))
+
+let read_byte t ~cpu ~va =
+  let pfn = translate t ~cpu ~va ~write:false in
+  Phys_mem.read_byte t.phys pfn ~offset:(va mod t.arch.Arch.hw_page_size)
+
+let write_byte t ~cpu ~va ch =
+  let pfn = translate t ~cpu ~va ~write:true in
+  Phys_mem.write_byte t.phys pfn ~offset:(va mod t.arch.Arch.hw_page_size) ch
+
+let touch t ~cpu ~va ~write =
+  if write then begin
+    let current = read_byte t ~cpu ~va in
+    write_byte t ~cpu ~va current
+  end
+  else ignore (read_byte t ~cpu ~va)
+
+let tlb_hits t =
+  Array.fold_left (fun acc c -> acc + Tlb.hits c.tlb) 0 t.cpus
+
+let tlb_misses t =
+  Array.fold_left (fun acc c -> acc + Tlb.misses c.tlb) 0 t.cpus

@@ -1,0 +1,176 @@
+(** The simulated machine: CPUs, TLBs, physical memory and a cycle clock.
+
+    Every memory access made by simulated software goes through a CPU's TLB
+    and, on a miss, the active pmap's hardware translation walk; untranslated
+    or under-privileged accesses trap to the kernel's fault handler, exactly
+    the control flow the paper's VM system is built on.  Each CPU has its own
+    cycle clock; total simulated time is the maximum over CPUs.
+
+    TLB consistency is software's problem (none of the paper's
+    multiprocessors could touch a remote TLB, Section 5.2), so the machine
+    implements the paper's three strategies for propagating mapping changes:
+    forcible interrupts, postponing until every CPU has taken a timer
+    interrupt, and tolerated temporary inconsistency. *)
+
+type t
+(** A machine. *)
+
+type fault = {
+  fault_va : int;      (** faulting virtual address *)
+  fault_write : bool;  (** whether hardware *reported* a write access; on
+                           the NS32082 a read-modify-write access is
+                           erroneously reported as a read (Section 5.1) *)
+  fault_kind : [ `Invalid | `Protection ];
+}
+(** What the kernel's fault handler receives. *)
+
+exception Memory_violation of { va : int; write : bool; reason : string }
+(** Raised out of an access when the kernel's fault handler rejects it
+    (e.g. access outside the task's address space or beyond its current
+    protection). *)
+
+exception Unresolved_fault of fault
+(** Raised when a fault persists after the handler claims to have resolved
+    it repeatedly; indicates a kernel bug, never user error. *)
+
+type shootdown_strategy =
+  | Immediate_ipi
+      (** Case 1 of Section 5.2: forcibly interrupt every CPU that may hold
+          the mapping so its TLB is flushed before the change is used. *)
+  | Deferred_timer
+      (** Case 2: queue the flush and have the initiator wait until all
+          CPUs have taken a timer interrupt (and hence flushed). *)
+  | Lazy_local
+      (** Case 3: flush only the initiating CPU and tolerate temporary
+          inconsistency; remote CPUs flush at their next timer tick. *)
+
+type flush_request =
+  | Flush_page of { asid : int; vpn : int }  (** one translation *)
+  | Flush_asid of int                        (** one address space *)
+  | Flush_all                                (** the whole TLB *)
+
+type stats = {
+  mutable faults : int;           (** faults delivered to the kernel *)
+  mutable ipis : int;             (** cross-CPU interrupts sent *)
+  mutable shootdowns : int;       (** shootdown operations initiated *)
+  mutable deferred_flushes : int; (** flushes executed at timer ticks *)
+  mutable stale_tlb_uses : int;   (** TLB hits on entries with a pending
+                                      invalidation (Lazy_local windows) *)
+  mutable disk_ops : int;
+  mutable disk_bytes : int;
+}
+
+val create :
+  arch:Arch.t -> memory_frames:int -> ?holes:(int * int) list ->
+  ?cpus:int -> ?shootdown:shootdown_strategy -> ?tick_interval_ms:int ->
+  unit -> t
+(** [create ~arch ~memory_frames ()] builds a machine with
+    [memory_frames] hardware page frames and [cpus] processors (default 1).
+    [holes] marks absent physical frame ranges (SUN 3 display memory).
+    [tick_interval_ms] is the timer-interrupt period used by the deferred
+    shootdown strategy (default 10 ms). *)
+
+val arch : t -> Arch.t
+val phys : t -> Phys_mem.t
+val cpu_count : t -> int
+val stats : t -> stats
+
+val shootdown_strategy : t -> shootdown_strategy
+val set_shootdown_strategy : t -> shootdown_strategy -> unit
+
+val set_fault_handler : t -> (cpu:int -> fault -> unit) -> unit
+(** [set_fault_handler t h] installs the kernel's page-fault handler.  [h]
+    must either repair the mapping (after which the access is retried) or
+    raise [Memory_violation]. *)
+
+val set_on_translated : t -> (pfn:int -> write:bool -> unit) -> unit
+(** [set_on_translated t f] installs the hook the pmap layer uses to
+    maintain per-frame reference and modify bits: [f] is called for every
+    successful user access with the frame touched. *)
+
+(** {1 Clocks} *)
+
+val charge : t -> cpu:int -> int -> unit
+(** [charge t ~cpu c] advances CPU [cpu]'s clock by [c] cycles. *)
+
+val cycles : t -> cpu:int -> int
+(** [cycles t ~cpu] is that CPU's clock. *)
+
+val max_cycles : t -> int
+(** [max_cycles t] is the largest CPU clock: elapsed simulated time. *)
+
+val elapsed_ms : t -> float
+(** [elapsed_ms t] is [max_cycles] converted via the architecture's clock
+    rate. *)
+
+val reset_clocks : t -> unit
+(** [reset_clocks t] zeroes every CPU clock and the statistics; benchmarks
+    call this between measurements. *)
+
+val charge_disk : t -> cpu:int -> bytes:int -> unit
+(** [charge_disk t ~cpu ~bytes] accounts one disk operation moving [bytes]
+    bytes (latency plus per-KB transfer cost). *)
+
+(** {1 Address translation and access} *)
+
+val set_translator : t -> cpu:int -> Translator.t option -> unit
+(** [set_translator t ~cpu tr] makes [tr] the active hardware map source on
+    [cpu]; called by [pmap_activate]/[pmap_deactivate].  Charges a context
+    switch when the translator changes. *)
+
+val active_asid : t -> cpu:int -> int option
+(** [active_asid t ~cpu] is the asid of the active translator, if any. *)
+
+val translate : t -> cpu:int -> va:int -> write:bool -> int
+(** [translate t ~cpu ~va ~write] resolves [va] to a physical frame number,
+    faulting to the kernel as needed.  Raises [Memory_violation] if the
+    kernel rejects the access. *)
+
+val read : t -> cpu:int -> va:int -> len:int -> Bytes.t
+(** [read t ~cpu ~va ~len] performs a user-mode read of [len] bytes at
+    [va], faulting pages in as needed, and returns the data. *)
+
+val write : t -> cpu:int -> va:int -> Bytes.t -> unit
+(** [write t ~cpu ~va data] performs a user-mode write of [data] at
+    [va]. *)
+
+val read_byte : t -> cpu:int -> va:int -> char
+val write_byte : t -> cpu:int -> va:int -> char -> unit
+
+val touch : t -> cpu:int -> va:int -> write:bool -> unit
+(** [touch t ~cpu ~va ~write] performs a one-byte access, the canonical way
+    workloads fault a page in. *)
+
+(** {1 TLB maintenance} *)
+
+val tlb_fill : t -> cpu:int -> Tlb.entry -> unit
+(** [tlb_fill t ~cpu e] loads a translation directly into a CPU's TLB; used
+    by TLB-only architectures whose kernel reloads the TLB in the fault
+    handler. *)
+
+val flush_local : t -> cpu:int -> flush_request -> unit
+(** [flush_local t ~cpu req] applies [req] to [cpu]'s TLB immediately,
+    charging the flush cost. *)
+
+val shootdown : t -> initiator:int -> targets:int list ->
+  flush_request -> urgent:bool -> unit
+(** [shootdown t ~initiator ~targets req ~urgent] propagates a mapping
+    change.  The initiator's own TLB is always flushed immediately.
+    [urgent] changes are propagated with IPIs regardless of strategy (the
+    paper's case 1: "time critical and must be propagated at all costs");
+    otherwise the machine's configured strategy applies. *)
+
+val tick : t -> unit
+(** [tick t] delivers a timer interrupt to every CPU: pending deferred
+    flushes are applied (and charged).  Workloads call this periodically;
+    the deferred strategy also waits on it internally. *)
+
+val pending_flushes : t -> cpu:int -> int
+(** [pending_flushes t ~cpu] is the number of queued, not-yet-applied
+    flush requests on [cpu]; used by tests. *)
+
+val tlb_hits : t -> int
+(** Total TLB hits across CPUs. *)
+
+val tlb_misses : t -> int
+(** Total TLB misses across CPUs. *)

@@ -1,0 +1,60 @@
+(** Simulated physical memory.
+
+    Physical memory is an array of hardware page frames, each holding real
+    byte contents, so that copy-on-write, zero fill and pager backing can be
+    verified for data correctness and not just for cost counters.
+
+    Frames can be declared *absent* to model machines like the SUN 3 whose
+    physical address space has large holes (display memory addressable as
+    high physical memory, Section 5.1); absent frames exist as addresses but
+    have no storage and must never be allocated. *)
+
+type t
+(** A physical memory. *)
+
+type frame = int
+(** A physical frame number (pfn). *)
+
+val create : page_size:int -> frames:int -> ?holes:(frame * frame) list -> unit -> t
+(** [create ~page_size ~frames ~holes ()] is a memory of [frames] frames of
+    [page_size] bytes.  Each [(lo, hi)] in [holes] marks frames [lo..hi]
+    inclusive as absent.  [page_size] must be a power of two. *)
+
+val page_size : t -> int
+(** [page_size t] is the hardware page size in bytes. *)
+
+val frame_count : t -> int
+(** [frame_count t] is the number of frame numbers, including absent
+    ones. *)
+
+val frame_exists : t -> frame -> bool
+(** [frame_exists t f] is [true] iff [f] is in range and backed by
+    storage. *)
+
+val present_frames : t -> frame list
+(** [present_frames t] lists the frames backed by storage, ascending. *)
+
+val read : t -> frame -> offset:int -> len:int -> Bytes.t
+(** [read t f ~offset ~len] copies [len] bytes out of frame [f] starting at
+    [offset].  The range must lie within the frame. *)
+
+val write : t -> frame -> offset:int -> Bytes.t -> unit
+(** [write t f ~offset data] copies [data] into frame [f] at [offset]. *)
+
+val read_byte : t -> frame -> offset:int -> char
+(** [read_byte t f ~offset] is the byte at [offset] in frame [f]. *)
+
+val write_byte : t -> frame -> offset:int -> char -> unit
+(** [write_byte t f ~offset c] stores [c] at [offset] in frame [f]. *)
+
+val zero_frame : t -> frame -> unit
+(** [zero_frame t f] fills frame [f] with zero bytes (the hardware
+    [pmap_zero_page] operation of Table 3-3). *)
+
+val copy_frame : t -> src:frame -> dst:frame -> unit
+(** [copy_frame t ~src ~dst] copies the contents of [src] into [dst] (the
+    hardware [pmap_copy_page] operation of Table 3-3). *)
+
+val frame_equal : t -> frame -> frame -> bool
+(** [frame_equal t a b] is [true] iff frames [a] and [b] hold identical
+    bytes; used by tests. *)

@@ -1,0 +1,71 @@
+type entry = { asid : int; vpn : int; pfn : int; prot : Prot.t }
+
+(* Fully-associative with FIFO replacement.  Capacities are tiny (tens of
+   entries), so a linear scan over a Queue mirror is adequate and keeps the
+   replacement order explicit. *)
+type t = {
+  capacity : int;
+  table : (int * int, entry) Hashtbl.t;
+  order : (int * int) Queue.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Tlb.create: negative capacity";
+  { capacity; table = Hashtbl.create 64; order = Queue.create ();
+    hits = 0; misses = 0 }
+
+let capacity t = t.capacity
+
+let lookup t ~asid ~vpn =
+  match Hashtbl.find_opt t.table (asid, vpn) with
+  | Some e -> t.hits <- t.hits + 1; Some e
+  | None -> t.misses <- t.misses + 1; None
+
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some key ->
+    (* The queue may hold stale keys for entries already invalidated;
+       skip them and evict the first live one. *)
+    if Hashtbl.mem t.table key then Hashtbl.remove t.table key
+    else evict_one t
+
+let insert t e =
+  if t.capacity = 0 then ()
+  else begin
+    let key = (e.asid, e.vpn) in
+    if not (Hashtbl.mem t.table key) then begin
+      if Hashtbl.length t.table >= t.capacity then evict_one t;
+      Queue.add key t.order
+    end;
+    Hashtbl.replace t.table key e
+  end
+
+let invalidate_page t ~asid ~vpn = Hashtbl.remove t.table (asid, vpn)
+
+let invalidate_asid t ~asid =
+  let doomed =
+    Hashtbl.fold
+      (fun (a, v) _ acc -> if a = asid then (a, v) :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed
+
+let invalidate_all t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let entries t =
+  Queue.fold
+    (fun acc key ->
+       match Hashtbl.find_opt t.table key with
+       | Some e -> e :: acc
+       | None -> acc)
+    [] t.order
+  |> List.rev

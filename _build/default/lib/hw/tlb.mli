@@ -1,0 +1,49 @@
+(** Per-CPU translation lookaside buffer.
+
+    A small fully-associative cache of (asid, virtual page) to (frame,
+    protection) mappings with FIFO replacement.  None of the
+    multiprocessors the paper ran on kept TLBs consistent in hardware
+    (Section 5.2), so invalidation is entirely software-driven: the pmap
+    layer calls the flush operations below, possibly on remote CPUs via the
+    machine's shootdown mechanism. *)
+
+type t
+(** One CPU's TLB. *)
+
+type entry = { asid : int; vpn : int; pfn : int; prot : Prot.t }
+(** A cached translation. *)
+
+val create : capacity:int -> t
+(** [create ~capacity] is an empty TLB holding at most [capacity] entries.
+    A capacity of 0 means the machine has no TLB (every access walks the
+    hardware maps, as on the SUN 3). *)
+
+val capacity : t -> int
+(** [capacity t] is the entry budget given at creation. *)
+
+val lookup : t -> asid:int -> vpn:int -> entry option
+(** [lookup t ~asid ~vpn] is the cached translation, if present.  Updates
+    hit/miss statistics. *)
+
+val insert : t -> entry -> unit
+(** [insert t e] caches [e], evicting the oldest entry when full and
+    replacing any existing entry for the same (asid, vpn). *)
+
+val invalidate_page : t -> asid:int -> vpn:int -> unit
+(** [invalidate_page t ~asid ~vpn] drops the entry for one page, if
+    cached. *)
+
+val invalidate_asid : t -> asid:int -> unit
+(** [invalidate_asid t ~asid] drops every entry of one address space. *)
+
+val invalidate_all : t -> unit
+(** [invalidate_all t] empties the TLB. *)
+
+val hits : t -> int
+(** Number of successful lookups so far. *)
+
+val misses : t -> int
+(** Number of failed lookups so far. *)
+
+val entries : t -> entry list
+(** Current contents, oldest first; used by tests. *)

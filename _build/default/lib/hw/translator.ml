@@ -1,0 +1,5 @@
+type outcome = Mapped of { pfn : int; prot : Prot.t } | Missing
+
+type t = { asid : int; lookup : int -> outcome; walk_cost : int }
+
+let never ~asid = { asid; lookup = (fun _ -> Missing); walk_cost = 0 }

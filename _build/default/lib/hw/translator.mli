@@ -1,0 +1,29 @@
+(** The hardware translation interface between the machine and a pmap.
+
+    A CPU translates a virtual page number by consulting its TLB and, on a
+    miss, walking whatever hardware-defined structure the active pmap
+    maintains.  The machine knows nothing about those structures: it sees
+    only this record, provided by the pmap layer when a pmap is activated
+    on a CPU ([pmap_activate], Table 3-3).  This is the simulated analogue
+    of the MMU's table-walk hardware. *)
+
+type outcome =
+  | Mapped of { pfn : int; prot : Prot.t }
+      (** A valid translation with its hardware permissions. *)
+  | Missing
+      (** No translation; the access must fault to the kernel. *)
+
+type t = {
+  asid : int;
+      (** Address-space identifier; unique per pmap, keys TLB entries. *)
+  lookup : int -> outcome;
+      (** [lookup vpn] walks the hardware structure for virtual page
+          [vpn]. *)
+  walk_cost : int;
+      (** Cycles charged for one walk (0 for MMUs whose mapping RAM is the
+          translation path itself, as on the SUN 3). *)
+}
+
+val never : asid:int -> t
+(** [never ~asid] is a translator with no valid mappings (used by TLB-only
+    machines, where every miss traps to software). *)

@@ -1,0 +1,1 @@
+lib/ipc/ipc.ml: Arch Bytes Kr List Mach_core Mach_hw Queue Task Vm_map Vm_sys

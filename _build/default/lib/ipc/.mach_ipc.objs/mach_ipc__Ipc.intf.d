@@ -1,0 +1,1 @@
+lib/ipc/ipc.mli: Bytes Mach_core

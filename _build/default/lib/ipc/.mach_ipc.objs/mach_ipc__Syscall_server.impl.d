@@ -1,0 +1,1 @@
+lib/ipc/syscall_server.ml: Hashtbl Inheritance Ipc Kernel Kr Kthread List Mach_core Mach_hw Mach_pmap Printf Prot Task Vm_map Vm_sys Vm_user

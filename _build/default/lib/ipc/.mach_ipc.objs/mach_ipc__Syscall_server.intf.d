@@ -1,0 +1,1 @@
+lib/ipc/syscall_server.mli: Ipc Mach_core Mach_hw

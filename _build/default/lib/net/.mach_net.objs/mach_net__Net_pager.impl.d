@@ -1,0 +1,1 @@
+lib/net/net_pager.ml: Bytes Hashtbl Kr Mach_core Mach_pagers Netlink Printf Simfs Types Vm_sys Vm_user Vnode_pager

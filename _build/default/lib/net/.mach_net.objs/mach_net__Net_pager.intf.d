@@ -1,0 +1,1 @@
+lib/net/net_pager.mli: Bytes Mach_core Mach_pagers Netlink

@@ -1,0 +1,1 @@
+lib/net/netlink.ml: Arch Array Mach_hw Machine

@@ -1,0 +1,1 @@
+lib/net/netlink.mli: Mach_hw

@@ -1,0 +1,88 @@
+open Mach_core
+open Mach_pagers
+open Types
+
+type server = {
+  srv_link : Netlink.t;
+  srv_node : int;
+  srv_sys : Vm_sys.t;
+  srv_fs : Simfs.t;
+  srv_id : int;
+}
+
+let next_server_id = ref 0
+
+let serve link ~node sys fs =
+  incr next_server_id;
+  { srv_link = link; srv_node = node; srv_sys = sys; srv_fs = fs;
+    srv_id = !next_server_id }
+
+(* Memoized per (client node, server, file): repeated imports reach the
+   same pager and hence the same client-side memory object. *)
+let imports : (int * int * string, pager) Hashtbl.t = Hashtbl.create 32
+
+let remote_size srv ~name = Simfs.file_size srv.srv_fs ~name
+
+(* Serve a read on the server node, through its page cache. *)
+let server_read srv ~name ~offset ~len =
+  Vnode_pager.read_through_object srv.srv_sys srv.srv_fs ~name ~offset ~len
+
+let make_pager link ~node (client_sys : Vm_sys.t) srv ~name =
+  let id = fresh_pager_id () in
+  let client_cpu () = Vm_sys.current_cpu client_sys in
+  let server_cpu = 0 in
+  {
+    pgr_id = id;
+    pgr_name = Printf.sprintf "net:%d:%s" srv.srv_node name;
+    pgr_request =
+      (fun ~offset ~length ->
+         let size = remote_size srv ~name in
+         if offset >= size then Data_unavailable
+         else begin
+           let len = min length (size - offset) in
+           let data =
+             Netlink.rpc link ~from_node:node ~from_cpu:(client_cpu ())
+               ~to_node:srv.srv_node ~to_cpu:server_cpu ~request_bytes:64
+               ~reply_bytes:len
+               (fun () -> server_read srv ~name ~offset ~len)
+           in
+           Data_provided data
+         end);
+    pgr_write =
+      (fun ~offset ~data ->
+         Netlink.rpc link ~from_node:node ~from_cpu:(client_cpu ())
+           ~to_node:srv.srv_node ~to_cpu:server_cpu
+           ~request_bytes:(64 + Bytes.length data) ~reply_bytes:32
+           (fun () ->
+              Simfs.write srv.srv_fs ~cpu:server_cpu ~name ~offset ~data));
+    pgr_should_cache = ref true;
+  }
+
+let import link ~node client_sys srv ~name =
+  if not (Simfs.exists srv.srv_fs ~name) then raise Not_found;
+  let key = (node, srv.srv_id, name) in
+  match Hashtbl.find_opt imports key with
+  | Some p -> p
+  | None ->
+    let p = make_pager link ~node client_sys srv ~name in
+    Hashtbl.add imports key p;
+    p
+
+let map_remote link ~node client_sys task srv ~name ?(copy = false) () =
+  match import link ~node client_sys srv ~name with
+  | exception Not_found -> Error Kr.Invalid_argument
+  | pager ->
+    let size = remote_size srv ~name in
+    (match
+       Vm_user.allocate_with_pager client_sys task ~pager ~offset:0 ~size
+         ~anywhere:true ~copy ()
+     with
+     | Ok addr -> Ok (addr, size)
+     | Error _ as e -> e)
+
+let fetch_whole link ~node client_sys srv ~name =
+  let size = remote_size srv ~name in
+  Netlink.rpc link ~from_node:node
+    ~from_cpu:(Vm_sys.current_cpu client_sys) ~to_node:srv.srv_node
+    ~to_cpu:0 ~request_bytes:64 ~reply_bytes:size
+    (fun () -> server_read srv ~name ~offset:0 ~len:size)

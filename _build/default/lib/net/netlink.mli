@@ -1,0 +1,36 @@
+(** A simulated network link between machines.
+
+    Section 6: Mach's memory/communication integration extends
+    transparently into a distributed environment — "tasks may map into
+    their address spaces references to memory objects which can be
+    implemented by pagers anywhere on the network".  This module provides
+    the substrate: request/response exchanges between simulated machines,
+    charging latency and per-byte transfer time to {e both} ends'
+    clocks. *)
+
+type t
+(** A link between two or more machines. *)
+
+val create :
+  ?latency_us:int -> ?mbit_per_s:int -> Mach_hw.Machine.t list -> t
+(** [create machines] links the machines.  Defaults model mid-1980s
+    Ethernet: 1000 us latency per exchange, 10 Mbit/s. *)
+
+val node_count : t -> int
+
+val rpc :
+  t -> from_node:int -> from_cpu:int -> to_node:int -> to_cpu:int ->
+  request_bytes:int -> reply_bytes:int -> (unit -> 'a) -> 'a
+(** [rpc t ~from_node ~from_cpu ~to_node ~to_cpu ~request_bytes
+    ~reply_bytes f] performs [f] "on the remote node" and returns its
+    result, charging both machines for the exchange.  The caller's clock
+    also absorbs the remote service time so elapsed time composes the way
+    a blocking RPC does. *)
+
+val messages : t -> int
+(** Exchanges performed so far. *)
+
+val bytes_moved : t -> int
+(** Total payload bytes carried (both directions). *)
+
+val reset_counters : t -> unit

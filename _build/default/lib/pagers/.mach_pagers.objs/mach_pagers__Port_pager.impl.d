@@ -1,0 +1,1 @@
+lib/pagers/port_pager.ml: Bytes Hashtbl Ipc Mach_core Mach_ipc Types

@@ -1,0 +1,1 @@
+lib/pagers/port_pager.mli: Bytes Hashtbl Mach_core Mach_ipc

@@ -1,0 +1,1 @@
+lib/pagers/simdisk.ml: Bytes Hashtbl Mach_hw Machine

@@ -1,0 +1,1 @@
+lib/pagers/simdisk.mli: Bytes Mach_hw

@@ -1,0 +1,1 @@
+lib/pagers/simfs.ml: Array Bytes Hashtbl Simdisk

@@ -1,0 +1,1 @@
+lib/pagers/simfs.mli: Bytes Mach_hw Simdisk

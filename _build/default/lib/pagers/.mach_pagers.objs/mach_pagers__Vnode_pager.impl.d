@@ -1,0 +1,1 @@
+lib/pagers/vnode_pager.ml: Bytes Hashtbl Kr Mach_core Page_io Printf Resident Simfs Types Vm_object Vm_sys Vm_user

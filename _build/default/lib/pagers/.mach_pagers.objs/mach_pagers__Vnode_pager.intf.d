@@ -1,0 +1,1 @@
+lib/pagers/vnode_pager.mli: Bytes Mach_core Simfs

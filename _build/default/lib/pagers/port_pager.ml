@@ -1,0 +1,103 @@
+open Mach_core
+open Mach_ipc
+open Types
+
+type handler = Ipc.message -> Ipc.message option
+
+let counters : (int, int ref) Hashtbl.t = Hashtbl.create 16
+
+(* Run the pager task on its queued messages until one reply lands on
+   [reply_port]. *)
+let dispatch_until_reply sys ~object_port ~reply_port ~handler =
+  let guard = ref 0 in
+  let rec loop () =
+    match Ipc.receive sys reply_port with
+    | Some reply -> reply
+    | None ->
+      incr guard;
+      if !guard > 64 then
+        failwith "external pager did not reply to a kernel request";
+      (match Ipc.receive sys object_port with
+       | None -> failwith "external pager request queue empty"
+       | Some req ->
+         (match handler req with
+          | Some reply ->
+            (match req.Ipc.msg_reply_to with
+             | Some p -> Ipc.send sys p reply
+             | None -> ())
+          | None -> ()));
+      loop ()
+  in
+  loop ()
+
+let make sys ~name ?(should_cache = false) ~handler () =
+  let id = fresh_pager_id () in
+  let object_port = Ipc.create_port ~name:(name ^ ".paging_object") () in
+  let reply_port = Ipc.create_port ~name:(name ^ ".paging_object_request") () in
+  let served = ref 0 in
+  Hashtbl.add counters id served;
+  let request ~offset ~length =
+    Ipc.send sys object_port
+      (Ipc.message "pager_data_request" ~ints:[ offset; length ]
+         ~reply_to:reply_port);
+    let reply = dispatch_until_reply sys ~object_port ~reply_port ~handler in
+    incr served;
+    match reply.Ipc.msg_tag, reply.Ipc.msg_items with
+    | "pager_data_provided", Ipc.Inline data :: _ -> Data_provided data
+    | "pager_data_unavailable", _ -> Data_unavailable
+    | tag, _ -> failwith ("external pager sent unexpected reply: " ^ tag)
+  in
+  (* pager_init (Table 3-1): tell the new pager about its object and
+     request port before any data traffic. *)
+  Ipc.send sys object_port
+    (Ipc.message "pager_init" ~reply_to:reply_port);
+  (match Ipc.receive sys object_port with
+   | Some req -> ignore (handler req)
+   | None -> ());
+  let write ~offset ~data =
+    Ipc.send sys object_port
+      (Ipc.message "pager_data_write" ~ints:[ offset ]
+         ~items:[ Ipc.Inline data ]);
+    (* Writes need no reply; let the pager absorb its queue. *)
+    match Ipc.receive sys object_port with
+    | Some req -> ignore (handler req)
+    | None -> ()
+  in
+  {
+    pgr_id = id;
+    pgr_name = name;
+    pgr_request = request;
+    pgr_write = write;
+    pgr_should_cache = ref should_cache;
+  }
+
+let trivial_store sys ~name () =
+  let store : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+  let initialized = ref false in
+  let handler (m : Ipc.message) =
+    match m.Ipc.msg_tag, m.Ipc.msg_ints with
+    | "pager_init", _ ->
+      initialized := true;
+      None
+    | "pager_data_request", offset :: length :: _ ->
+      (match Hashtbl.find_opt store offset with
+       | Some data ->
+         Some
+           (Ipc.message "pager_data_provided" ~ints:[ offset ]
+              ~items:[ Ipc.Inline (Bytes.sub data 0 (min length (Bytes.length data))) ])
+       | None ->
+         Some (Ipc.message "pager_data_unavailable" ~ints:[ offset; length ]))
+    | "pager_data_write", offset :: _ ->
+      (match m.Ipc.msg_items with
+       | Ipc.Inline data :: _ -> Hashtbl.replace store offset (Bytes.copy data)
+       | _ -> ());
+      None
+    | tag, _ -> failwith ("trivial_store: unexpected message " ^ tag)
+  in
+  ignore initialized;
+  (make sys ~name ~handler (), store)
+
+let requests_served (p : pager) =
+  match Hashtbl.find_opt counters p.pgr_id with
+  | Some r -> !r
+  | None -> 0

@@ -1,0 +1,43 @@
+open Mach_hw
+
+type t = {
+  machine : Machine.t;
+  block_size : int;
+  blocks : (int, Bytes.t) Hashtbl.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create machine ~block_size =
+  if block_size <= 0 then invalid_arg "Simdisk.create";
+  { machine; block_size; blocks = Hashtbl.create 256; reads = 0; writes = 0 }
+
+let block_size t = t.block_size
+
+let read t ~cpu ~block =
+  t.reads <- t.reads + 1;
+  Machine.charge_disk t.machine ~cpu ~bytes:t.block_size;
+  match Hashtbl.find_opt t.blocks block with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make t.block_size '\000'
+
+let write t ~cpu ~block data =
+  if Bytes.length data > t.block_size then invalid_arg "Simdisk.write";
+  t.writes <- t.writes + 1;
+  Machine.charge_disk t.machine ~cpu ~bytes:t.block_size;
+  let b = Bytes.make t.block_size '\000' in
+  Bytes.blit data 0 b 0 (Bytes.length data);
+  Hashtbl.replace t.blocks block b
+
+let install t ~block data =
+  if Bytes.length data > t.block_size then invalid_arg "Simdisk.install";
+  let b = Bytes.make t.block_size '\000' in
+  Bytes.blit data 0 b 0 (Bytes.length data);
+  Hashtbl.replace t.blocks block b
+
+let reads t = t.reads
+let writes t = t.writes
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0

@@ -1,0 +1,34 @@
+(** A simulated block device.
+
+    Stores block contents in memory but charges every transfer to the
+    machine's clock with the architecture's disk cost model (fixed latency
+    per operation plus a per-KB transfer cost).  Both the Mach inode-pager
+    equivalent and the BSD buffer cache sit on one of these, so their I/O
+    costs are directly comparable. *)
+
+type t
+
+val create : Mach_hw.Machine.t -> block_size:int -> t
+(** [create machine ~block_size] is an empty disk. *)
+
+val block_size : t -> int
+
+val read : t -> cpu:int -> block:int -> Bytes.t
+(** [read t ~cpu ~block] returns the block's contents (zeros if never
+    written), charging disk cost to [cpu]. *)
+
+val write : t -> cpu:int -> block:int -> Bytes.t -> unit
+(** [write t ~cpu ~block data] stores [data] (at most one block),
+    charging disk cost. *)
+
+val install : t -> block:int -> Bytes.t -> unit
+(** [install t ~block data] stores data without charging the clock or the
+    operation counters; used to populate disks during benchmark setup. *)
+
+val reads : t -> int
+(** Completed read operations. *)
+
+val writes : t -> int
+(** Completed write operations. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,120 @@
+type inode = { mutable blocks : int array; mutable size : int }
+
+type t = {
+  id : int;
+  disk : Simdisk.t;
+  table : (string, inode) Hashtbl.t;
+  mutable next_block : int;
+}
+
+let next_fs_id = ref 0
+
+let create machine ?(block_size = 4096) () =
+  incr next_fs_id;
+  { id = !next_fs_id;
+    disk = Simdisk.create machine ~block_size;
+    table = Hashtbl.create 64;
+    next_block = 0 }
+
+let fs_id t = t.id
+
+let disk t = t.disk
+
+let bs t = Simdisk.block_size t.disk
+
+let alloc_block t =
+  let b = t.next_block in
+  t.next_block <- b + 1;
+  b
+
+let blocks_for t size = (size + bs t - 1) / bs t
+
+(* Grow (or create) the inode to hold [size] bytes. *)
+let ensure_inode t ~name ~size =
+  let ino =
+    match Hashtbl.find_opt t.table name with
+    | Some ino -> ino
+    | None ->
+      let ino = { blocks = [||]; size = 0 } in
+      Hashtbl.add t.table name ino;
+      ino
+  in
+  let needed = blocks_for t size in
+  if Array.length ino.blocks < needed then begin
+    let extra =
+      Array.init (needed - Array.length ino.blocks) (fun _ -> alloc_block t)
+    in
+    ino.blocks <- Array.append ino.blocks extra
+  end;
+  if size > ino.size then ino.size <- size;
+  ino
+
+let install_file t ~name ~data =
+  Hashtbl.remove t.table name;
+  let size = Bytes.length data in
+  let ino = ensure_inode t ~name ~size in
+  ino.size <- size;
+  let block_size = bs t in
+  Array.iteri
+    (fun i b ->
+       let off = i * block_size in
+       let len = min block_size (size - off) in
+       if len > 0 then Simdisk.install t.disk ~block:b (Bytes.sub data off len))
+    ino.blocks
+
+let exists t ~name = Hashtbl.mem t.table name
+
+let file_size t ~name =
+  match Hashtbl.find_opt t.table name with
+  | Some ino -> ino.size
+  | None -> raise Not_found
+
+let read t ~cpu ~name ~offset ~len =
+  match Hashtbl.find_opt t.table name with
+  | None -> raise Not_found
+  | Some ino ->
+    if offset >= ino.size || len <= 0 then Bytes.create 0
+    else begin
+      let len = min len (ino.size - offset) in
+      let buf = Bytes.create len in
+      let block_size = bs t in
+      let rec loop pos =
+        if pos < len then begin
+          let abs = offset + pos in
+          let bidx = abs / block_size in
+          let boff = abs mod block_size in
+          let chunk = min (block_size - boff) (len - pos) in
+          let data = Simdisk.read t.disk ~cpu ~block:ino.blocks.(bidx) in
+          Bytes.blit data boff buf pos chunk;
+          loop (pos + chunk)
+        end
+      in
+      loop 0;
+      buf
+    end
+
+let write t ~cpu ~name ~offset ~data =
+  let len = Bytes.length data in
+  let ino = ensure_inode t ~name ~size:(offset + len) in
+  let block_size = bs t in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = offset + pos in
+      let bidx = abs / block_size in
+      let boff = abs mod block_size in
+      let chunk = min (block_size - boff) (len - pos) in
+      let block = ino.blocks.(bidx) in
+      let current =
+        if boff = 0 && chunk = block_size then Bytes.make block_size '\000'
+        else Simdisk.read t.disk ~cpu ~block
+      in
+      Bytes.blit data pos current boff chunk;
+      Simdisk.write t.disk ~cpu ~block current;
+      loop (pos + chunk)
+    end
+  in
+  loop 0
+
+let delete t ~name = Hashtbl.remove t.table name
+
+let files t = Hashtbl.fold (fun name _ acc -> name :: acc) t.table []

@@ -1,0 +1,41 @@
+(** A minimal file system over {!Simdisk}.
+
+    Files are named byte sequences stored in disk blocks.  This is the
+    substrate under both I/O paths the paper compares: the Mach inode
+    pager (files as memory objects, {!Vnode_pager}) and the traditional
+    buffer-cache read path ({!Mach_bsd.Buffer_cache} in the baseline).
+
+    Population ([install_file]) writes the data without charging the
+    clock, so benchmark setup is free; all reads and subsequent writes go
+    through the disk cost model. *)
+
+type t
+
+val create : Mach_hw.Machine.t -> ?block_size:int -> unit -> t
+(** [create machine ()] is an empty file system (default 4 KB blocks). *)
+
+val fs_id : t -> int
+(** Unique id, used to key pager memoization. *)
+
+val disk : t -> Simdisk.t
+
+val install_file : t -> name:string -> data:Bytes.t -> unit
+(** [install_file t ~name ~data] creates or replaces [name] with [data],
+    bypassing the disk cost model (benchmark setup). *)
+
+val exists : t -> name:string -> bool
+
+val file_size : t -> name:string -> int
+(** Raises [Not_found] for missing files. *)
+
+val read : t -> cpu:int -> name:string -> offset:int -> len:int -> Bytes.t
+(** [read t ~cpu ~name ~offset ~len] reads, charging disk cost per block
+    touched.  Short reads at end of file return fewer bytes. *)
+
+val write : t -> cpu:int -> name:string -> offset:int -> data:Bytes.t -> unit
+(** [write t ~cpu ~name ~offset ~data] writes (extending the file as
+    needed), charging disk cost per block touched. *)
+
+val delete : t -> name:string -> unit
+
+val files : t -> string list

@@ -1,0 +1,97 @@
+open Mach_core
+open Types
+
+(* Memoized pager per (file system, file name): the paging_name identity
+   that leads all mappings of a file to the same memory object. *)
+let pagers : (int * string, pager) Hashtbl.t = Hashtbl.create 64
+
+let make (sys : Vm_sys.t) fs ~name =
+  let id = fresh_pager_id () in
+  let cpu () = Vm_sys.current_cpu sys in
+  {
+    pgr_id = id;
+    pgr_name = Printf.sprintf "vnode:%s" name;
+    pgr_request =
+      (fun ~offset ~length ->
+         match Simfs.file_size fs ~name with
+         | exception Not_found -> Data_unavailable
+         | size ->
+           if offset >= size then Data_unavailable
+           else
+             Data_provided
+               (Simfs.read fs ~cpu:(cpu ()) ~name ~offset
+                  ~len:(min length (size - offset))));
+    pgr_write =
+      (fun ~offset ~data ->
+         (* The inode pager never grows the file: a mapped page's tail
+            beyond end of file is zero-fill memory, not file contents. *)
+         match Simfs.file_size fs ~name with
+         | exception Not_found -> ()
+         | size ->
+           if offset < size then
+             let len = min (Bytes.length data) (size - offset) in
+             Simfs.write fs ~cpu:(cpu ()) ~name ~offset
+               ~data:(Bytes.sub data 0 len));
+    pgr_should_cache = ref true;
+  }
+
+let for_file sys fs ~name =
+  if not (Simfs.exists fs ~name) then raise Not_found;
+  let key = (Simfs.fs_id fs, name) in
+  match Hashtbl.find_opt pagers key with
+  | Some p -> p
+  | None ->
+    let p = make sys fs ~name in
+    Hashtbl.add pagers key p;
+    p
+
+let map_file sys fs task ~name ?at ?(copy = false) () =
+  match for_file sys fs ~name with
+  | exception Not_found -> Error Kr.Invalid_argument
+  | pager ->
+    let size = Simfs.file_size fs ~name in
+    let anywhere = at = None in
+    (match
+       Vm_user.allocate_with_pager sys task ~pager ~offset:0 ?at ~size
+         ~anywhere ~copy ()
+     with
+     | Ok addr -> Ok (addr, size)
+     | Error _ as e -> e)
+
+(* A read() through the file's memory object: hit resident pages for the
+   price of a copy; fill missing pages from the pager and leave them
+   resident (and the object cached), so the second read is cheap. *)
+let read_through_object sys fs ~name ~offset ~len =
+  let pager = for_file sys fs ~name in
+  let size = Simfs.file_size fs ~name in
+  let obj = Vm_object.create_with_pager sys pager ~size in
+  let len = if offset >= size then 0 else min len (size - offset) in
+  let ps = sys.Vm_sys.page_size in
+  let buf = Bytes.create len in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = offset + pos in
+      let page_off = abs - (abs mod ps) in
+      let chunk = min (ps - (abs mod ps)) (len - pos) in
+      let page =
+        match Vm_object.lookup_resident sys obj ~offset:page_off with
+        | Some p -> p
+        | None ->
+          let p = Vm_sys.grab_page sys in
+          Resident.insert sys.Vm_sys.resident p ~obj ~offset:page_off;
+          (match pager.pgr_request ~offset:page_off ~length:ps with
+           | Data_provided data -> Page_io.fill sys p data
+           | Data_unavailable -> Page_io.zero sys p);
+          sys.Vm_sys.stats.Vm_sys.pager_reads <-
+            sys.Vm_sys.stats.Vm_sys.pager_reads + 1;
+          Resident.enqueue sys.Vm_sys.resident p Q_active;
+          p
+      in
+      Bytes.blit (Page_io.copy_out sys page ~off:(abs mod ps) ~len:chunk) 0
+        buf pos chunk;
+      loop (pos + chunk)
+    end
+  in
+  loop 0;
+  Vm_object.deallocate sys obj;
+  buf

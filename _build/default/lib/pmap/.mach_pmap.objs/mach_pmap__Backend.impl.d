@@ -1,0 +1,1 @@
+lib/pmap/backend.ml: Arch Array Mach_hw Machine Phys_mem Pmap Pv Translator

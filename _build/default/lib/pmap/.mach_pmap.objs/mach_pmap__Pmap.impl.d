@@ -1,0 +1,1 @@
+lib/pmap/pmap.ml: List Mach_hw

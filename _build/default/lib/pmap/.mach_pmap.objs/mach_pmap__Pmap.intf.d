@@ -1,0 +1,1 @@
+lib/pmap/pmap.mli: Mach_hw

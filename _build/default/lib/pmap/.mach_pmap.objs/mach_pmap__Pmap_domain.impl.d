@@ -1,0 +1,1 @@
+lib/pmap/pmap_domain.ml: Arch Backend Fun Hashtbl List Mach_hw Machine Phys_mem Pmap Pmap_ns32082 Pmap_rtpc Pmap_sun3 Pmap_tlbonly Pmap_vax Prot Pv

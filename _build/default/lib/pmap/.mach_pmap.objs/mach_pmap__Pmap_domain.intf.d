@@ -1,0 +1,1 @@
+lib/pmap/pmap_domain.mli: Mach_hw Pmap

@@ -1,0 +1,1 @@
+lib/pmap/pmap_ns32082.ml: Backend Mach_hw Table_pmap

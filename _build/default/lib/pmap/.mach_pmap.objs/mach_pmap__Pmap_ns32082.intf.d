@@ -1,0 +1,1 @@
+lib/pmap/pmap_ns32082.mli: Backend

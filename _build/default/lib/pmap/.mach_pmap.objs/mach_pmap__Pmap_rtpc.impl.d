@@ -1,0 +1,1 @@
+lib/pmap/pmap_rtpc.ml: Arch Array Backend Hashtbl List Mach_hw Machine Phys_mem Pmap Prot Translator

@@ -1,0 +1,1 @@
+lib/pmap/pmap_sun3.ml: Arch Array Backend Hashtbl List Mach_hw Machine Pmap Prot Seq Translator

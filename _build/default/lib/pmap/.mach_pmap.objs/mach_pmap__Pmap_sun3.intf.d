@@ -1,0 +1,1 @@
+lib/pmap/pmap_sun3.mli: Backend

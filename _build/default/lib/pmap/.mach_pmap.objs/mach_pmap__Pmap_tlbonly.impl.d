@@ -1,0 +1,1 @@
+lib/pmap/pmap_tlbonly.ml: Arch Array Backend Hashtbl List Mach_hw Machine Pmap Prot Tlb Translator

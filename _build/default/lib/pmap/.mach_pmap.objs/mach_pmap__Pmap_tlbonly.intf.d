@@ -1,0 +1,1 @@
+lib/pmap/pmap_tlbonly.mli: Backend

@@ -1,0 +1,1 @@
+lib/pmap/pmap_vax.ml: Backend Mach_hw Table_pmap

@@ -1,0 +1,1 @@
+lib/pmap/pv.ml: Array Bytes List

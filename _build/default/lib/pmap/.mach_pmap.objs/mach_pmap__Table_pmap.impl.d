@@ -1,0 +1,1 @@
+lib/pmap/table_pmap.ml: Arch Array Backend Hashtbl List Mach_hw Pmap Prot Translator

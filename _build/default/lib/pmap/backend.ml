@@ -1,0 +1,90 @@
+(* Shared context for pmap implementations within one domain.
+
+   Holds what every architecture's pmap module needs: the machine (for
+   cycle charging and TLB shootdowns), the physical-to-virtual tracking,
+   asid allocation, and the CPU currently executing kernel code (set by the
+   kernel on every entry, so pmap costs land on the right clock). *)
+
+open Mach_hw
+
+type ctx = {
+  machine : Machine.t;
+  pv : Pv.t;
+  mutable next_asid : int;
+  mutable cur_cpu : int;
+  mutable urgent_mode : bool;
+      (* Set by the domain around pageout-style operations: all shootdowns
+         become time-critical (case 1 of Section 5.2) regardless of the
+         machine's configured strategy. *)
+}
+
+(* Which CPUs a pmap is active on now, and which may still cache its
+   translations (shootdown targets). *)
+type presence = { active : bool array; ran_on : bool array }
+
+let create machine =
+  let frames = Phys_mem.frame_count (Machine.phys machine) in
+  { machine; pv = Pv.create ~frames; next_asid = 1; cur_cpu = 0;
+    urgent_mode = false }
+
+let arch ctx = Machine.arch ctx.machine
+let page_size ctx = (arch ctx).Arch.hw_page_size
+let cost ctx = (arch ctx).Arch.cost
+let charge ctx c = Machine.charge ctx.machine ~cpu:ctx.cur_cpu c
+
+let fresh_asid ctx =
+  let a = ctx.next_asid in
+  ctx.next_asid <- a + 1;
+  a
+
+let fresh_presence ctx =
+  let n = Machine.cpu_count ctx.machine in
+  { active = Array.make n false; ran_on = Array.make n false }
+
+let shoot_targets p =
+  let acc = ref [] in
+  for i = Array.length p.ran_on - 1 downto 0 do
+    if p.ran_on.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let shoot ctx p req ~urgent =
+  Machine.shootdown ctx.machine ~initiator:ctx.cur_cpu
+    ~targets:(shoot_targets p) req ~urgent:(urgent || ctx.urgent_mode)
+
+let shoot_page ctx p ~asid ~vpn =
+  shoot ctx p (Machine.Flush_page { asid; vpn }) ~urgent:false
+
+let shoot_asid ctx p ~asid =
+  shoot ctx p (Machine.Flush_asid asid) ~urgent:false
+
+let activate ctx p tr ~cpu =
+  p.active.(cpu) <- true;
+  p.ran_on.(cpu) <- true;
+  Machine.set_translator ctx.machine ~cpu (Some tr)
+
+let deactivate ctx p tr ~cpu =
+  p.active.(cpu) <- false;
+  if Machine.active_asid ctx.machine ~cpu = Some tr.Translator.asid then
+    Machine.set_translator ctx.machine ~cpu None
+
+let pv_insert ctx ~pfn ~asid ~vpn =
+  Pv.insert ctx.pv ~pfn { Pv.pv_asid = asid; pv_vpn = vpn }
+
+let pv_remove ctx ~pfn ~asid ~vpn =
+  Pv.remove ctx.pv ~pfn { Pv.pv_asid = asid; pv_vpn = vpn }
+
+(* Charge for zeroing or copying [bytes] of memory. *)
+let move_cost ctx bytes = ((bytes + 15) / 16) * (cost ctx).Arch.move_16b
+
+(* Above this many pages, range operations flush the whole address space
+   rather than shooting page by page. *)
+let flush_whole_space_threshold = 8
+
+(* What each architecture module hands the domain: a pmap constructor plus
+   an accounting of hardware structures shared by all pmaps (the RT PC's
+   single inverted page table, the SUN 3's context mapping RAM). *)
+type factory = {
+  new_pmap : unit -> Pmap.t;
+  shared_map_bytes : unit -> int;
+}

@@ -1,0 +1,121 @@
+open Mach_hw
+
+type t = {
+  ctx : Backend.ctx;
+  factory : Backend.factory;
+  registry : (int, Pmap.t) Hashtbl.t;
+}
+
+let create machine =
+  let ctx = Backend.create machine in
+  let factory =
+    match (Machine.arch machine).Arch.kind with
+    | Arch.Vax -> Pmap_vax.make_domain ctx
+    | Arch.Rt_pc -> Pmap_rtpc.make_domain ctx
+    | Arch.Sun3 -> Pmap_sun3.make_domain ctx
+    | Arch.Ns32082 -> Pmap_ns32082.make_domain ctx
+    | Arch.Tlb_only -> Pmap_tlbonly.make_domain ctx
+  in
+  let t = { ctx; factory; registry = Hashtbl.create 16 } in
+  Machine.set_on_translated machine (fun ~pfn ~write ->
+      Pv.set_referenced ctx.Backend.pv ~pfn;
+      if write then Pv.set_modified ctx.Backend.pv ~pfn);
+  t
+
+let machine t = t.ctx.Backend.machine
+
+let create_pmap t =
+  let p = t.factory.Backend.new_pmap () in
+  (* Wrap with reference counting (pmap_reference/pmap_destroy of Table
+     3-3) and keep the registry in step with the pmap's lifetime. *)
+  let refs = ref 1 in
+  let reference () = incr refs in
+  let destroy () =
+    assert (!refs > 0);
+    decr refs;
+    if !refs = 0 then begin
+      p.Pmap.destroy ();
+      Hashtbl.remove t.registry p.Pmap.asid
+    end
+  in
+  let p = { p with Pmap.reference; destroy } in
+  Hashtbl.add t.registry p.Pmap.asid p;
+  p
+
+let find_pmap t ~asid = Hashtbl.find_opt t.registry asid
+
+let live_pmaps t = Hashtbl.fold (fun _ p acc -> p :: acc) t.registry []
+
+let set_current_cpu t cpu = t.ctx.Backend.cur_cpu <- cpu
+
+let current_cpu t = t.ctx.Backend.cur_cpu
+
+let page_size t = Backend.page_size t.ctx
+
+(* Apply [f pmap page_va] for every current mapping of [pfn]. *)
+let for_all_mappings t ~pfn f =
+  let page = page_size t in
+  List.iter
+    (fun { Pv.pv_asid; pv_vpn } ->
+       match find_pmap t ~asid:pv_asid with
+       | Some p -> f p (pv_vpn * page)
+       | None -> assert false)
+    (Pv.mappings t.ctx.Backend.pv ~pfn)
+
+let remove_all t ~pfn ~urgent =
+  let saved = t.ctx.Backend.urgent_mode in
+  t.ctx.Backend.urgent_mode <- urgent;
+  Fun.protect
+    ~finally:(fun () -> t.ctx.Backend.urgent_mode <- saved)
+    (fun () ->
+       for_all_mappings t ~pfn (fun p va ->
+           p.Pmap.remove ~start_va:va ~end_va:(va + page_size t)))
+
+let copy_on_write t ~pfn =
+  let read_only_mask = Prot.remove_write Prot.all in
+  for_all_mappings t ~pfn (fun p va ->
+      p.Pmap.protect ~start_va:va ~end_va:(va + page_size t)
+        ~prot:read_only_mask)
+
+let is_modified t ~pfn = Pv.is_modified t.ctx.Backend.pv ~pfn
+let is_referenced t ~pfn = Pv.is_referenced t.ctx.Backend.pv ~pfn
+let clear_modified t ~pfn = Pv.clear_modified t.ctx.Backend.pv ~pfn
+let clear_referenced t ~pfn = Pv.clear_referenced t.ctx.Backend.pv ~pfn
+
+let mapping_count t ~pfn = Pv.mapping_count t.ctx.Backend.pv ~pfn
+
+let mappings_of t ~pfn =
+  List.map
+    (fun { Pv.pv_asid; pv_vpn } -> (pv_asid, pv_vpn))
+    (Pv.mappings t.ctx.Backend.pv ~pfn)
+
+let zero_page t ~pfn =
+  Backend.charge t.ctx (Backend.move_cost t.ctx (page_size t));
+  Phys_mem.zero_frame (Machine.phys (machine t)) pfn
+
+let copy_page t ~src ~dst =
+  Backend.charge t.ctx (Backend.move_cost t.ctx (page_size t));
+  Phys_mem.copy_frame (Machine.phys (machine t)) ~src ~dst
+
+let shared_map_bytes t = t.factory.Backend.shared_map_bytes ()
+
+let total_map_bytes t =
+  Hashtbl.fold
+    (fun _ p acc -> acc + p.Pmap.map_bytes ())
+    t.registry (shared_map_bytes t)
+
+let total_stats t =
+  let acc = Pmap.fresh_stats () in
+  Hashtbl.iter
+    (fun _ p ->
+       let s = p.Pmap.stats in
+       acc.Pmap.enters <- acc.Pmap.enters + s.Pmap.enters;
+       acc.Pmap.removals <- acc.Pmap.removals + s.Pmap.removals;
+       acc.Pmap.protect_ops <- acc.Pmap.protect_ops + s.Pmap.protect_ops;
+       acc.Pmap.alias_evictions <-
+         acc.Pmap.alias_evictions + s.Pmap.alias_evictions;
+       acc.Pmap.context_steals <-
+         acc.Pmap.context_steals + s.Pmap.context_steals;
+       acc.Pmap.cache_drops <- acc.Pmap.cache_drops + s.Pmap.cache_drops)
+    t.registry;
+  acc

@@ -1,0 +1,88 @@
+(** A pmap domain: all machine-dependent mapping state of one kernel.
+
+    The domain owns the physical-to-virtual tracking and provides the
+    page-level operations of Table 3-3 that act on {e every} mapping of a
+    physical page — [pmap_remove_all], [pmap_copy_on_write], the
+    modify/reference-bit calls, and [pmap_zero_page]/[pmap_copy_page] —
+    plus pmap creation for the machine's architecture.
+
+    Full information about which processors use which maps, and when maps
+    must be correct, flows from machine-independent code: the kernel tells
+    the domain which CPU is executing ({!set_current_cpu}) and whether an
+    invalidation is time-critical ([urgent]). *)
+
+type t
+(** A domain, bound to one {!Mach_hw.Machine.t}. *)
+
+val create : Mach_hw.Machine.t -> t
+(** [create machine] builds the domain for [machine]'s architecture and
+    installs the MMU hook that maintains per-frame reference and modify
+    bits. *)
+
+val machine : t -> Mach_hw.Machine.t
+(** The underlying machine. *)
+
+val create_pmap : t -> Pmap.t
+(** [create_pmap t] is [pmap_create]: a fresh, empty physical map. *)
+
+val find_pmap : t -> asid:int -> Pmap.t option
+(** [find_pmap t ~asid] is the live pmap with that asid, if any. *)
+
+val live_pmaps : t -> Pmap.t list
+(** All pmaps created and not yet destroyed. *)
+
+val set_current_cpu : t -> int -> unit
+(** [set_current_cpu t cpu] records the CPU on which kernel code is
+    executing; subsequent pmap costs are charged to its clock and it
+    initiates any TLB shootdowns. *)
+
+val current_cpu : t -> int
+(** The CPU recorded by {!set_current_cpu} (initially 0). *)
+
+(** {1 Page-level operations (Table 3-3)} *)
+
+val remove_all : t -> pfn:int -> urgent:bool -> unit
+(** [pmap_remove_all]: remove the physical page from all maps.  Used by
+    pageout; with [urgent:true] the invalidations are propagated with
+    interrupts no matter the machine's shootdown strategy (the paper's
+    case 1), otherwise the configured strategy applies. *)
+
+val copy_on_write : t -> pfn:int -> unit
+(** [pmap_copy_on_write]: remove write access to the page in all maps.
+    Used by virtual copy of shared pages. *)
+
+val is_modified : t -> pfn:int -> bool
+(** Whether the frame was written since the last {!clear_modified}.  The
+    simulated MMU sets the bit on every translated write. *)
+
+val is_referenced : t -> pfn:int -> bool
+(** Whether the frame was touched since the last {!clear_referenced}. *)
+
+val clear_modified : t -> pfn:int -> unit
+val clear_referenced : t -> pfn:int -> unit
+
+val mapping_count : t -> pfn:int -> int
+(** How many virtual mappings of the frame exist right now. *)
+
+val mappings_of : t -> pfn:int -> (int * int) list
+(** [mappings_of t ~pfn] lists the (asid, virtual page) pairs currently
+    mapping the frame; used by consistency checkers. *)
+
+val zero_page : t -> pfn:int -> unit
+(** [pmap_zero_page]: zero-fill the frame, charging the architecture's
+    copy cost to the current CPU. *)
+
+val copy_page : t -> src:int -> dst:int -> unit
+(** [pmap_copy_page]: copy frame [src] to frame [dst], charging cost. *)
+
+(** {1 Accounting} *)
+
+val shared_map_bytes : t -> int
+(** Bytes of hardware mapping structures shared by all pmaps (the RT PC
+    inverted table, SUN 3 mapping RAM); 0 where tables are per-pmap. *)
+
+val total_map_bytes : t -> int
+(** [shared_map_bytes] plus the sum of live pmaps' [map_bytes]. *)
+
+val total_stats : t -> Pmap.stats
+(** Sum of all live pmaps' counters. *)

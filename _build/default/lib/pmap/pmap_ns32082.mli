@@ -1,0 +1,11 @@
+(** NS32082 pmap (Encore MultiMax, Sequent Balance).
+
+    Reproduces the MMU's shortcomings listed in Section 5.1: only 16 MB of
+    virtual memory per page table, only 32 MB of addressable physical
+    memory, and the chip bug that reports read-modify-write faults as read
+    faults (modelled in the machine layer; the fault handler must cope). *)
+
+val make_domain : Backend.ctx -> Backend.factory
+(** [make_domain ctx] is a factory producing NS32082 pmaps.  Entering a
+    mapping beyond the 16 MB virtual or 32 MB physical limit raises
+    [Invalid_argument]. *)

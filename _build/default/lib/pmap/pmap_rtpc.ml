@@ -1,0 +1,177 @@
+open Mach_hw
+
+(* One slot per physical frame: the (at most one) virtual mapping of that
+   frame. *)
+type slot = {
+  mutable s_asid : int;
+  mutable s_vpn : int;
+  mutable s_prot : Prot.t;
+  mutable s_wired : bool;
+  mutable s_valid : bool;
+}
+
+(* Per-pmap bookkeeping the eviction path must reach from a foreign pmap. *)
+type owner = {
+  o_presence : Backend.presence;
+  o_stats : Pmap.stats;
+  o_vpns : (int, int) Hashtbl.t; (* vpn -> pfn, this pmap's live mappings *)
+}
+
+let make_domain (ctx : Backend.ctx) =
+  let frames = Phys_mem.frame_count (Machine.phys ctx.machine) in
+  let page = Backend.page_size ctx in
+  let pte_bytes = (Backend.arch ctx).Arch.pte_bytes in
+  let ipt =
+    Array.init frames (fun _ ->
+        { s_asid = 0; s_vpn = 0; s_prot = Prot.none; s_wired = false;
+          s_valid = false })
+  in
+  (* The hash anchor table: (asid, vpn) -> pfn. *)
+  let hash : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let owners : (int, owner) Hashtbl.t = Hashtbl.create 16 in
+
+  (* Remove the mapping occupying [pfn], whoever owns it. *)
+  let evict pfn =
+    let s = ipt.(pfn) in
+    assert s.s_valid;
+    let o = Hashtbl.find owners s.s_asid in
+    Hashtbl.remove hash (s.s_asid, s.s_vpn);
+    Hashtbl.remove o.o_vpns s.s_vpn;
+    Backend.pv_remove ctx ~pfn ~asid:s.s_asid ~vpn:s.s_vpn;
+    Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
+    Backend.shoot_page ctx o.o_presence ~asid:s.s_asid ~vpn:s.s_vpn;
+    o.o_stats.Pmap.removals <- o.o_stats.Pmap.removals + 1;
+    s.s_valid <- false
+  in
+
+  let new_pmap () =
+    let asid = Backend.fresh_asid ctx in
+    let stats = Pmap.fresh_stats () in
+    let presence = Backend.fresh_presence ctx in
+    let own_vpns : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.add owners asid
+      { o_presence = presence; o_stats = stats; o_vpns = own_vpns };
+
+    let enter ~va ~pfn ~prot ~wired =
+      if pfn < 0 || pfn >= frames then
+        invalid_arg "pmap_enter: no such physical page";
+      let vpn = va / page in
+      (* Drop any previous mapping this pmap had for the page... *)
+      let had_mapping = Hashtbl.mem own_vpns vpn in
+      (match Hashtbl.find_opt own_vpns vpn with
+       | Some old_pfn when old_pfn = pfn ->
+         () (* re-entering the same frame just updates protection below *)
+       | Some old_pfn -> evict old_pfn
+       | None -> ());
+      (* ...and, inverted-table restriction, any foreign mapping of the
+         frame itself. *)
+      let s = ipt.(pfn) in
+      if s.s_valid && not (s.s_asid = asid && s.s_vpn = vpn) then begin
+        evict pfn;
+        stats.Pmap.alias_evictions <- stats.Pmap.alias_evictions + 1
+      end;
+      if not s.s_valid then begin
+        s.s_asid <- asid;
+        s.s_vpn <- vpn;
+        s.s_wired <- wired;
+        s.s_valid <- true;
+        Hashtbl.replace hash (asid, vpn) pfn;
+        Hashtbl.replace own_vpns vpn pfn;
+        Backend.pv_insert ctx ~pfn ~asid ~vpn
+      end;
+      s.s_prot <- prot;
+      s.s_wired <- wired;
+      Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
+      (* Only a pre-existing translation can be cached in a TLB. *)
+      if had_mapping then Backend.shoot_page ctx presence ~asid ~vpn;
+      stats.Pmap.enters <- stats.Pmap.enters + 1
+    in
+
+    (* Visit this pmap's mappings with vpn in [lo, hi). *)
+    let in_range lo hi =
+      Hashtbl.fold
+        (fun vpn pfn acc ->
+           if vpn >= lo && vpn < hi then (vpn, pfn) :: acc else acc)
+        own_vpns []
+    in
+
+    let range_bounds ~start_va ~end_va =
+      (start_va / page, (end_va + page - 1) / page)
+    in
+
+    let remove ~start_va ~end_va =
+      let lo, hi = range_bounds ~start_va ~end_va in
+      List.iter (fun (_, pfn) -> evict pfn) (in_range lo hi)
+    in
+
+    let protect ~start_va ~end_va ~prot =
+      stats.Pmap.protect_ops <- stats.Pmap.protect_ops + 1;
+      let lo, hi = range_bounds ~start_va ~end_va in
+      List.iter
+        (fun (vpn, pfn) ->
+           let s = ipt.(pfn) in
+           s.s_prot <- Prot.inter s.s_prot prot;
+           Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
+           Backend.shoot_page ctx presence ~asid ~vpn)
+        (in_range lo hi)
+    in
+
+    let extract va = Hashtbl.find_opt own_vpns (va / page) in
+
+    let lookup vpn =
+      match Hashtbl.find_opt hash (asid, vpn) with
+      | Some pfn ->
+        Translator.Mapped { pfn; prot = ipt.(pfn).s_prot }
+      | None -> Translator.Missing
+    in
+    let translator =
+      { Translator.asid; lookup;
+        walk_cost = (Backend.cost ctx).Arch.tlb_fill }
+    in
+
+    let collect () =
+      let victims =
+        Hashtbl.fold
+          (fun _ pfn acc ->
+             if ipt.(pfn).s_wired then acc else pfn :: acc)
+          own_vpns []
+      in
+      List.iter evict victims;
+      stats.Pmap.cache_drops <-
+        stats.Pmap.cache_drops + List.length victims
+    in
+
+    let destroy () =
+      let victims = Hashtbl.fold (fun _ pfn acc -> pfn :: acc) own_vpns [] in
+      List.iter evict victims;
+      Hashtbl.remove owners asid
+    in
+
+    {
+      Pmap.asid;
+      (* real reference counting is installed by Pmap_domain *)
+      reference = (fun () -> ());
+      kind = Arch.Rt_pc;
+      enter;
+      remove;
+      protect;
+      extract;
+      access_check = (fun va -> extract va <> None);
+      activate = (fun ~cpu -> Backend.activate ctx presence translator ~cpu);
+      deactivate =
+        (fun ~cpu -> Backend.deactivate ctx presence translator ~cpu);
+      copy = None;
+      pageable = None;
+      resident_count = (fun () -> Hashtbl.length own_vpns);
+      map_bytes = (fun () -> 0);
+      collect;
+      destroy;
+      stats;
+    }
+  in
+  {
+    Backend.new_pmap;
+    (* The inverted table plus hash anchors scale with physical memory,
+       never with address-space size. *)
+    shared_map_bytes = (fun () -> 2 * frames * pte_bytes);
+  }

@@ -1,0 +1,14 @@
+(** IBM RT PC pmap: a single hashed inverted page table.
+
+    The RT PC describes which virtual address maps to each physical page in
+    one system-wide inverted table queried through a hash function, so a
+    full 4 GB space costs no table memory proportional to its size — but
+    each physical page can have {e at most one} valid mapping (Section
+    5.1).  When tasks share a page, entering one task's mapping evicts the
+    other's, producing the extra "alias" faults the paper measures; Mach in
+    effect treats the inverted table as a large in-memory cache of the RT's
+    TLB. *)
+
+val make_domain : Backend.ctx -> Backend.factory
+(** [make_domain ctx] is a factory whose pmaps share one inverted page
+    table sized by the domain's physical memory. *)

@@ -1,0 +1,14 @@
+(** SUN 3 pmap: segment/page mapping RAM with 8 hardware contexts.
+
+    The SUN 3 MMU translates through segment and page maps held in
+    dedicated mapping RAM, organised as a small number of {e contexts}
+    (8).  A task's mappings live only while it owns a context; when more
+    than 8 tasks are active they compete, and stealing a context discards
+    all of the victim's hardware mappings, which must then be rebuilt by
+    page faults (Section 5.1) — the pmap-as-cache property makes this
+    safe.  Translation through the mapping RAM costs no extra walk
+    (walk_cost 0) and the machine is modelled without a separate TLB. *)
+
+val make_domain : Backend.ctx -> Backend.factory
+(** [make_domain ctx] is a factory whose pmaps share the 8 hardware
+    contexts. *)

@@ -1,0 +1,17 @@
+(** TLB-only pmap (the IBM RP3 simulation of Section 5).
+
+    "In principle, Mach needs no in-memory hardware-defined data structure
+    to manage virtual memory.  Machines which provide only an easily
+    manipulated TLB could be accommodated."  This pmap maintains no
+    hardware tables at all: [pmap_enter] loads translations straight into
+    the TLBs of the CPUs the pmap is active on, every TLB miss traps to the
+    kernel, and the fault handler reconstructs the translation from
+    machine-independent state (a fast reload, not a real page fault).
+
+    A private software table is kept only so that [pmap_extract],
+    [pmap_remove] and the pv layer can answer questions; the translation
+    path never consults it. *)
+
+val make_domain : Backend.ctx -> Backend.factory
+(** [make_domain ctx] is a factory producing TLB-only pmaps.  Their
+    [map_bytes] is always 0. *)

@@ -1,0 +1,10 @@
+(** VAX pmap: lazily-constructed linear page tables.
+
+    A full 2 GB VAX user space needs 8 MB of linear page table, so (as the
+    paper describes in Section 5.1) Mach keeps page tables in physical
+    memory but constructs only the parts needed to map pages currently in
+    use, creating and destroying them as necessary. *)
+
+val make_domain : Backend.ctx -> Backend.factory
+(** [make_domain ctx] is a factory producing VAX pmaps sharing the domain
+    [ctx]. *)

@@ -1,0 +1,36 @@
+type mapping = { pv_asid : int; pv_vpn : int }
+
+type t = {
+  lists : mapping list array;
+  referenced : Bytes.t;
+  modified : Bytes.t;
+}
+
+(* Arrays are indexed by frame number; mapping lists are short (a frame is
+   rarely shared by more than a handful of address spaces). *)
+
+let create ~frames =
+  { lists = Array.make frames [];
+    referenced = Bytes.make frames '\000';
+    modified = Bytes.make frames '\000' }
+
+let insert t ~pfn m =
+  assert (not (List.mem m t.lists.(pfn)));
+  t.lists.(pfn) <- m :: t.lists.(pfn)
+
+let remove t ~pfn m =
+  assert (List.mem m t.lists.(pfn));
+  t.lists.(pfn) <- List.filter (fun m' -> m' <> m) t.lists.(pfn)
+
+let mappings t ~pfn = t.lists.(pfn)
+
+let mapping_count t ~pfn = List.length t.lists.(pfn)
+
+let set_referenced t ~pfn = Bytes.set t.referenced pfn '\001'
+let set_modified t ~pfn = Bytes.set t.modified pfn '\001'
+
+let is_referenced t ~pfn = Bytes.get t.referenced pfn = '\001'
+let is_modified t ~pfn = Bytes.get t.modified pfn = '\001'
+
+let clear_referenced t ~pfn = Bytes.set t.referenced pfn '\000'
+let clear_modified t ~pfn = Bytes.set t.modified pfn '\000'

@@ -1,0 +1,87 @@
+(** Doubly-linked lists with externally held nodes.
+
+    The machine-independent VM keeps address-map entries and resident-page
+    queues in doubly-linked lists so that insertion, removal and in-place
+    splitting are O(1) given a node (Section 3.2 of the paper).  Nodes are
+    first-class: callers store the node of an element and later remove or
+    re-insert it without searching. *)
+
+type 'a node
+(** A list cell carrying one value.  A node belongs to at most one list. *)
+
+type 'a t
+(** A mutable doubly-linked list. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty list. *)
+
+val length : 'a t -> int
+(** [length t] is the number of nodes currently linked into [t]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty t] is [length t = 0]. *)
+
+val value : 'a node -> 'a
+(** [value n] is the element carried by [n]. *)
+
+val push_front : 'a t -> 'a -> 'a node
+(** [push_front t v] links a new node carrying [v] at the head of [t]. *)
+
+val push_back : 'a t -> 'a -> 'a node
+(** [push_back t v] links a new node carrying [v] at the tail of [t]. *)
+
+val insert_before : 'a t -> 'a node -> 'a -> 'a node
+(** [insert_before t n v] links a new node carrying [v] immediately before
+    [n], which must belong to [t]. *)
+
+val insert_after : 'a t -> 'a node -> 'a -> 'a node
+(** [insert_after t n v] links a new node carrying [v] immediately after
+    [n], which must belong to [t]. *)
+
+val remove : 'a t -> 'a node -> unit
+(** [remove t n] unlinks [n] from [t].  Removing a node twice is an error
+    detected by assertion. *)
+
+val first : 'a t -> 'a node option
+(** [first t] is the head node, if any. *)
+
+val last : 'a t -> 'a node option
+(** [last t] is the tail node, if any. *)
+
+val next : 'a node -> 'a node option
+(** [next n] is the node after [n] in its list. *)
+
+val prev : 'a node -> 'a node option
+(** [prev n] is the node before [n] in its list. *)
+
+val pop_front : 'a t -> 'a option
+(** [pop_front t] unlinks and returns the head value, if any. *)
+
+val pop_back : 'a t -> 'a option
+(** [pop_back t] unlinks and returns the tail value, if any. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] to each element from head to tail. *)
+
+val iter_nodes : ('a node -> unit) -> 'a t -> unit
+(** [iter_nodes f t] applies [f] to each node from head to tail.  [f] may
+    remove the node it is given. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold f acc t] folds [f] over elements from head to tail. *)
+
+val find : ('a -> bool) -> 'a t -> 'a option
+(** [find p t] is the first element satisfying [p], searching from the
+    head. *)
+
+val find_node : ('a -> bool) -> 'a t -> 'a node option
+(** [find_node p t] is the first node whose element satisfies [p]. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list t] is the elements from head to tail. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+(** [exists p t] is [true] iff some element satisfies [p]. *)
+
+val linked : 'a node -> bool
+(** [linked n] is [true] while [n] belongs to some list. *)

@@ -1,0 +1,62 @@
+type line =
+  | Row of string list
+  | Separator
+
+type t = {
+  title : string;
+  columns : string list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; lines = [] }
+
+let row t cells =
+  let n_cols = List.length t.columns in
+  let n = List.length cells in
+  if n > n_cols then invalid_arg "Tablefmt.row: too many cells";
+  let padded = cells @ List.init (n_cols - n) (fun _ -> "") in
+  t.lines <- Row padded :: t.lines
+
+let separator t = t.lines <- Separator :: t.lines
+
+let to_string t =
+  let rows =
+    t.columns :: List.filter_map (function Row r -> Some r | Separator -> None)
+                   (List.rev t.lines)
+  in
+  let n_cols = List.length t.columns in
+  let widths = Array.make n_cols 0 in
+  let note_widths r =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) r
+  in
+  List.iter note_widths rows;
+  let buf = Buffer.create 256 in
+  let pad i c =
+    let w = widths.(i) in
+    c ^ String.make (w - String.length c) ' '
+  in
+  let emit_row r =
+    Buffer.add_string buf "  ";
+    Buffer.add_string buf (String.concat "  " (List.mapi pad r));
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (n_cols - 1)) + 2
+  in
+  let rule () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  rule ();
+  emit_row t.columns;
+  rule ();
+  List.iter
+    (function Row r -> emit_row r | Separator -> rule ())
+    (List.rev t.lines);
+  Buffer.contents buf
+
+let print t =
+  print_string (to_string t);
+  print_newline ()

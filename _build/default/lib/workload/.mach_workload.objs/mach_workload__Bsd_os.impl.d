@@ -1,0 +1,1 @@
+lib/workload/bsd_os.ml: Bsd_vm Buffer_cache Bytes Hashtbl Mach_bsd Mach_hw Mach_pagers Machine Os_iface Phys_mem Simdisk Simfs

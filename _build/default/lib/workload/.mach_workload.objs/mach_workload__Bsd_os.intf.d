@@ -1,0 +1,1 @@
+lib/workload/bsd_os.mli: Mach_bsd Mach_pagers Os_iface

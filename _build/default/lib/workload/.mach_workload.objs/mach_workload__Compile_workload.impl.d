@@ -1,0 +1,1 @@
+lib/workload/compile_workload.ml: Bytes Os_iface Printf String

@@ -1,0 +1,1 @@
+lib/workload/compile_workload.mli: Os_iface

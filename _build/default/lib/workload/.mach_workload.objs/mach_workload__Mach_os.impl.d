@@ -1,0 +1,1 @@
+lib/workload/mach_os.ml: Arch Bytes Hashtbl Kernel Kr Mach_core Mach_hw Mach_pagers Mach_pmap Machine Os_iface Simdisk Simfs Task Vm_sys Vm_user Vnode_pager

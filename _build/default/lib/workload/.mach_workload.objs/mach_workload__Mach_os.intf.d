@@ -1,0 +1,1 @@
+lib/workload/mach_os.mli: Mach_core Mach_pagers Os_iface

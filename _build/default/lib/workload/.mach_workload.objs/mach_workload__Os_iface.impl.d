@@ -1,0 +1,1 @@
+lib/workload/os_iface.ml: Bytes Mach_hw

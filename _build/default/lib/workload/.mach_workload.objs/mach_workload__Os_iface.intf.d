@@ -1,0 +1,1 @@
+lib/workload/os_iface.mli: Bytes Mach_hw

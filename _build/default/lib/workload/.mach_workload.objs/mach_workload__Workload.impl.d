@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Bytes Det_rng List Mach_util Os_iface Printf

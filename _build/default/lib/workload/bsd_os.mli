@@ -1,0 +1,9 @@
+(** The traditional-UNIX implementation of the benchmark OS surface,
+    backed by {!Mach_bsd.Bsd_vm}: eager (or SunOS-style COW) fork,
+    buffer-cache file I/O, exec by copying text through the buffer
+    cache. *)
+
+val make :
+  Mach_bsd.Bsd_vm.t -> fs:Mach_pagers.Simfs.t -> Os_iface.t
+(** [make bsd ~fs] wraps a booted baseline kernel.  [fs] must be the file
+    system [bsd] was created over. *)

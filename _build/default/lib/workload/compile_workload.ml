@@ -1,0 +1,83 @@
+type config = {
+  programs : int;
+  source_kb : int;
+  passes : int;
+  pass_text_kb : int;
+  work_kb : int;
+  output_kb : int;
+}
+
+let thirteen_programs =
+  { programs = 13; source_kb = 8; passes = 3; pass_text_kb = 256;
+    work_kb = 128; output_kb = 8 }
+
+(* The real kernel build was ~250 files; 60 units keeps the simulation
+   quick while preserving the cache-pressure shape. *)
+let kernel_build =
+  { programs = 60; source_kb = 24; passes = 3; pass_text_kb = 512;
+    work_kb = 192; output_kb = 16 }
+
+let fork_test =
+  { programs = 4; source_kb = 1; passes = 3; pass_text_kb = 256;
+    work_kb = 64; output_kb = 2 }
+
+let kb = 1024
+
+let pass_binary i = Printf.sprintf "/bin/cc-pass%d" i
+
+let source_file i = Printf.sprintf "/src/unit%03d.c" i
+
+let object_file i = Printf.sprintf "/obj/unit%03d.o" i
+
+(* Deterministic file contents so data integrity checks are possible. *)
+let filler ~tag ~size =
+  let b = Bytes.create size in
+  let t = String.length tag in
+  for i = 0 to size - 1 do
+    Bytes.set b i tag.[i mod t]
+  done;
+  b
+
+let setup (os : Os_iface.t) cfg =
+  for p = 0 to cfg.passes - 1 do
+    os.Os_iface.install_file ~name:(pass_binary p)
+      ~data:(filler ~tag:(Printf.sprintf "PASS%d" p) ~size:(cfg.pass_text_kb * kb))
+  done;
+  for i = 0 to cfg.programs - 1 do
+    os.Os_iface.install_file ~name:(source_file i)
+      ~data:(filler ~tag:(Printf.sprintf "src%d" i) ~size:(cfg.source_kb * kb))
+  done
+
+let compile_one (os : Os_iface.t) cfg ~shell ~unit_idx =
+  let cpu = 0 in
+  for pass = 0 to cfg.passes - 1 do
+    let child = os.Os_iface.proc_fork ~cpu shell in
+    os.Os_iface.proc_run ~cpu child;
+    os.Os_iface.exec ~cpu child ~text:(pass_binary pass);
+    ignore
+      (os.Os_iface.read_file ~cpu ~name:(source_file unit_idx) ~offset:0
+         ~len:(cfg.source_kb * kb));
+    let work = os.Os_iface.alloc ~cpu child ~size:(cfg.work_kb * kb) in
+    os.Os_iface.touch ~cpu child ~addr:work ~size:(cfg.work_kb * kb)
+      ~write:true;
+    if pass = cfg.passes - 1 then
+      os.Os_iface.write_file ~cpu ~name:(object_file unit_idx) ~offset:0
+        ~data:(filler ~tag:"obj" ~size:(cfg.output_kb * kb));
+    os.Os_iface.proc_exit ~cpu child
+  done
+
+let run (os : Os_iface.t) cfg =
+  let cpu = 0 in
+  let shell = os.Os_iface.proc_create ~name:"sh" in
+  os.Os_iface.proc_run ~cpu shell;
+  (* Give the shell a small dirty working set so fork has something to
+     copy, as a real shell does. *)
+  let sh_mem = os.Os_iface.alloc ~cpu shell ~size:(64 * kb) in
+  os.Os_iface.touch ~cpu shell ~addr:sh_mem ~size:(64 * kb) ~write:true;
+  os.Os_iface.reset ();
+  for i = 0 to cfg.programs - 1 do
+    compile_one os cfg ~shell ~unit_idx:i
+  done;
+  let ms = os.Os_iface.elapsed_ms () in
+  os.Os_iface.proc_exit ~cpu shell;
+  ms

@@ -1,0 +1,38 @@
+(** The synthetic compilation workload behind Table 7-2.
+
+    A compile of one program is modelled as UNIX make/cc would drive it:
+    the shell forks; the child execs the compiler (whose text is one
+    shared file — the reuse the object cache exploits), reads the source
+    file, allocates and dirties a working set, writes the object file and
+    exits.  Multi-pass compilers repeat this per pass with distinct pass
+    binaries.
+
+    The "13 programs" row uses small sources; the "Mach kernel" row is
+    many more, larger, compilation units.  Everything is deterministic. *)
+
+type config = {
+  programs : int;          (** compilation units *)
+  source_kb : int;         (** source file size per unit *)
+  passes : int;            (** compiler passes (cpp, ccom, as, ...) *)
+  pass_text_kb : int;      (** text size of each pass binary *)
+  work_kb : int;           (** working set dirtied per pass *)
+  output_kb : int;         (** object file written per unit *)
+}
+
+val thirteen_programs : config
+(** The "13 programs" benchmark of Table 7-2. *)
+
+val kernel_build : config
+(** The "Mach kernel" build of Table 7-2 (scaled down proportionally so
+    the simulation stays fast; the shape is what matters). *)
+
+val fork_test : config
+(** The small "compile fork test program" of Table 7-2 (SUN 3 row). *)
+
+val setup : Os_iface.t -> config -> unit
+(** Install the compiler pass binaries and all source files (uncharged). *)
+
+val run : Os_iface.t -> config -> float
+(** Run all compiles on CPU 0 and return elapsed milliseconds (the clock
+    is reset first; file caches keep whatever state setup and prior runs
+    left, as on a real machine). *)

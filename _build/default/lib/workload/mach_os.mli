@@ -1,0 +1,12 @@
+(** The Mach implementation of the benchmark OS surface.
+
+    Fork is copy-on-write via the address-map fork of Section 3; exec maps
+    the program text as a memory object through the vnode pager, so the
+    object cache makes repeated execs of the same program cheap; file
+    reads go through memory objects and the resident page cache rather
+    than a fixed buffer pool. *)
+
+val make :
+  Mach_core.Kernel.t -> fs:Mach_pagers.Simfs.t -> Os_iface.t
+(** [make kernel ~fs] wraps a booted Mach kernel.  The kernel and [fs]
+    must share the same machine. *)

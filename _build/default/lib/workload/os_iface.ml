@@ -1,0 +1,22 @@
+type proc = int
+
+type t = {
+  os_name : string;
+  machine : Mach_hw.Machine.t;
+  proc_create : name:string -> proc;
+  proc_fork : cpu:int -> proc -> proc;
+  proc_exit : cpu:int -> proc -> unit;
+  proc_run : cpu:int -> proc -> unit;
+  alloc : cpu:int -> proc -> size:int -> int;
+  touch : cpu:int -> proc -> addr:int -> size:int -> write:bool -> unit;
+  exec : cpu:int -> proc -> text:string -> unit;
+  read_file : cpu:int -> name:string -> offset:int -> len:int -> int;
+  write_file : cpu:int -> name:string -> offset:int -> data:Bytes.t -> unit;
+  install_file : name:string -> data:Bytes.t -> unit;
+  elapsed_ms : unit -> float;
+  reset : unit -> unit;
+}
+
+let make_proc i = i
+
+let proc_id p = p

@@ -1,0 +1,42 @@
+(** A common operating-system surface for benchmark workloads.
+
+    Tables 7-1 and 7-2 compare the same operations under Mach and under
+    traditional UNIX on identical hardware; this record is that common
+    surface.  {!Mach_os.make} and {!Bsd_os.make} provide the two
+    implementations over the same simulated machine and file system
+    substrate, so measured differences come from the VM design. *)
+
+type proc
+(** An opaque process/task handle. *)
+
+type t = {
+  os_name : string;
+  machine : Mach_hw.Machine.t;
+  proc_create : name:string -> proc;
+      (** a fresh process with an empty address space *)
+  proc_fork : cpu:int -> proc -> proc;
+      (** duplicate the address space (UNIX fork semantics) *)
+  proc_exit : cpu:int -> proc -> unit;
+  proc_run : cpu:int -> proc -> unit;
+      (** schedule the process on a CPU (activates its pmap) *)
+  alloc : cpu:int -> proc -> size:int -> int;
+      (** allocate zero-filled memory, returning its base address *)
+  touch : cpu:int -> proc -> addr:int -> size:int -> write:bool -> unit;
+      (** access one byte in every page of the range through the MMU *)
+  exec : cpu:int -> proc -> text:string -> unit;
+      (** load and touch the program text stored in file [text] *)
+  read_file : cpu:int -> name:string -> offset:int -> len:int -> int;
+      (** UNIX read(): returns bytes read *)
+  write_file : cpu:int -> name:string -> offset:int -> data:Bytes.t -> unit;
+  install_file : name:string -> data:Bytes.t -> unit;
+      (** benchmark setup: create a file without charging the clock *)
+  elapsed_ms : unit -> float;
+  reset : unit -> unit;
+      (** zero clocks and counters between measurements (keeps caches
+          warm — measuring cold vs warm is the benchmark's job) *)
+}
+
+val make_proc : int -> proc
+(** Implementations wrap their internal process ids. *)
+
+val proc_id : proc -> int

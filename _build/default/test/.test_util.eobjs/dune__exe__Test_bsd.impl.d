@@ -1,0 +1,1 @@
+test/test_bsd.ml: Alcotest Arch Bsd_vm Buffer_cache Bytes Mach_bsd Mach_hw Mach_pagers Machine Printf Simfs

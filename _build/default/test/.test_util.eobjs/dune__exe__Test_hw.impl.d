@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Arch Bytes Hashtbl List Mach_hw Machine Phys_mem Prot QCheck2 QCheck_alcotest Tlb Translator

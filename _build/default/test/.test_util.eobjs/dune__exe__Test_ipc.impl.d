@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Arch Bytes Ipc Kernel Kr List Mach_core Mach_hw Mach_ipc Machine Syscall_server Task Types Vm_map Vm_user

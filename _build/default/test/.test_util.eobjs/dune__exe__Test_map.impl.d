@@ -1,0 +1,1 @@
+test/test_map.ml: Alcotest Arch Gen Inheritance Kernel Kr List Mach_core Mach_hw Mach_pmap Machine Pmap_domain Prot QCheck2 QCheck_alcotest Test Types Vm_fault Vm_map Vm_object Vm_sys

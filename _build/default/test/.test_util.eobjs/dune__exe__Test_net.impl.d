@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Arch Bytes Kernel Kr List Mach_core Mach_hw Mach_net Mach_pagers Machine Net_pager Netlink Printf Simfs String Vm_object Vm_pageout

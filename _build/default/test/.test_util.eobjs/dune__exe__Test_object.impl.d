@@ -1,0 +1,1 @@
+test/test_object.ml: Alcotest Arch Bytes Hashtbl Kernel Mach_core Mach_hw Machine Option Printf Resident Types Vm_object Vm_sys

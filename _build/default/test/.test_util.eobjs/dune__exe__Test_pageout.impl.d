@@ -1,0 +1,1 @@
+test/test_pageout.ml: Alcotest Arch Bytes Kernel Kr Mach_core Mach_hw Mach_pmap Machine Option Printf Resident Swap_pager Task Types Vm_map Vm_object Vm_pageout Vm_sys Vm_user

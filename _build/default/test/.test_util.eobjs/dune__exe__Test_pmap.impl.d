@@ -1,0 +1,1 @@
+test/test_pmap.ml: Alcotest Arch Bytes Gen Hashtbl List Mach_hw Mach_pmap Machine Phys_mem Pmap Pmap_domain Printf Prot QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Arch Char Det_rng Hashtbl Inheritance Kernel Kr List Mach_core Mach_hw Mach_util Machine Prot String Task Types Vm_debug Vm_map Vm_pageout Vm_user

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Arch Bytes Kernel Kr Kthread List Mach_core Mach_hw Mach_ipc Machine Option Printf Sched Vm_user

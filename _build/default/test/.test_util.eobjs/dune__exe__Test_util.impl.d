@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Det_rng Dlist Fun Gen List Mach_util Option QCheck2 QCheck_alcotest String Tablefmt Test

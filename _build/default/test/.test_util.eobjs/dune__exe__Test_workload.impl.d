@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Arch Bsd_os Bytes Compile_workload List Mach_bsd Mach_core Mach_hw Mach_os Mach_pagers Mach_workload Machine Os_iface Workload

@@ -1,0 +1,431 @@
+(* Tests for mach_hw: protections, physical memory, TLB and the machine's
+   translation/fault/shootdown behaviour. *)
+
+open Mach_hw
+
+(* ---- Prot -------------------------------------------------------------- *)
+
+let prot_gen =
+  QCheck2.Gen.(
+    map3
+      (fun r w x -> Prot.make ~read:r ~write:w ~execute:x)
+      bool bool bool)
+
+let prot_qcheck name f = QCheck2.Test.make ~name ~count:200 prot_gen f
+
+let prot_pair_qcheck name f =
+  QCheck2.Test.make ~name ~count:200 (QCheck2.Gen.pair prot_gen prot_gen) f
+
+let test_prot_constants () =
+  Alcotest.(check bool) "none is none" true (Prot.is_none Prot.none);
+  Alcotest.(check bool) "rw not none" false (Prot.is_none Prot.read_write);
+  Alcotest.(check string) "pp all" "rwx" (Prot.to_string Prot.all);
+  Alcotest.(check string) "pp ro" "r--" (Prot.to_string Prot.read_only);
+  Alcotest.(check string) "pp rx" "r-x" (Prot.to_string Prot.read_execute)
+
+let test_prot_allows () =
+  Alcotest.(check bool) "ro allows read" true
+    (Prot.allows Prot.read_only ~write:false);
+  Alcotest.(check bool) "ro rejects write" false
+    (Prot.allows Prot.read_only ~write:true);
+  Alcotest.(check bool) "rw allows write" true
+    (Prot.allows Prot.read_write ~write:true);
+  Alcotest.(check bool) "none rejects read" false
+    (Prot.allows Prot.none ~write:false)
+
+let test_prot_remove_write () =
+  Alcotest.(check bool) "no write" false
+    (Prot.allows (Prot.remove_write Prot.all) ~write:true);
+  Alcotest.(check bool) "keeps read" true
+    (Prot.allows (Prot.remove_write Prot.all) ~write:false)
+
+let prot_lattice_tests =
+  [ prot_pair_qcheck "inter is subset of both" (fun (p, q) ->
+        Prot.subset (Prot.inter p q) ~of_:p
+        && Prot.subset (Prot.inter p q) ~of_:q);
+    prot_pair_qcheck "union contains both" (fun (p, q) ->
+        Prot.subset p ~of_:(Prot.union p q)
+        && Prot.subset q ~of_:(Prot.union p q));
+    prot_qcheck "subset reflexive" (fun p -> Prot.subset p ~of_:p);
+    prot_qcheck "none subset of all" (fun p ->
+        Prot.subset Prot.none ~of_:p && Prot.subset p ~of_:Prot.all);
+    prot_pair_qcheck "inter commutative" (fun (p, q) ->
+        Prot.equal (Prot.inter p q) (Prot.inter q p));
+    prot_qcheck "remove_write idempotent" (fun p ->
+        Prot.equal
+          (Prot.remove_write (Prot.remove_write p))
+          (Prot.remove_write p)) ]
+
+(* ---- Phys_mem ----------------------------------------------------------- *)
+
+let test_phys_rw () =
+  let m = Phys_mem.create ~page_size:512 ~frames:8 () in
+  Phys_mem.write m 3 ~offset:100 (Bytes.of_string "hello");
+  Alcotest.(check string) "read back" "hello"
+    (Bytes.to_string (Phys_mem.read m 3 ~offset:100 ~len:5));
+  Alcotest.(check char) "byte" 'e' (Phys_mem.read_byte m 3 ~offset:101)
+
+let test_phys_zero_copy () =
+  let m = Phys_mem.create ~page_size:128 ~frames:4 () in
+  Phys_mem.write m 0 ~offset:0 (Bytes.make 128 'z');
+  Phys_mem.copy_frame m ~src:0 ~dst:1;
+  Alcotest.(check bool) "copied" true (Phys_mem.frame_equal m 0 1);
+  Phys_mem.zero_frame m 0;
+  Alcotest.(check char) "zeroed" '\000' (Phys_mem.read_byte m 0 ~offset:50);
+  Alcotest.(check bool) "now differ" false (Phys_mem.frame_equal m 0 1)
+
+let test_phys_holes () =
+  let m = Phys_mem.create ~page_size:512 ~frames:10 ~holes:[ (4, 6) ] () in
+  Alcotest.(check bool) "3 exists" true (Phys_mem.frame_exists m 3);
+  Alcotest.(check bool) "5 absent" false (Phys_mem.frame_exists m 5);
+  Alcotest.(check int) "present count" 7
+    (List.length (Phys_mem.present_frames m));
+  Alcotest.check_raises "access hole"
+    (Invalid_argument "Phys_mem: access to absent frame") (fun () ->
+        ignore (Phys_mem.read m 5 ~offset:0 ~len:1))
+
+let test_phys_bounds () =
+  let m = Phys_mem.create ~page_size:64 ~frames:2 () in
+  Alcotest.check_raises "overrun"
+    (Invalid_argument "Phys_mem.read: out of frame") (fun () ->
+        ignore (Phys_mem.read m 0 ~offset:60 ~len:8))
+
+let test_phys_bad_page_size () =
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Phys_mem.create: page size must be a power of two")
+    (fun () -> ignore (Phys_mem.create ~page_size:100 ~frames:2 ()))
+
+(* ---- Tlb ----------------------------------------------------------------- *)
+
+let entry ~asid ~vpn ~pfn = { Tlb.asid; vpn; pfn; prot = Prot.read_write }
+
+let test_tlb_hit_miss () =
+  let t = Tlb.create ~capacity:4 in
+  Alcotest.(check bool) "miss" true (Tlb.lookup t ~asid:1 ~vpn:5 = None);
+  Tlb.insert t (entry ~asid:1 ~vpn:5 ~pfn:9);
+  (match Tlb.lookup t ~asid:1 ~vpn:5 with
+   | Some e -> Alcotest.(check int) "pfn" 9 e.Tlb.pfn
+   | None -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "hits" 1 (Tlb.hits t);
+  Alcotest.(check int) "misses" 1 (Tlb.misses t)
+
+let test_tlb_fifo_eviction () =
+  let t = Tlb.create ~capacity:2 in
+  Tlb.insert t (entry ~asid:1 ~vpn:1 ~pfn:1);
+  Tlb.insert t (entry ~asid:1 ~vpn:2 ~pfn:2);
+  Tlb.insert t (entry ~asid:1 ~vpn:3 ~pfn:3);
+  Alcotest.(check bool) "oldest gone" true (Tlb.lookup t ~asid:1 ~vpn:1 = None);
+  Alcotest.(check bool) "newest present" true
+    (Tlb.lookup t ~asid:1 ~vpn:3 <> None)
+
+let test_tlb_replace_same_key () =
+  let t = Tlb.create ~capacity:2 in
+  Tlb.insert t (entry ~asid:1 ~vpn:1 ~pfn:1);
+  Tlb.insert t (entry ~asid:1 ~vpn:1 ~pfn:42);
+  (match Tlb.lookup t ~asid:1 ~vpn:1 with
+   | Some e -> Alcotest.(check int) "updated" 42 e.Tlb.pfn
+   | None -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "one entry" 1 (List.length (Tlb.entries t))
+
+let test_tlb_invalidate () =
+  let t = Tlb.create ~capacity:8 in
+  Tlb.insert t (entry ~asid:1 ~vpn:1 ~pfn:1);
+  Tlb.insert t (entry ~asid:1 ~vpn:2 ~pfn:2);
+  Tlb.insert t (entry ~asid:2 ~vpn:1 ~pfn:3);
+  Tlb.invalidate_page t ~asid:1 ~vpn:1;
+  Alcotest.(check bool) "page gone" true (Tlb.lookup t ~asid:1 ~vpn:1 = None);
+  Tlb.invalidate_asid t ~asid:1;
+  Alcotest.(check bool) "asid gone" true (Tlb.lookup t ~asid:1 ~vpn:2 = None);
+  Alcotest.(check bool) "other asid stays" true
+    (Tlb.lookup t ~asid:2 ~vpn:1 <> None);
+  Tlb.invalidate_all t;
+  Alcotest.(check int) "empty" 0 (List.length (Tlb.entries t))
+
+let test_tlb_zero_capacity () =
+  let t = Tlb.create ~capacity:0 in
+  Tlb.insert t (entry ~asid:1 ~vpn:1 ~pfn:1);
+  Alcotest.(check bool) "never caches" true (Tlb.lookup t ~asid:1 ~vpn:1 = None)
+
+(* ---- Machine ------------------------------------------------------------ *)
+
+(* A tiny translator over a mutable mapping table. *)
+let make_translator ~asid table =
+  { Translator.asid;
+    lookup =
+      (fun vpn ->
+         match Hashtbl.find_opt table vpn with
+         | Some (pfn, prot) -> Translator.Mapped { pfn; prot }
+         | None -> Translator.Missing);
+    walk_cost = 10 }
+
+let test_machine ?(cpus = 1) () =
+  Machine.create ~arch:Arch.uvax2 ~memory_frames:64 ~cpus ()
+
+let test_machine_translate_and_data () =
+  let m = test_machine () in
+  let table = Hashtbl.create 8 in
+  Hashtbl.replace table 0 (7, Prot.read_write);
+  Hashtbl.replace table 1 (3, Prot.read_write);
+  Machine.set_translator m ~cpu:0 (Some (make_translator ~asid:1 table));
+  (* Write spanning the page boundary at 512. *)
+  Machine.write m ~cpu:0 ~va:508 (Bytes.of_string "ABCDEFGH");
+  Alcotest.(check string) "spanning read" "ABCDEFGH"
+    (Bytes.to_string (Machine.read m ~cpu:0 ~va:508 ~len:8));
+  (* Data physically landed in frames 7 then 3. *)
+  Alcotest.(check string) "frame 7 tail" "ABCD"
+    (Bytes.to_string (Phys_mem.read (Machine.phys m) 7 ~offset:508 ~len:4));
+  Alcotest.(check string) "frame 3 head" "EFGH"
+    (Bytes.to_string (Phys_mem.read (Machine.phys m) 3 ~offset:0 ~len:4))
+
+let test_machine_fault_handler_repairs () =
+  let m = test_machine () in
+  let table = Hashtbl.create 8 in
+  Machine.set_translator m ~cpu:0 (Some (make_translator ~asid:1 table));
+  let faults = ref 0 in
+  Machine.set_fault_handler m (fun ~cpu:_ f ->
+      incr faults;
+      Hashtbl.replace table (f.Machine.fault_va / 512) (5, Prot.read_write));
+  Machine.write_byte m ~cpu:0 ~va:100 'x';
+  Alcotest.(check int) "one fault" 1 !faults;
+  Alcotest.(check char) "then works" 'x' (Machine.read_byte m ~cpu:0 ~va:100);
+  Alcotest.(check int) "no more faults" 1 !faults
+
+let test_machine_violation_without_handler () =
+  let m = test_machine () in
+  Machine.set_translator m ~cpu:0
+    (Some (make_translator ~asid:1 (Hashtbl.create 1)));
+  (try
+     ignore (Machine.read_byte m ~cpu:0 ~va:0);
+     Alcotest.fail "expected violation"
+   with Machine.Memory_violation _ -> ())
+
+let test_machine_unresolved_fault () =
+  let m = test_machine () in
+  Machine.set_translator m ~cpu:0
+    (Some (make_translator ~asid:1 (Hashtbl.create 1)));
+  (* A handler that claims success but fixes nothing must not loop
+     forever. *)
+  Machine.set_fault_handler m (fun ~cpu:_ _ -> ());
+  (try
+     ignore (Machine.read_byte m ~cpu:0 ~va:0);
+     Alcotest.fail "expected Unresolved_fault"
+   with Machine.Unresolved_fault _ -> ())
+
+let test_machine_protection_fault_on_write () =
+  let m = test_machine () in
+  let table = Hashtbl.create 8 in
+  Hashtbl.replace table 0 (2, Prot.read_only);
+  Machine.set_translator m ~cpu:0 (Some (make_translator ~asid:1 table));
+  let upgraded = ref false in
+  Machine.set_fault_handler m (fun ~cpu:_ f ->
+      Alcotest.(check bool) "protection kind" true
+        (f.Machine.fault_kind = `Protection);
+      upgraded := true;
+      Hashtbl.replace table 0 (2, Prot.read_write));
+  ignore (Machine.read_byte m ~cpu:0 ~va:8);
+  Alcotest.(check bool) "read ok without fault" false !upgraded;
+  Machine.write_byte m ~cpu:0 ~va:8 'w';
+  Alcotest.(check bool) "write faulted and repaired" true !upgraded
+
+let test_machine_clock_charging () =
+  let m = test_machine ~cpus:2 () in
+  Machine.charge m ~cpu:0 100;
+  Machine.charge m ~cpu:1 250;
+  Alcotest.(check int) "cpu0" 100 (Machine.cycles m ~cpu:0);
+  Alcotest.(check int) "cpu1" 250 (Machine.cycles m ~cpu:1);
+  Alcotest.(check int) "max" 250 (Machine.max_cycles m);
+  Machine.reset_clocks m;
+  Alcotest.(check int) "reset" 0 (Machine.max_cycles m)
+
+let test_machine_disk_charge () =
+  let m = test_machine () in
+  Machine.charge_disk m ~cpu:0 ~bytes:4096;
+  let s = Machine.stats m in
+  Alcotest.(check int) "ops" 1 s.Machine.disk_ops;
+  Alcotest.(check int) "bytes" 4096 s.Machine.disk_bytes;
+  Alcotest.(check bool) "charged" true (Machine.cycles m ~cpu:0 > 0)
+
+let shootdown_setup strategy =
+  let m =
+    Machine.create ~arch:Arch.uvax2 ~memory_frames:64 ~cpus:2
+      ~shootdown:strategy ()
+  in
+  let table = Hashtbl.create 8 in
+  Hashtbl.replace table 0 (7, Prot.read_write);
+  let tr = make_translator ~asid:1 table in
+  Machine.set_translator m ~cpu:0 (Some tr);
+  Machine.set_translator m ~cpu:1 (Some tr);
+  (* Warm both TLBs. *)
+  ignore (Machine.read_byte m ~cpu:0 ~va:0);
+  ignore (Machine.read_byte m ~cpu:1 ~va:0);
+  (m, table)
+
+let test_shootdown_immediate () =
+  let m, table = shootdown_setup Machine.Immediate_ipi in
+  Hashtbl.remove table 0;
+  Machine.shootdown m ~initiator:0 ~targets:[ 0; 1 ]
+    (Machine.Flush_page { asid = 1; vpn = 0 }) ~urgent:false;
+  Alcotest.(check int) "one IPI" 1 (Machine.stats m).Machine.ipis;
+  (* CPU 1's TLB entry is gone: the next access faults. *)
+  Machine.set_fault_handler m (fun ~cpu:_ _ ->
+      Hashtbl.replace table 0 (7, Prot.read_write));
+  ignore (Machine.read_byte m ~cpu:1 ~va:0);
+  Alcotest.(check int) "faulted" 1 (Machine.stats m).Machine.faults
+
+let test_shootdown_deferred_waits () =
+  let m, _table = shootdown_setup Machine.Deferred_timer in
+  let before = Machine.cycles m ~cpu:0 in
+  Machine.shootdown m ~initiator:0 ~targets:[ 0; 1 ] (Machine.Flush_asid 1)
+    ~urgent:false;
+  Alcotest.(check int) "no IPIs" 0 (Machine.stats m).Machine.ipis;
+  Alcotest.(check bool) "initiator waited for the tick" true
+    (Machine.cycles m ~cpu:0 - before > 1000);
+  Alcotest.(check int) "flush applied at tick" 0
+    (Machine.pending_flushes m ~cpu:1)
+
+let test_shootdown_lazy_stale () =
+  let m, _table = shootdown_setup Machine.Lazy_local in
+  Machine.shootdown m ~initiator:0 ~targets:[ 0; 1 ]
+    (Machine.Flush_page { asid = 1; vpn = 0 }) ~urgent:false;
+  Alcotest.(check int) "pending on remote" 1
+    (Machine.pending_flushes m ~cpu:1);
+  (* CPU 1 still hits its stale entry; the machine counts it. *)
+  ignore (Machine.read_byte m ~cpu:1 ~va:0);
+  Alcotest.(check int) "stale use counted" 1
+    (Machine.stats m).Machine.stale_tlb_uses;
+  Machine.tick m;
+  Alcotest.(check int) "drained" 0 (Machine.pending_flushes m ~cpu:1);
+  Alcotest.(check bool) "deferred flush counted" true
+    ((Machine.stats m).Machine.deferred_flushes >= 1)
+
+let test_shootdown_urgent_overrides_lazy () =
+  let m, _table = shootdown_setup Machine.Lazy_local in
+  Machine.shootdown m ~initiator:0 ~targets:[ 0; 1 ]
+    (Machine.Flush_page { asid = 1; vpn = 0 }) ~urgent:true;
+  Alcotest.(check int) "IPI despite lazy strategy" 1
+    (Machine.stats m).Machine.ipis;
+  Alcotest.(check int) "nothing pending" 0 (Machine.pending_flushes m ~cpu:1)
+
+let test_rmw_bug_reporting () =
+  (* On the NS32082, a write that protection-faults is reported as a
+     read. *)
+  let m = Machine.create ~arch:Arch.ns32082 ~memory_frames:64 () in
+  let table = Hashtbl.create 8 in
+  Hashtbl.replace table 0 (1, Prot.read_only);
+  Machine.set_translator m ~cpu:0 (Some (make_translator ~asid:1 table));
+  let reported = ref None in
+  Machine.set_fault_handler m (fun ~cpu:_ f ->
+      reported := Some f.Machine.fault_write;
+      Hashtbl.replace table 0 (1, Prot.read_write));
+  Machine.write_byte m ~cpu:0 ~va:4 'w';
+  Alcotest.(check (option bool)) "write reported as read" (Some false)
+    !reported
+
+let test_no_address_space () =
+  let m = test_machine () in
+  (try
+     ignore (Machine.read_byte m ~cpu:0 ~va:0);
+     Alcotest.fail "expected violation"
+   with Machine.Memory_violation { reason; _ } ->
+     Alcotest.(check string) "reason" "no address space" reason)
+
+let test_tlb_used_on_second_access () =
+  let m = test_machine () in
+  let table = Hashtbl.create 8 in
+  Hashtbl.replace table 0 (7, Prot.read_write);
+  Machine.set_translator m ~cpu:0 (Some (make_translator ~asid:1 table));
+  ignore (Machine.read_byte m ~cpu:0 ~va:0);
+  let misses = Machine.tlb_misses m in
+  ignore (Machine.read_byte m ~cpu:0 ~va:4);
+  Alcotest.(check int) "no new misses" misses (Machine.tlb_misses m);
+  Alcotest.(check bool) "hit recorded" true (Machine.tlb_hits m >= 1)
+
+(* ---- Arch sanity ---------------------------------------------------------- *)
+
+let test_arch_catalogue () =
+  Alcotest.(check int) "seven architectures" 7 (List.length Arch.all);
+  let names = List.map (fun a -> a.Arch.name) Arch.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun a ->
+       let p = a.Arch.hw_page_size in
+       Alcotest.(check bool) (a.Arch.name ^ ": page power of two") true
+         (p > 0 && p land (p - 1) = 0);
+       Alcotest.(check bool) (a.Arch.name ^ ": positive clock") true
+         (a.Arch.cycles_per_ms > 0);
+       let c = a.Arch.cost in
+       Alcotest.(check bool) (a.Arch.name ^ ": sane costs") true
+         (c.Arch.mem_op > 0 && c.Arch.move_16b > 0
+          && c.Arch.fault_overhead > 0 && c.Arch.disk_latency > 0))
+    Arch.all
+
+let test_cycles_to_ms () =
+  Alcotest.(check (float 0.001)) "1 ms on uVAX II" 1.0
+    (Arch.cycles_to_ms Arch.uvax2 Arch.uvax2.Arch.cycles_per_ms);
+  Alcotest.(check (float 0.001)) "half ms" 0.5
+    (Arch.cycles_to_ms Arch.vax8650 (Arch.vax8650.Arch.cycles_per_ms / 2))
+
+let test_machine_zero_len_access () =
+  let m = test_machine () in
+  let table = Hashtbl.create 4 in
+  Hashtbl.replace table 0 (1, Prot.read_write);
+  Machine.set_translator m ~cpu:0 (Some (make_translator ~asid:1 table));
+  Alcotest.(check int) "empty read" 0
+    (Bytes.length (Machine.read m ~cpu:0 ~va:0 ~len:0));
+  Machine.write m ~cpu:0 ~va:0 (Bytes.create 0)
+
+let () =
+  Alcotest.run "mach_hw"
+    [ ( "prot",
+        [ Alcotest.test_case "constants" `Quick test_prot_constants;
+          Alcotest.test_case "allows" `Quick test_prot_allows;
+          Alcotest.test_case "remove_write" `Quick test_prot_remove_write ]
+        @ List.map QCheck_alcotest.to_alcotest prot_lattice_tests );
+      ( "phys_mem",
+        [ Alcotest.test_case "read/write" `Quick test_phys_rw;
+          Alcotest.test_case "zero/copy frames" `Quick test_phys_zero_copy;
+          Alcotest.test_case "holes" `Quick test_phys_holes;
+          Alcotest.test_case "bounds" `Quick test_phys_bounds;
+          Alcotest.test_case "bad page size" `Quick test_phys_bad_page_size ]
+      );
+      ( "tlb",
+        [ Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "fifo eviction" `Quick test_tlb_fifo_eviction;
+          Alcotest.test_case "replace same key" `Quick
+            test_tlb_replace_same_key;
+          Alcotest.test_case "invalidate" `Quick test_tlb_invalidate;
+          Alcotest.test_case "zero capacity" `Quick test_tlb_zero_capacity ]
+      );
+      ( "machine",
+        [ Alcotest.test_case "translate + data" `Quick
+            test_machine_translate_and_data;
+          Alcotest.test_case "fault handler repairs" `Quick
+            test_machine_fault_handler_repairs;
+          Alcotest.test_case "violation without handler" `Quick
+            test_machine_violation_without_handler;
+          Alcotest.test_case "unresolved fault detected" `Quick
+            test_machine_unresolved_fault;
+          Alcotest.test_case "protection fault on write" `Quick
+            test_machine_protection_fault_on_write;
+          Alcotest.test_case "clock charging" `Quick
+            test_machine_clock_charging;
+          Alcotest.test_case "disk charge" `Quick test_machine_disk_charge;
+          Alcotest.test_case "no address space" `Quick test_no_address_space;
+          Alcotest.test_case "TLB used on second access" `Quick
+            test_tlb_used_on_second_access;
+          Alcotest.test_case "rmw bug reporting" `Quick test_rmw_bug_reporting
+        ] );
+      ( "arch",
+        [ Alcotest.test_case "catalogue" `Quick test_arch_catalogue;
+          Alcotest.test_case "cycles_to_ms" `Quick test_cycles_to_ms;
+          Alcotest.test_case "zero-length access" `Quick
+            test_machine_zero_len_access ] );
+      ( "shootdown",
+        [ Alcotest.test_case "immediate IPI" `Quick test_shootdown_immediate;
+          Alcotest.test_case "deferred waits for tick" `Quick
+            test_shootdown_deferred_waits;
+          Alcotest.test_case "lazy leaves stale entries" `Quick
+            test_shootdown_lazy_stale;
+          Alcotest.test_case "urgent overrides lazy" `Quick
+            test_shootdown_urgent_overrides_lazy ] ) ]

@@ -1,0 +1,399 @@
+(* Tests for the pager substrate: the simulated disk, the file system,
+   the vnode pager (mapped files), and the message-driven external
+   pager. *)
+
+open Mach_hw
+open Mach_core
+open Mach_pagers
+
+let kb = 1024
+
+let boot () =
+  let machine = Machine.create ~arch:Arch.vax8200 ~memory_frames:8192 () in
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  let fs = Simfs.create machine () in
+  (machine, kernel, Kernel.sys kernel, fs)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Kr.to_string e)
+
+let new_task kernel ~cpu =
+  let t = Kernel.create_task kernel () in
+  Kernel.run_task kernel ~cpu t;
+  t
+
+(* ---- simdisk ------------------------------------------------------------ *)
+
+let test_disk_rw_and_costs () =
+  let machine = Machine.create ~arch:Arch.vax8200 ~memory_frames:64 () in
+  let d = Simdisk.create machine ~block_size:4096 in
+  Simdisk.write d ~cpu:0 ~block:5 (Bytes.of_string "disk block");
+  Alcotest.(check string) "read back" "disk block"
+    (Bytes.to_string (Bytes.sub (Simdisk.read d ~cpu:0 ~block:5) 0 10));
+  Alcotest.(check int) "counters" 1 (Simdisk.reads d);
+  Alcotest.(check int) "writes" 1 (Simdisk.writes d);
+  Alcotest.(check bool) "time charged" true (Machine.max_cycles machine > 0);
+  (* Unwritten blocks read as zeros. *)
+  Alcotest.(check char) "zero block" '\000'
+    (Bytes.get (Simdisk.read d ~cpu:0 ~block:99) 0)
+
+let test_disk_install_uncharged () =
+  let machine = Machine.create ~arch:Arch.vax8200 ~memory_frames:64 () in
+  let d = Simdisk.create machine ~block_size:512 in
+  Simdisk.install d ~block:1 (Bytes.of_string "setup");
+  Alcotest.(check int) "no ops counted" 0 (Simdisk.writes d);
+  Alcotest.(check int) "no time" 0 (Machine.max_cycles machine)
+
+(* ---- simfs --------------------------------------------------------------- *)
+
+let test_fs_roundtrip () =
+  let _, _, _, fs = boot () in
+  Simfs.install_file fs ~name:"/a" ~data:(Bytes.of_string "contents of a");
+  Alcotest.(check bool) "exists" true (Simfs.exists fs ~name:"/a");
+  Alcotest.(check int) "size" 13 (Simfs.file_size fs ~name:"/a");
+  Alcotest.(check string) "read all" "contents of a"
+    (Bytes.to_string (Simfs.read fs ~cpu:0 ~name:"/a" ~offset:0 ~len:13));
+  Alcotest.(check string) "read middle" "tents"
+    (Bytes.to_string (Simfs.read fs ~cpu:0 ~name:"/a" ~offset:3 ~len:5))
+
+let test_fs_short_reads () =
+  let _, _, _, fs = boot () in
+  Simfs.install_file fs ~name:"/s" ~data:(Bytes.of_string "short");
+  Alcotest.(check int) "clamped" 5
+    (Bytes.length (Simfs.read fs ~cpu:0 ~name:"/s" ~offset:0 ~len:100));
+  Alcotest.(check int) "past eof" 0
+    (Bytes.length (Simfs.read fs ~cpu:0 ~name:"/s" ~offset:50 ~len:10))
+
+let test_fs_write_extends () =
+  let _, _, _, fs = boot () in
+  Simfs.install_file fs ~name:"/w" ~data:(Bytes.of_string "12345");
+  Simfs.write fs ~cpu:0 ~name:"/w" ~offset:3 ~data:(Bytes.of_string "ABCDEF");
+  Alcotest.(check int) "extended" 9 (Simfs.file_size fs ~name:"/w");
+  Alcotest.(check string) "merged" "123ABCDEF"
+    (Bytes.to_string (Simfs.read fs ~cpu:0 ~name:"/w" ~offset:0 ~len:9))
+
+let test_fs_spanning_blocks () =
+  let _, _, _, fs = boot () in
+  let big = Bytes.init (10 * kb) (fun i -> Char.chr (65 + (i mod 26))) in
+  Simfs.install_file fs ~name:"/big" ~data:big;
+  let r = Simfs.read fs ~cpu:0 ~name:"/big" ~offset:4000 ~len:1000 in
+  Alcotest.(check string) "cross-block read"
+    (Bytes.to_string (Bytes.sub big 4000 1000))
+    (Bytes.to_string r)
+
+let test_fs_delete () =
+  let _, _, _, fs = boot () in
+  Simfs.install_file fs ~name:"/d" ~data:(Bytes.of_string "x");
+  Simfs.delete fs ~name:"/d";
+  Alcotest.(check bool) "gone" false (Simfs.exists fs ~name:"/d")
+
+(* ---- vnode pager ---------------------------------------------------------- *)
+
+let test_map_file_data () =
+  let machine, kernel, sys, fs = boot () in
+  let data = Bytes.init (20 * kb) (fun i -> Char.chr (33 + (i mod 80))) in
+  Simfs.install_file fs ~name:"/data" ~data;
+  let t = new_task kernel ~cpu:0 in
+  let a, size = ok (Vnode_pager.map_file sys fs t ~name:"/data" ()) in
+  Alcotest.(check int) "size" (20 * kb) size;
+  Alcotest.(check string) "front" (Bytes.to_string (Bytes.sub data 0 50))
+    (Bytes.to_string (Machine.read machine ~cpu:0 ~va:a ~len:50));
+  Alcotest.(check string) "deep"
+    (Bytes.to_string (Bytes.sub data (17 * kb) 100))
+    (Bytes.to_string (Machine.read machine ~cpu:0 ~va:(a + (17 * kb)) ~len:100))
+
+let test_map_file_eof_zero_fill () =
+  let machine, kernel, sys, fs = boot () in
+  (* 5000-byte file: the second 4 KB page exists but its tail past EOF is
+     zero filled. *)
+  Simfs.install_file fs ~name:"/f" ~data:(Bytes.make 5000 'F');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/f" ()) in
+  Alcotest.(check char) "data" 'F' (Machine.read_byte machine ~cpu:0 ~va:(a + 4999));
+  Alcotest.(check char) "tail zero" '\000'
+    (Machine.read_byte machine ~cpu:0 ~va:(a + 5001))
+
+let test_two_mappings_one_object () =
+  let machine, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/shared" ~data:(Bytes.make (8 * kb) 'S');
+  let t1 = new_task kernel ~cpu:0 in
+  let a1, _ = ok (Vnode_pager.map_file sys fs t1 ~name:"/shared" ()) in
+  ignore (Machine.read_byte machine ~cpu:0 ~va:a1);
+  let reads = Simdisk.reads (Simfs.disk fs) in
+  let t2 = new_task kernel ~cpu:0 in
+  let a2, _ = ok (Vnode_pager.map_file sys fs t2 ~name:"/shared" ()) in
+  ignore (Machine.read_byte machine ~cpu:0 ~va:a2);
+  Alcotest.(check int) "no extra disk reads" reads
+    (Simdisk.reads (Simfs.disk fs));
+  (* Shared mapping: a write by t2 is seen by t1. *)
+  Machine.write_byte machine ~cpu:0 ~va:a2 'W';
+  Kernel.run_task kernel ~cpu:0 t1;
+  Alcotest.(check char) "write visible" 'W'
+    (Machine.read_byte machine ~cpu:0 ~va:a1)
+
+let test_private_file_mapping () =
+  let machine, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/text" ~data:(Bytes.make (4 * kb) 'T');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/text" ~copy:true ()) in
+  Machine.write_byte machine ~cpu:0 ~va:a 'X';
+  Alcotest.(check char) "private edit" 'X'
+    (Machine.read_byte machine ~cpu:0 ~va:a);
+  (* The file itself is untouched. *)
+  Alcotest.(check char) "file intact" 'T'
+    (Bytes.get (Simfs.read fs ~cpu:0 ~name:"/text" ~offset:0 ~len:1) 0)
+
+let test_dirty_mapping_written_back () =
+  let machine, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/log" ~data:(Bytes.make (4 * kb) 'L');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/log" ()) in
+  Machine.write machine ~cpu:0 ~va:a (Bytes.of_string "UPDATED");
+  Kernel.terminate_task kernel ~cpu:0 t;
+  Vm_pageout.deactivate_some sys ~count:10_000;
+  Vm_pageout.run sys ~wanted:10_000;
+  Vm_object.drain_cache sys;
+  Alcotest.(check string) "written back" "UPDATED"
+    (Bytes.to_string (Simfs.read fs ~cpu:0 ~name:"/log" ~offset:0 ~len:7))
+
+let test_writeback_never_grows_file () =
+  let machine, kernel, sys, fs = boot () in
+  (* 5000-byte file: its second 4 KB page is mostly past EOF. *)
+  Simfs.install_file fs ~name:"/short" ~data:(Bytes.make 5000 's');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/short" ()) in
+  Machine.write_byte machine ~cpu:0 ~va:(a + 4999) 'E';
+  Machine.write_byte machine ~cpu:0 ~va:(a + 6000) 'X'; (* past EOF *)
+  Kernel.terminate_task kernel ~cpu:0 t;
+  Vm_pageout.deactivate_some sys ~count:10_000;
+  Vm_pageout.run sys ~wanted:10_000;
+  Vm_object.drain_cache sys;
+  Alcotest.(check int) "size unchanged" 5000
+    (Simfs.file_size fs ~name:"/short");
+  Alcotest.(check char) "in-file byte written back" 'E'
+    (Bytes.get (Simfs.read fs ~cpu:0 ~name:"/short" ~offset:4999 ~len:1) 0)
+
+let test_read_through_object_cache () =
+  let _, _, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/r" ~data:(Bytes.make (64 * kb) 'R');
+  let d = Simfs.disk fs in
+  let b1 =
+    Vnode_pager.read_through_object sys fs ~name:"/r" ~offset:0 ~len:(64 * kb)
+  in
+  let cold = Simdisk.reads d in
+  let b2 =
+    Vnode_pager.read_through_object sys fs ~name:"/r" ~offset:0 ~len:(64 * kb)
+  in
+  Alcotest.(check int) "warm read hits cache" cold (Simdisk.reads d);
+  Alcotest.(check bytes) "same data" b1 b2;
+  Alcotest.(check int) "correct length" (64 * kb) (Bytes.length b1)
+
+let test_map_missing_file () =
+  let _, kernel, sys, fs = boot () in
+  let t = new_task kernel ~cpu:0 in
+  (match Vnode_pager.map_file sys fs t ~name:"/nope" () with
+   | Error Kr.Invalid_argument -> ()
+   | Error e -> Alcotest.fail (Kr.to_string e)
+   | Ok _ -> Alcotest.fail "expected failure")
+
+(* ---- external pager over messages ----------------------------------------- *)
+
+let test_external_pager_protocol () =
+  let machine, kernel, sys, _fs = boot () in
+  let ps = Kernel.page_size kernel in
+  let pager, store = Port_pager.trivial_store sys ~name:"xp" () in
+  Hashtbl.replace store 0 (Bytes.of_string "external data");
+  let t = new_task kernel ~cpu:0 in
+  let a =
+    ok
+      (Vm_user.allocate_with_pager sys t ~pager ~offset:0 ~size:(2 * ps)
+         ~anywhere:true ())
+  in
+  Alcotest.(check string) "served" "external data"
+    (Bytes.to_string (Machine.read machine ~cpu:0 ~va:a ~len:13));
+  Alcotest.(check int) "one request" 1 (Port_pager.requests_served pager);
+  (* Missing offsets zero fill. *)
+  Alcotest.(check char) "zero" '\000'
+    (Machine.read_byte machine ~cpu:0 ~va:(a + ps));
+  Alcotest.(check int) "two requests" 2 (Port_pager.requests_served pager)
+
+let test_external_pager_writeback () =
+  let machine, kernel, sys, _fs = boot () in
+  let ps = Kernel.page_size kernel in
+  let pager, store = Port_pager.trivial_store sys ~name:"wb" () in
+  let t = new_task kernel ~cpu:0 in
+  let a =
+    ok
+      (Vm_user.allocate_with_pager sys t ~pager ~offset:0 ~size:ps
+         ~anywhere:true ())
+  in
+  Machine.write machine ~cpu:0 ~va:a (Bytes.of_string "dirty page");
+  Vm_pageout.deactivate_some sys ~count:10_000;
+  Vm_pageout.run sys ~wanted:10_000;
+  (match Hashtbl.find_opt store 0 with
+   | Some b ->
+     Alcotest.(check string) "pager_data_write delivered" "dirty page"
+       (Bytes.to_string (Bytes.sub b 0 10))
+   | None -> Alcotest.fail "no write message reached the pager")
+
+(* ---- Table 3-2 pager control operations ----------------------------------- *)
+
+let test_clean_request () =
+  let machine, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/c" ~data:(Bytes.make (8 * kb) 'c');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/c" ()) in
+  Machine.write machine ~cpu:0 ~va:a (Bytes.of_string "DIRTY");
+  let o =
+    match Mach_core.Vm_map.resolve_object_at sys (Mach_core.Task.map t) ~va:a with
+    | Some (o, _) -> o
+    | None -> Alcotest.fail "no object"
+  in
+  let written = Pager_ops.clean_request sys o ~offset:0 ~length:(8 * kb) in
+  Alcotest.(check int) "one dirty page written" 1 written;
+  Alcotest.(check string) "file updated without unmapping" "DIRTY"
+    (Bytes.to_string (Simfs.read fs ~cpu:0 ~name:"/c" ~offset:0 ~len:5));
+  (* The page is clean now: a second clean writes nothing. *)
+  Alcotest.(check int) "now clean" 0
+    (Pager_ops.clean_request sys o ~offset:0 ~length:(8 * kb))
+
+let test_flush_request_destroys () =
+  let machine, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/f2" ~data:(Bytes.make (4 * kb) 'q');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/f2" ()) in
+  Machine.write machine ~cpu:0 ~va:a (Bytes.of_string "LOST");
+  let o =
+    match Mach_core.Vm_map.resolve_object_at sys (Mach_core.Task.map t) ~va:a with
+    | Some (o, _) -> o
+    | None -> Alcotest.fail "no object"
+  in
+  let flushed = Pager_ops.flush_request sys o ~offset:0 ~length:(4 * kb) in
+  Alcotest.(check int) "one page flushed" 1 flushed;
+  (* The dirty data was destroyed, not written back: re-fault reads the
+     original file contents. *)
+  Alcotest.(check char) "modification discarded" 'q'
+    (Machine.read_byte machine ~cpu:0 ~va:a)
+
+let test_readonly_forces_copy () =
+  let machine, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/ro" ~data:(Bytes.make (4 * kb) 'R');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/ro" ()) in
+  ignore (Machine.read_byte machine ~cpu:0 ~va:a);
+  let o =
+    match Mach_core.Vm_map.resolve_object_at sys (Mach_core.Task.map t) ~va:a with
+    | Some (o, _) -> o
+    | None -> Alcotest.fail "no object"
+  in
+  Pager_ops.readonly sys o;
+  Alcotest.(check bool) "marked" true (Pager_ops.is_readonly o);
+  (* The write succeeds for the task (a shadow is interposed)... *)
+  Machine.write machine ~cpu:0 ~va:a (Bytes.of_string "EDIT");
+  Alcotest.(check string) "task sees its edit" "EDIT"
+    (Bytes.to_string (Machine.read machine ~cpu:0 ~va:a ~len:4));
+  (* ...but the object and its file never see the modification. *)
+  Kernel.terminate_task kernel ~cpu:0 t;
+  Vm_pageout.deactivate_some sys ~count:1000;
+  Vm_pageout.run sys ~wanted:1000;
+  Alcotest.(check char) "file untouched" 'R'
+    (Bytes.get (Simfs.read fs ~cpu:0 ~name:"/ro" ~offset:0 ~len:1) 0)
+
+let test_set_caching_withdraws () =
+  let _, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/cc" ~data:(Bytes.make kb 'c');
+  let t = new_task kernel ~cpu:0 in
+  let _ = ok (Vnode_pager.map_file sys fs t ~name:"/cc" ()) in
+  let o =
+    Hashtbl.fold (fun _ o _ -> Some o) sys.Mach_core.Vm_sys.pager_objects None
+    |> Option.get
+  in
+  Kernel.terminate_task kernel ~cpu:0 t;
+  Alcotest.(check bool) "cached after unmap" true o.Mach_core.Types.obj_cached;
+  Pager_ops.set_caching sys o false;
+  Alcotest.(check bool) "pushed out" true o.Mach_core.Types.obj_dead;
+  Alcotest.(check int) "cache empty" 0 (Mach_core.Vm_object.cached_count sys)
+
+let test_lock_request_write () =
+  let machine, kernel, sys, fs = boot () in
+  Simfs.install_file fs ~name:"/lk" ~data:(Bytes.make (4 * kb) 'l');
+  let t = new_task kernel ~cpu:0 in
+  let a, _ = ok (Vnode_pager.map_file sys fs t ~name:"/lk" ()) in
+  Machine.write_byte machine ~cpu:0 ~va:a 'w';
+  let o =
+    match Mach_core.Vm_map.resolve_object_at sys (Mach_core.Task.map t) ~va:a with
+    | Some (o, _) -> o
+    | None -> Alcotest.fail "no object"
+  in
+  let faults_before = (Machine.stats machine).Machine.faults in
+  Pager_ops.lock_request sys o ~offset:0 ~length:(4 * kb)
+    ~lock:(Prot.make ~read:false ~write:true ~execute:false);
+  (* The next write must re-fault (and then succeed, since the entry
+     still permits writing). *)
+  Machine.write_byte machine ~cpu:0 ~va:a 'x';
+  Alcotest.(check bool) "write re-faulted" true
+    ((Machine.stats machine).Machine.faults > faults_before)
+
+let test_external_pager_receives_init () =
+  let _machine, _kernel, sys, _fs = boot () in
+  let tags = ref [] in
+  let handler (m : Mach_ipc.Ipc.message) =
+    tags := m.Mach_ipc.Ipc.msg_tag :: !tags;
+    match m.Mach_ipc.Ipc.msg_tag with
+    | "pager_init" -> None
+    | "pager_data_request" ->
+      Some (Mach_ipc.Ipc.message "pager_data_unavailable")
+    | _ -> None
+  in
+  let pager = Port_pager.make sys ~name:"init-test" ~handler () in
+  ignore (pager.Mach_core.Types.pgr_request ~offset:0 ~length:4096);
+  Alcotest.(check (list string)) "init arrives before data traffic"
+    [ "pager_init"; "pager_data_request" ]
+    (List.rev !tags)
+
+let () =
+  Alcotest.run "mach_pagers"
+    [ ( "simdisk",
+        [ Alcotest.test_case "rw and costs" `Quick test_disk_rw_and_costs;
+          Alcotest.test_case "install uncharged" `Quick
+            test_disk_install_uncharged ] );
+      ( "simfs",
+        [ Alcotest.test_case "roundtrip" `Quick test_fs_roundtrip;
+          Alcotest.test_case "short reads" `Quick test_fs_short_reads;
+          Alcotest.test_case "write extends" `Quick test_fs_write_extends;
+          Alcotest.test_case "spanning blocks" `Quick
+            test_fs_spanning_blocks;
+          Alcotest.test_case "delete" `Quick test_fs_delete ] );
+      ( "vnode",
+        [ Alcotest.test_case "mapped data" `Quick test_map_file_data;
+          Alcotest.test_case "eof zero fill" `Quick
+            test_map_file_eof_zero_fill;
+          Alcotest.test_case "two mappings one object" `Quick
+            test_two_mappings_one_object;
+          Alcotest.test_case "private mapping" `Quick
+            test_private_file_mapping;
+          Alcotest.test_case "dirty write-back" `Quick
+            test_dirty_mapping_written_back;
+          Alcotest.test_case "write-back never grows file" `Quick
+            test_writeback_never_grows_file;
+          Alcotest.test_case "read through object" `Quick
+            test_read_through_object_cache;
+          Alcotest.test_case "missing file" `Quick test_map_missing_file ] );
+      ( "external",
+        [ Alcotest.test_case "message protocol" `Quick
+            test_external_pager_protocol;
+          Alcotest.test_case "writeback messages" `Quick
+            test_external_pager_writeback;
+          Alcotest.test_case "pager_init delivered first" `Quick
+            test_external_pager_receives_init ] );
+      ( "pager ops (Table 3-2)",
+        [ Alcotest.test_case "clean_request" `Quick test_clean_request;
+          Alcotest.test_case "flush_request destroys" `Quick
+            test_flush_request_destroys;
+          Alcotest.test_case "readonly forces copy" `Quick
+            test_readonly_forces_copy;
+          Alcotest.test_case "set_caching withdraws" `Quick
+            test_set_caching_withdraws;
+          Alcotest.test_case "lock_request write" `Quick
+            test_lock_request_write ] ) ]

@@ -1,0 +1,490 @@
+(* Tests for the machine-dependent pmap layer: the Table 3-3 contract
+   across all five architectures, the pmap-as-cache property, and the
+   architecture-specific behaviours of Section 5.1. *)
+
+open Mach_hw
+open Mach_pmap
+
+let archs =
+  [ Arch.uvax2; Arch.rt_pc; Arch.sun3_160; Arch.ns32082; Arch.rp3_tlb ]
+
+let setup arch =
+  let machine = Machine.create ~arch ~memory_frames:256 ~cpus:2 () in
+  let domain = Pmap_domain.create machine in
+  (machine, domain)
+
+let page arch = arch.Arch.hw_page_size
+
+(* Run [f] once per architecture, as separate alcotest cases. *)
+let per_arch name f =
+  List.map
+    (fun arch ->
+       Alcotest.test_case
+         (Printf.sprintf "%s [%s]" name arch.Arch.name)
+         `Quick
+         (fun () -> f arch))
+    archs
+
+(* ---- the common Table 3-3 contract ------------------------------------- *)
+
+let test_enter_extract arch =
+  let _m, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  p.Pmap.enter ~va:(3 * ps) ~pfn:7 ~prot:Prot.read_write ~wired:false;
+  Alcotest.(check (option int)) "extract" (Some 7) (p.Pmap.extract (3 * ps));
+  Alcotest.(check (option int)) "extract mid-page" (Some 7)
+    (p.Pmap.extract ((3 * ps) + (ps / 2)));
+  Alcotest.(check (option int)) "unmapped" None (p.Pmap.extract (9 * ps));
+  Alcotest.(check bool) "access_check" true (p.Pmap.access_check (3 * ps));
+  Alcotest.(check int) "resident" 1 (p.Pmap.resident_count ())
+
+let test_remove_range arch =
+  let _m, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  for i = 0 to 9 do
+    p.Pmap.enter ~va:(i * ps) ~pfn:(10 + i) ~prot:Prot.read_write
+      ~wired:false
+  done;
+  p.Pmap.remove ~start_va:(2 * ps) ~end_va:(5 * ps);
+  Alcotest.(check (option int)) "below kept" (Some 11) (p.Pmap.extract ps);
+  Alcotest.(check (option int)) "removed" None (p.Pmap.extract (3 * ps));
+  Alcotest.(check (option int)) "above kept" (Some 15)
+    (p.Pmap.extract (5 * ps));
+  Alcotest.(check int) "resident" 7 (p.Pmap.resident_count ())
+
+let test_replace_mapping arch =
+  let _m, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  p.Pmap.enter ~va:0 ~pfn:1 ~prot:Prot.read_write ~wired:false;
+  p.Pmap.enter ~va:0 ~pfn:2 ~prot:Prot.read_only ~wired:false;
+  Alcotest.(check (option int)) "replaced" (Some 2) (p.Pmap.extract 0);
+  Alcotest.(check int) "one mapping" 1 (p.Pmap.resident_count ());
+  (* The pv layer tracks the replacement too. *)
+  Alcotest.(check int) "old frame unmapped" 0
+    (Pmap_domain.mapping_count domain ~pfn:1);
+  Alcotest.(check int) "new frame mapped" 1
+    (Pmap_domain.mapping_count domain ~pfn:2)
+
+let test_destroy_clears_pv arch =
+  let _m, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  p.Pmap.enter ~va:0 ~pfn:5 ~prot:Prot.read_write ~wired:false;
+  p.Pmap.enter ~va:ps ~pfn:6 ~prot:Prot.read_write ~wired:false;
+  p.Pmap.destroy ();
+  Alcotest.(check int) "pv empty 5" 0 (Pmap_domain.mapping_count domain ~pfn:5);
+  Alcotest.(check int) "pv empty 6" 0 (Pmap_domain.mapping_count domain ~pfn:6);
+  Alcotest.(check bool) "unregistered" true
+    (Pmap_domain.find_pmap domain ~asid:p.Pmap.asid = None)
+
+let test_remove_all arch =
+  let _m, domain = setup arch in
+  let p1 = Pmap_domain.create_pmap domain in
+  let p2 = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  (* On the RT PC two pmaps cannot both map frame 9 (one mapping per
+     physical page), so only p1 maps there and the common contract is
+     checked: remove_all empties the pv list. *)
+  p1.Pmap.enter ~va:0 ~pfn:9 ~prot:Prot.read_write ~wired:false;
+  if arch.Arch.kind <> Arch.Rt_pc then
+    p2.Pmap.enter ~va:(4 * ps) ~pfn:9 ~prot:Prot.read_write ~wired:false;
+  Alcotest.(check bool) "mapped" true
+    (Pmap_domain.mapping_count domain ~pfn:9 >= 1);
+  Pmap_domain.remove_all domain ~pfn:9 ~urgent:true;
+  Alcotest.(check int) "all gone" 0 (Pmap_domain.mapping_count domain ~pfn:9);
+  Alcotest.(check (option int)) "p1 dropped" None (p1.Pmap.extract 0);
+  Alcotest.(check (option int)) "p2 dropped" None (p2.Pmap.extract (4 * ps))
+
+let test_protect_lowers arch =
+  let machine, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  p.Pmap.activate ~cpu:0;
+  p.Pmap.enter ~va:0 ~pfn:3 ~prot:Prot.read_write ~wired:false;
+  (* The handler reloads dropped mappings at the currently intended
+     protection (the fast-reload path on TLB-only machines) and records
+     genuine protection faults. *)
+  let cur_prot = ref Prot.read_write in
+  let prot_faults = ref 0 in
+  Machine.set_fault_handler machine (fun ~cpu:_ f ->
+      (match f.Machine.fault_kind with
+       | `Protection -> incr prot_faults
+       | `Invalid -> ());
+      p.Pmap.enter ~va:0 ~pfn:3 ~prot:!cur_prot ~wired:false);
+  ignore (Machine.read_byte machine ~cpu:0 ~va:0);
+  Machine.write_byte machine ~cpu:0 ~va:0 'x';
+  Alcotest.(check int) "no protection faults before" 0 !prot_faults;
+  p.Pmap.protect ~start_va:0 ~end_va:ps ~prot:Prot.read_only;
+  cur_prot := Prot.read_only;
+  (* Reads still work; a write now protection-faults. *)
+  ignore (Machine.read_byte machine ~cpu:0 ~va:0);
+  Alcotest.(check int) "read needs no protection fault" 0 !prot_faults;
+  cur_prot := Prot.read_write;
+  Machine.write_byte machine ~cpu:0 ~va:0 'y';
+  Alcotest.(check bool) "write faulted after protect" true (!prot_faults >= 1)
+
+let test_copy_on_write_all_maps arch =
+  let machine, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  p.Pmap.enter ~va:0 ~pfn:3 ~prot:Prot.read_write ~wired:false;
+  p.Pmap.activate ~cpu:0;
+  Pmap_domain.copy_on_write domain ~pfn:3;
+  let faulted = ref false in
+  Machine.set_fault_handler machine (fun ~cpu:_ _ ->
+      faulted := true;
+      p.Pmap.enter ~va:0 ~pfn:3 ~prot:Prot.read_write ~wired:false);
+  Machine.write_byte machine ~cpu:0 ~va:0 'y';
+  Alcotest.(check bool) "write faulted after pmap_copy_on_write" true
+    !faulted
+
+(* The central property: a pmap may drop any non-wired mapping at any
+   time, because machine-independent state can rebuild it at fault time.
+   Here the rebuild is simulated by a fault handler that re-enters from a
+   model table; memory contents must be unaffected. *)
+let test_pmap_is_a_cache arch =
+  let machine, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  let model = Hashtbl.create 16 in
+  for i = 0 to 7 do
+    Hashtbl.replace model i (20 + i);
+    p.Pmap.enter ~va:(i * ps) ~pfn:(20 + i) ~prot:Prot.read_write
+      ~wired:false
+  done;
+  p.Pmap.activate ~cpu:0;
+  Machine.set_fault_handler machine (fun ~cpu:_ f ->
+      let vpn = f.Machine.fault_va / ps in
+      match Hashtbl.find_opt model vpn with
+      | Some pfn ->
+        p.Pmap.enter ~va:(vpn * ps) ~pfn ~prot:Prot.read_write ~wired:false
+      | None -> Alcotest.fail "fault outside model");
+  for i = 0 to 7 do
+    Machine.write machine ~cpu:0 ~va:(i * ps)
+      (Bytes.of_string (Printf.sprintf "page%03d" i))
+  done;
+  (* Drop everything, then observe identical contents. *)
+  p.Pmap.collect ();
+  Alcotest.(check int) "all dropped" 0 (p.Pmap.resident_count ());
+  for i = 0 to 7 do
+    Alcotest.(check string)
+      (Printf.sprintf "contents %d" i)
+      (Printf.sprintf "page%03d" i)
+      (Bytes.to_string (Machine.read machine ~cpu:0 ~va:(i * ps) ~len:7))
+  done;
+  Alcotest.(check bool) "drops counted" true
+    (p.Pmap.stats.Pmap.cache_drops >= 8)
+
+let test_modify_reference_bits arch =
+  let machine, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  p.Pmap.activate ~cpu:0;
+  p.Pmap.enter ~va:0 ~pfn:4 ~prot:Prot.read_write ~wired:false;
+  Alcotest.(check bool) "initially clean" false
+    (Pmap_domain.is_modified domain ~pfn:4);
+  ignore (Machine.read_byte machine ~cpu:0 ~va:0);
+  Alcotest.(check bool) "referenced" true
+    (Pmap_domain.is_referenced domain ~pfn:4);
+  Alcotest.(check bool) "not modified by read" false
+    (Pmap_domain.is_modified domain ~pfn:4);
+  Machine.write_byte machine ~cpu:0 ~va:0 'm';
+  Alcotest.(check bool) "modified" true
+    (Pmap_domain.is_modified domain ~pfn:4);
+  Pmap_domain.clear_modified domain ~pfn:4;
+  Pmap_domain.clear_referenced domain ~pfn:4;
+  Alcotest.(check bool) "cleared" false
+    (Pmap_domain.is_modified domain ~pfn:4
+     || Pmap_domain.is_referenced domain ~pfn:4)
+
+let test_activate_switches arch =
+  let machine, domain = setup arch in
+  let p1 = Pmap_domain.create_pmap domain in
+  let p2 = Pmap_domain.create_pmap domain in
+  (* Reload handler for architectures whose mappings live only in TLBs. *)
+  let active = ref p1 in
+  Machine.set_fault_handler machine (fun ~cpu:_ f ->
+      let p = !active in
+      match p.Pmap.extract f.Machine.fault_va with
+      | Some pfn ->
+        p.Pmap.enter ~va:f.Machine.fault_va ~pfn ~prot:Prot.read_write
+          ~wired:false
+      | None -> Alcotest.fail "fault on unmapped address");
+  p1.Pmap.enter ~va:0 ~pfn:1 ~prot:Prot.read_write ~wired:false;
+  p2.Pmap.enter ~va:0 ~pfn:2 ~prot:Prot.read_write ~wired:false;
+  Phys_mem.write (Machine.phys machine) 1 ~offset:0 (Bytes.of_string "one");
+  Phys_mem.write (Machine.phys machine) 2 ~offset:0 (Bytes.of_string "two");
+  p1.Pmap.activate ~cpu:0;
+  Alcotest.(check string) "p1 view" "one"
+    (Bytes.to_string (Machine.read machine ~cpu:0 ~va:0 ~len:3));
+  p1.Pmap.deactivate ~cpu:0;
+  active := p2;
+  p2.Pmap.activate ~cpu:0;
+  Alcotest.(check string) "p2 view" "two"
+    (Bytes.to_string (Machine.read machine ~cpu:0 ~va:0 ~len:3))
+
+let test_zero_copy_page arch =
+  let machine, domain = setup arch in
+  let phys = Machine.phys machine in
+  Phys_mem.write phys 1 ~offset:0 (Bytes.of_string "zzz");
+  Pmap_domain.copy_page domain ~src:1 ~dst:2;
+  Alcotest.(check bool) "copied" true (Phys_mem.frame_equal phys 1 2);
+  Pmap_domain.zero_page domain ~pfn:1;
+  Alcotest.(check char) "zeroed" '\000' (Phys_mem.read_byte phys 1 ~offset:0)
+
+let test_wired_survives_collect arch =
+  let _m, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  p.Pmap.enter ~va:0 ~pfn:3 ~prot:Prot.read_write ~wired:true;
+  p.Pmap.enter ~va:ps ~pfn:4 ~prot:Prot.read_write ~wired:false;
+  p.Pmap.collect ();
+  Alcotest.(check (option int)) "wired kept" (Some 3) (p.Pmap.extract 0);
+  Alcotest.(check (option int)) "unwired dropped" None (p.Pmap.extract ps);
+  Alcotest.(check int) "one left" 1 (p.Pmap.resident_count ())
+
+let test_remove_empty_range arch =
+  let _m, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page arch in
+  p.Pmap.enter ~va:0 ~pfn:3 ~prot:Prot.read_write ~wired:false;
+  (* Removing a range with no mappings is a harmless no-op. *)
+  p.Pmap.remove ~start_va:(10 * ps) ~end_va:(20 * ps);
+  Alcotest.(check int) "untouched" 1 (p.Pmap.resident_count ())
+
+let test_double_activate_idempotent arch =
+  let machine, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  p.Pmap.enter ~va:0 ~pfn:2 ~prot:Prot.read_write ~wired:false;
+  p.Pmap.activate ~cpu:0;
+  p.Pmap.activate ~cpu:0;
+  Machine.set_fault_handler machine (fun ~cpu:_ _ ->
+      p.Pmap.enter ~va:0 ~pfn:2 ~prot:Prot.read_write ~wired:false);
+  Machine.write_byte machine ~cpu:0 ~va:0 'a';
+  Alcotest.(check char) "works" 'a' (Machine.read_byte machine ~cpu:0 ~va:0)
+
+let test_reference_counting arch =
+  let _m, domain = setup arch in
+  let p = Pmap_domain.create_pmap domain in
+  p.Pmap.enter ~va:0 ~pfn:3 ~prot:Prot.read_write ~wired:false;
+  (* Two tasks share the pmap: the first destroy only drops a
+     reference. *)
+  p.Pmap.reference ();
+  p.Pmap.destroy ();
+  Alcotest.(check (option int)) "still alive" (Some 3) (p.Pmap.extract 0);
+  Alcotest.(check bool) "still registered" true
+    (Pmap_domain.find_pmap domain ~asid:p.Pmap.asid <> None);
+  p.Pmap.destroy ();
+  Alcotest.(check bool) "gone after last reference" true
+    (Pmap_domain.find_pmap domain ~asid:p.Pmap.asid = None);
+  Alcotest.(check int) "pv cleaned" 0 (Pmap_domain.mapping_count domain ~pfn:3)
+
+(* ---- architecture-specific behaviours ----------------------------------- *)
+
+let test_vax_table_gc () =
+  let _m, domain = setup Arch.uvax2 in
+  let p = Pmap_domain.create_pmap domain in
+  let base = p.Pmap.map_bytes () in
+  (* Map two pages far apart: two table pages appear; removing the
+     mappings garbage collects them. *)
+  p.Pmap.enter ~va:0 ~pfn:1 ~prot:Prot.read_write ~wired:false;
+  p.Pmap.enter ~va:(100 * 1024 * 1024) ~pfn:2 ~prot:Prot.read_write
+    ~wired:false;
+  Alcotest.(check bool) "tables grew" true (p.Pmap.map_bytes () > base);
+  p.Pmap.remove ~start_va:0 ~end_va:512;
+  p.Pmap.remove ~start_va:(100 * 1024 * 1024)
+    ~end_va:((100 * 1024 * 1024) + 512);
+  Alcotest.(check int) "tables collected" base (p.Pmap.map_bytes ())
+
+let test_rtpc_alias_eviction () =
+  let _m, domain = setup Arch.rt_pc in
+  let p1 = Pmap_domain.create_pmap domain in
+  let p2 = Pmap_domain.create_pmap domain in
+  let ps = page Arch.rt_pc in
+  p1.Pmap.enter ~va:0 ~pfn:9 ~prot:Prot.read_write ~wired:false;
+  (* p2 mapping the same physical page evicts p1's mapping. *)
+  p2.Pmap.enter ~va:(5 * ps) ~pfn:9 ~prot:Prot.read_only ~wired:false;
+  Alcotest.(check (option int)) "p1 evicted" None (p1.Pmap.extract 0);
+  Alcotest.(check (option int)) "p2 mapped" (Some 9)
+    (p2.Pmap.extract (5 * ps));
+  Alcotest.(check int) "alias eviction counted" 1
+    p2.Pmap.stats.Pmap.alias_evictions;
+  Alcotest.(check int) "exactly one mapping" 1
+    (Pmap_domain.mapping_count domain ~pfn:9);
+  (* Bouncing back evicts p2 in turn. *)
+  p1.Pmap.enter ~va:0 ~pfn:9 ~prot:Prot.read_write ~wired:false;
+  Alcotest.(check (option int)) "p2 evicted back" None
+    (p2.Pmap.extract (5 * ps))
+
+let test_rtpc_map_bytes_constant () =
+  let _m, domain = setup Arch.rt_pc in
+  let p = Pmap_domain.create_pmap domain in
+  let before = Pmap_domain.total_map_bytes domain in
+  for i = 0 to 19 do
+    p.Pmap.enter ~va:(i * 2048 * 1000) ~pfn:i ~prot:Prot.read_write
+      ~wired:false
+  done;
+  (* The inverted table never grows with address-space size. *)
+  Alcotest.(check int) "constant" before (Pmap_domain.total_map_bytes domain)
+
+let test_sun3_context_steal () =
+  let _m, domain = setup Arch.sun3_160 in
+  let ps = page Arch.sun3_160 in
+  (* 9 pmaps compete for 8 contexts. *)
+  let pmaps = List.init 9 (fun _ -> Pmap_domain.create_pmap domain) in
+  List.iteri
+    (fun i p ->
+       p.Pmap.enter ~va:0 ~pfn:i ~prot:Prot.read_write ~wired:false)
+    pmaps;
+  (* The 9th enter stole the least-recently-used context (the first
+     pmap's); its mappings are gone and will be rebuilt by faults. *)
+  let first = List.hd pmaps in
+  let ninth = List.nth pmaps 8 in
+  Alcotest.(check (option int)) "victim lost mappings" None
+    (first.Pmap.extract 0);
+  Alcotest.(check (option int)) "thief mapped" (Some 8)
+    (ninth.Pmap.extract 0);
+  Alcotest.(check int) "steal counted" 1 ninth.Pmap.stats.Pmap.context_steals;
+  Alcotest.(check int) "victim pv cleaned" 0
+    (Pmap_domain.mapping_count domain ~pfn:0);
+  (* The victim coming back steals another context and can re-enter. *)
+  first.Pmap.enter ~va:ps ~pfn:20 ~prot:Prot.read_write ~wired:false;
+  Alcotest.(check (option int)) "victim recovered" (Some 20)
+    (first.Pmap.extract ps)
+
+let test_ns32082_limits () =
+  let _m, domain = setup Arch.ns32082 in
+  let p = Pmap_domain.create_pmap domain in
+  Alcotest.check_raises "VA beyond 16MB"
+    (Invalid_argument "pmap_enter: virtual address beyond hardware limit")
+    (fun () ->
+       p.Pmap.enter ~va:(17 * 1024 * 1024) ~pfn:1 ~prot:Prot.read_write
+         ~wired:false);
+  (* In-range addresses and frames work normally. *)
+  p.Pmap.enter ~va:0 ~pfn:1 ~prot:Prot.read_write ~wired:false;
+  Alcotest.(check (option int)) "in range ok" (Some 1) (p.Pmap.extract 0)
+
+let test_ns32082_pa_limit () =
+  (* Build a machine larger than 32 MB of physical memory: frames beyond
+     the limit must be rejected by pmap_enter. *)
+  let arch = Arch.ns32082 in
+  let frames = (40 * 1024 * 1024) / arch.Arch.hw_page_size in
+  let machine = Machine.create ~arch ~memory_frames:frames () in
+  let domain = Pmap_domain.create machine in
+  let p = Pmap_domain.create_pmap domain in
+  let beyond = (33 * 1024 * 1024) / arch.Arch.hw_page_size in
+  Alcotest.check_raises "PA beyond 32MB"
+    (Invalid_argument "pmap_enter: physical page beyond hardware limit")
+    (fun () ->
+       p.Pmap.enter ~va:0 ~pfn:beyond ~prot:Prot.read_write ~wired:false)
+
+let test_tlbonly_no_structures () =
+  let machine, domain = setup Arch.rp3_tlb in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = page Arch.rp3_tlb in
+  p.Pmap.activate ~cpu:0;
+  p.Pmap.enter ~va:0 ~pfn:3 ~prot:Prot.read_write ~wired:false;
+  Alcotest.(check int) "map_bytes 0" 0 (p.Pmap.map_bytes ());
+  (* First access hits the TLB that enter filled; no fault. *)
+  Machine.set_fault_handler machine (fun ~cpu:_ _ ->
+      Alcotest.fail "unexpected fault");
+  Machine.write_byte machine ~cpu:0 ~va:8 'q';
+  (* Evict by filling the TLB with other translations, then the next
+     access must fault to software for reload. *)
+  let reloads = ref 0 in
+  Machine.set_fault_handler machine (fun ~cpu:_ f ->
+      incr reloads;
+      let vpn = f.Machine.fault_va / ps in
+      match p.Pmap.extract (vpn * ps) with
+      | Some pfn ->
+        p.Pmap.enter ~va:(vpn * ps) ~pfn ~prot:Prot.read_write ~wired:false
+      | None -> Alcotest.fail "no soft mapping");
+  for i = 1 to Arch.rp3_tlb.Arch.tlb_entries + 4 do
+    p.Pmap.enter ~va:(i * ps) ~pfn:(3 + i) ~prot:Prot.read_write
+      ~wired:false
+  done;
+  Alcotest.(check char) "data survives reload" 'q'
+    (Machine.read_byte machine ~cpu:0 ~va:8);
+  Alcotest.(check bool) "reload happened" true (!reloads >= 1)
+
+(* ---- qcheck: random op sequences vs a model ----------------------------- *)
+
+(* Apply random enter/remove ops to a (non-RT) pmap and a Hashtbl model;
+   extract must agree afterwards.  The RT PC is excluded because foreign
+   pmaps can evict mappings; it has its own tests above. *)
+let pmap_model_test arch =
+  let open QCheck2 in
+  Test.make
+    ~name:(Printf.sprintf "pmap agrees with model [%s]" arch.Arch.name)
+    ~count:60
+    Gen.(list (triple (int_range 0 2) (int_range 0 19) (int_range 0 49)))
+    (fun ops ->
+       let _m, domain = setup arch in
+       let p = Pmap_domain.create_pmap domain in
+       let ps = page arch in
+       let model = Hashtbl.create 16 in
+       List.iter
+         (fun (op, vpn, pfn) ->
+            match op with
+            | 0 ->
+              p.Pmap.enter ~va:(vpn * ps) ~pfn ~prot:Prot.read_write
+                ~wired:false;
+              Hashtbl.replace model vpn pfn
+            | 1 ->
+              p.Pmap.remove ~start_va:(vpn * ps) ~end_va:((vpn + 1) * ps);
+              Hashtbl.remove model vpn
+            | _ ->
+              (* range remove of three pages *)
+              p.Pmap.remove ~start_va:(vpn * ps) ~end_va:((vpn + 3) * ps);
+              Hashtbl.remove model vpn;
+              Hashtbl.remove model (vpn + 1);
+              Hashtbl.remove model (vpn + 2))
+         ops;
+       let ok = ref true in
+       for vpn = 0 to 25 do
+         let expected = Hashtbl.find_opt model vpn in
+         if p.Pmap.extract (vpn * ps) <> expected then ok := false
+       done;
+       !ok && p.Pmap.resident_count () = Hashtbl.length model)
+
+let model_archs = [ Arch.uvax2; Arch.sun3_160; Arch.ns32082; Arch.rp3_tlb ]
+
+let () =
+  Alcotest.run "mach_pmap"
+    [ ("enter/extract", per_arch "enter/extract" test_enter_extract);
+      ("remove", per_arch "remove range" test_remove_range);
+      ("replace", per_arch "replace mapping" test_replace_mapping);
+      ("destroy", per_arch "destroy clears pv" test_destroy_clears_pv);
+      ("remove_all", per_arch "remove_all" test_remove_all);
+      ("protect", per_arch "protect lowers" test_protect_lowers);
+      ( "copy_on_write",
+        per_arch "pmap_copy_on_write" test_copy_on_write_all_maps );
+      ("cache", per_arch "pmap is a cache" test_pmap_is_a_cache);
+      ("bits", per_arch "modify/reference bits" test_modify_reference_bits);
+      ("activate", per_arch "activate switches" test_activate_switches);
+      ("page ops", per_arch "zero/copy page" test_zero_copy_page);
+      ("wired", per_arch "wired survives collect" test_wired_survives_collect);
+      ("empty remove", per_arch "remove empty range" test_remove_empty_range);
+      ( "reactivate",
+        per_arch "double activate" test_double_activate_idempotent );
+      ("refcount", per_arch "pmap_reference" test_reference_counting);
+      ( "vax",
+        [ Alcotest.test_case "page tables grow and collect" `Quick
+            test_vax_table_gc ] );
+      ( "rt_pc",
+        [ Alcotest.test_case "alias eviction" `Quick test_rtpc_alias_eviction;
+          Alcotest.test_case "map bytes constant" `Quick
+            test_rtpc_map_bytes_constant ] );
+      ( "sun3",
+        [ Alcotest.test_case "context steal" `Quick test_sun3_context_steal ]
+      );
+      ( "ns32082",
+        [ Alcotest.test_case "VA limit" `Quick test_ns32082_limits;
+          Alcotest.test_case "PA limit" `Quick test_ns32082_pa_limit ] );
+      ( "tlb_only",
+        [ Alcotest.test_case "no hardware structures" `Quick
+            test_tlbonly_no_structures ] );
+      ( "model",
+        List.map
+          (fun arch -> QCheck_alcotest.to_alcotest (pmap_model_test arch))
+          model_archs ) ]

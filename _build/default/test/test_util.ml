@@ -1,0 +1,223 @@
+(* Tests for mach_util: doubly-linked lists, the deterministic PRNG and
+   the table formatter. *)
+
+open Mach_util
+
+(* ---- Dlist ------------------------------------------------------------ *)
+
+let test_dlist_empty () =
+  let l : int Dlist.t = Dlist.create () in
+  Alcotest.(check int) "length" 0 (Dlist.length l);
+  Alcotest.(check bool) "is_empty" true (Dlist.is_empty l);
+  Alcotest.(check (option int)) "pop_front" None (Dlist.pop_front l);
+  Alcotest.(check (option int)) "pop_back" None (Dlist.pop_back l);
+  Alcotest.(check (list int)) "to_list" [] (Dlist.to_list l)
+
+let test_dlist_push_order () =
+  let l = Dlist.create () in
+  ignore (Dlist.push_back l 1);
+  ignore (Dlist.push_back l 2);
+  ignore (Dlist.push_front l 0);
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Dlist.to_list l);
+  Alcotest.(check int) "length" 3 (Dlist.length l)
+
+let test_dlist_remove_middle () =
+  let l = Dlist.create () in
+  let _a = Dlist.push_back l 'a' in
+  let b = Dlist.push_back l 'b' in
+  let _c = Dlist.push_back l 'c' in
+  Dlist.remove l b;
+  Alcotest.(check (list char)) "removed middle" [ 'a'; 'c' ] (Dlist.to_list l);
+  Alcotest.(check bool) "unlinked" false (Dlist.linked b)
+
+let test_dlist_remove_ends () =
+  let l = Dlist.create () in
+  let a = Dlist.push_back l 1 in
+  let b = Dlist.push_back l 2 in
+  let c = Dlist.push_back l 3 in
+  Dlist.remove l a;
+  Dlist.remove l c;
+  Alcotest.(check (list int)) "only middle" [ 2 ] (Dlist.to_list l);
+  Dlist.remove l b;
+  Alcotest.(check bool) "empty" true (Dlist.is_empty l)
+
+let test_dlist_insert_before_after () =
+  let l = Dlist.create () in
+  let b = Dlist.push_back l 20 in
+  ignore (Dlist.insert_before l b 10);
+  ignore (Dlist.insert_after l b 30);
+  Alcotest.(check (list int)) "inserted" [ 10; 20; 30 ] (Dlist.to_list l)
+
+let test_dlist_insert_before_head () =
+  let l = Dlist.create () in
+  let h = Dlist.push_back l 2 in
+  ignore (Dlist.insert_before l h 1);
+  Alcotest.(check (option int)) "new head" (Some 1)
+    (Option.map Dlist.value (Dlist.first l))
+
+let test_dlist_pop () =
+  let l = Dlist.create () in
+  List.iter (fun v -> ignore (Dlist.push_back l v)) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "front" (Some 1) (Dlist.pop_front l);
+  Alcotest.(check (option int)) "back" (Some 3) (Dlist.pop_back l);
+  Alcotest.(check (list int)) "rest" [ 2 ] (Dlist.to_list l)
+
+let test_dlist_find () =
+  let l = Dlist.create () in
+  List.iter (fun v -> ignore (Dlist.push_back l v)) [ 5; 6; 7 ];
+  Alcotest.(check (option int)) "find" (Some 6)
+    (Dlist.find (fun v -> v mod 2 = 0) l);
+  Alcotest.(check (option int)) "find none" None
+    (Dlist.find (fun v -> v > 10) l);
+  Alcotest.(check bool) "exists" true (Dlist.exists (fun v -> v = 7) l)
+
+let test_dlist_iter_nodes_remove () =
+  (* iter_nodes must tolerate the callback removing the node it holds. *)
+  let l = Dlist.create () in
+  List.iter (fun v -> ignore (Dlist.push_back l v)) [ 1; 2; 3; 4 ];
+  Dlist.iter_nodes
+    (fun n -> if Dlist.value n mod 2 = 0 then Dlist.remove l n)
+    l;
+  Alcotest.(check (list int)) "odds remain" [ 1; 3 ] (Dlist.to_list l)
+
+let test_dlist_fold () =
+  let l = Dlist.create () in
+  List.iter (fun v -> ignore (Dlist.push_back l v)) [ 1; 2; 3 ];
+  Alcotest.(check int) "sum" 6 (Dlist.fold ( + ) 0 l)
+
+(* Model-based qcheck: a random sequence of operations against an OCaml
+   list reference. *)
+let dlist_model_test =
+  let open QCheck2 in
+  Test.make ~name:"dlist agrees with list model" ~count:300
+    Gen.(list (pair (int_range 0 3) small_int))
+    (fun ops ->
+       let l = Dlist.create () in
+       let model = ref [] in
+       List.iter
+         (fun (op, v) ->
+            match op with
+            | 0 ->
+              ignore (Dlist.push_back l v);
+              model := !model @ [ v ]
+            | 1 ->
+              ignore (Dlist.push_front l v);
+              model := v :: !model
+            | 2 -> (
+                match Dlist.pop_front l, !model with
+                | Some x, m :: rest ->
+                  assert (x = m);
+                  model := rest
+                | None, [] -> ()
+                | _ -> assert false)
+            | _ -> (
+                match Dlist.pop_back l, List.rev !model with
+                | Some x, m :: rest ->
+                  assert (x = m);
+                  model := List.rev rest
+                | None, [] -> ()
+                | _ -> assert false))
+         ops;
+       Dlist.to_list l = !model && Dlist.length l = List.length !model)
+
+(* ---- Det_rng ----------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Det_rng.create ~seed:42 in
+  let b = Det_rng.create ~seed:42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Det_rng.int a 1000)
+      (Det_rng.int b 1000)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Det_rng.create ~seed:1 in
+  let b = Det_rng.create ~seed:2 in
+  let sa = List.init 20 (fun _ -> Det_rng.int a 1_000_000) in
+  let sb = List.init 20 (fun _ -> Det_rng.int b 1_000_000) in
+  Alcotest.(check bool) "different" true (sa <> sb)
+
+let test_rng_bounds () =
+  let r = Det_rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Det_rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Det_rng.create ~seed:3 in
+  let a = Array.init 30 Fun.id in
+  Det_rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 30 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let r = Det_rng.create ~seed:9 in
+  let child = Det_rng.split r in
+  let s1 = List.init 10 (fun _ -> Det_rng.int child 100) in
+  (* The same construction yields the same child stream. *)
+  let r' = Det_rng.create ~seed:9 in
+  let child' = Det_rng.split r' in
+  let s2 = List.init 10 (fun _ -> Det_rng.int child' 100) in
+  Alcotest.(check (list int)) "reproducible split" s1 s2
+
+(* ---- Tablefmt ----------------------------------------------------------- *)
+
+let test_table_alignment () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Tablefmt.row t [ "xxxx"; "y" ];
+  let s = Tablefmt.to_string t in
+  Alcotest.(check bool) "mentions title" true
+    (String.length s > 0 && String.sub s 0 1 = "T");
+  (* Header and row lines are equally padded. *)
+  let lines = String.split_on_char '\n' s in
+  let headers = List.filter (fun l -> String.length l > 0 && l.[0] = ' ') lines in
+  (match headers with
+   | h :: r :: _ ->
+     Alcotest.(check int) "equal width" (String.length h) (String.length r)
+   | _ -> Alcotest.fail "expected two content lines")
+
+let test_table_pads_short_rows () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a"; "b"; "c" ] in
+  Tablefmt.row t [ "1" ];
+  ignore (Tablefmt.to_string t)
+
+let test_table_rejects_long_rows () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Tablefmt.row: too many cells") (fun () ->
+        Tablefmt.row t [ "1"; "2" ])
+
+let () =
+  Alcotest.run "mach_util"
+    [ ( "dlist",
+        [ Alcotest.test_case "empty" `Quick test_dlist_empty;
+          Alcotest.test_case "push order" `Quick test_dlist_push_order;
+          Alcotest.test_case "remove middle" `Quick test_dlist_remove_middle;
+          Alcotest.test_case "remove ends" `Quick test_dlist_remove_ends;
+          Alcotest.test_case "insert before/after" `Quick
+            test_dlist_insert_before_after;
+          Alcotest.test_case "insert before head" `Quick
+            test_dlist_insert_before_head;
+          Alcotest.test_case "pop both ends" `Quick test_dlist_pop;
+          Alcotest.test_case "find/exists" `Quick test_dlist_find;
+          Alcotest.test_case "iter_nodes with removal" `Quick
+            test_dlist_iter_nodes_remove;
+          Alcotest.test_case "fold" `Quick test_dlist_fold;
+          QCheck_alcotest.to_alcotest dlist_model_test ] );
+      ( "det_rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick
+            test_rng_seed_changes_stream;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_rng_shuffle_permutes;
+          Alcotest.test_case "split reproducible" `Quick
+            test_rng_split_independent ] );
+      ( "tablefmt",
+        [ Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "pads short rows" `Quick
+            test_table_pads_short_rows;
+          Alcotest.test_case "rejects long rows" `Quick
+            test_table_rejects_long_rows ] ) ]
