@@ -1,0 +1,16 @@
+.PHONY: all check test bench clean
+
+all:
+	dune build
+
+check:
+	dune build && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -21,6 +21,30 @@ let fmt_ms v =
   else Printf.sprintf "%.2f ms" v
 
 (* ------------------------------------------------------------------ *)
+(* Measured-cell collector: every number printed in a paper table is    *)
+(* also recorded here and written out as machine-readable JSON          *)
+(* (BENCH_vm.json by default, or `-json PATH`).                         *)
+(* ------------------------------------------------------------------ *)
+
+module Jout = Mach_obs.Jout
+
+let cells : Jout.t list ref = ref []
+
+let record_cell ~name ~measured_ms ~paper_mach_ms ~paper_unix_ms =
+  let num = function None -> Jout.Null | Some v -> Jout.Float v in
+  cells :=
+    Jout.Obj
+      [ ("name", Jout.Str name);
+        ("measured_ms", Jout.Float measured_ms);
+        ("paper_mach_ms", num paper_mach_ms);
+        ("paper_unix_ms", num paper_unix_ms) ]
+    :: !cells
+
+let write_cells path =
+  Jout.write_file path (Jout.Obj [ ("cells", Jout.Arr (List.rev !cells)) ]);
+  Printf.printf "wrote %d measured cells -> %s\n" (List.length !cells) path
+
+(* ------------------------------------------------------------------ *)
 (* Machine/OS construction helpers                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -94,22 +118,36 @@ let table7_1 () =
       ~columns:[ "Operation"; "Mach"; "UNIX"; "paper Mach"; "paper UNIX" ]
   in
   let rows =
-    [ (Arch.rt_pc, "RT PC", ".45ms", ".58ms", "41ms", "145ms");
-      (Arch.uvax2, "uVAX II", ".58ms", "1.2ms", "59ms", "220ms");
-      (Arch.sun3_160, "SUN 3/160", ".23ms", ".27ms", "68ms", "89ms") ]
+    [ (Arch.rt_pc, "RT PC", (".45ms", 0.45), (".58ms", 0.58), ("41ms", 41.),
+       ("145ms", 145.));
+      (Arch.uvax2, "uVAX II", (".58ms", 0.58), ("1.2ms", 1.2), ("59ms", 59.),
+       ("220ms", 220.));
+      (Arch.sun3_160, "SUN 3/160", (".23ms", 0.23), (".27ms", 0.27),
+       ("68ms", 68.), ("89ms", 89.)) ]
   in
   List.iter
-    (fun (arch, name, pzf_m, pzf_u, pfk_m, pfk_u) ->
+    (fun (arch, name, (pzf_ms, pzf_m), (pzf_us, pzf_u), (pfk_ms, pfk_m),
+          (pfk_us, pfk_u)) ->
        let _, _, _, mach_os = boot_mach arch in
        let _, _, _, bsd_os = boot_bsd arch in
        let zf_m = zero_fill_ms mach_os and zf_u = zero_fill_ms bsd_os in
        let fk_m = fork_ms mach_os and fk_u = fork_ms bsd_os in
+       let cell op os ~measured ~pm ~pu =
+         record_cell
+           ~name:(Printf.sprintf "table7_1/%s/%s/%s" op name os)
+           ~measured_ms:measured ~paper_mach_ms:(Some pm)
+           ~paper_unix_ms:(Some pu)
+       in
+       cell "zero_fill_1k" "mach" ~measured:zf_m ~pm:pzf_m ~pu:pzf_u;
+       cell "zero_fill_1k" "unix" ~measured:zf_u ~pm:pzf_m ~pu:pzf_u;
+       cell "fork_256k" "mach" ~measured:fk_m ~pm:pfk_m ~pu:pfk_u;
+       cell "fork_256k" "unix" ~measured:fk_u ~pm:pfk_m ~pu:pfk_u;
        Tablefmt.row t
-         [ "zero fill 1K (" ^ name ^ ")"; fmt_ms zf_m; fmt_ms zf_u; pzf_m;
-           pzf_u ];
+         [ "zero fill 1K (" ^ name ^ ")"; fmt_ms zf_m; fmt_ms zf_u; pzf_ms;
+           pzf_us ];
        Tablefmt.row t
-         [ "fork 256K (" ^ name ^ ")"; fmt_ms fk_m; fmt_ms fk_u; pfk_m;
-           pfk_u ])
+         [ "fork 256K (" ^ name ^ ")"; fmt_ms fk_m; fmt_ms fk_u; pfk_ms;
+           pfk_us ])
     rows;
   Tablefmt.print t
 
@@ -137,14 +175,26 @@ let table7_1_files () =
   in
   let _, _, _, mach_os = boot_mach ~mem:(16 * mb) Arch.vax8200 in
   let _, _, _, bsd_os = boot_bsd ~mem:(16 * mb) ~buffers:400 Arch.vax8200 in
+  let cells op ~m ~u ~pm ~pu =
+    record_cell
+      ~name:(Printf.sprintf "table7_1_files/%s/mach" op)
+      ~measured_ms:m ~paper_mach_ms:(Some pm) ~paper_unix_ms:(Some pu);
+    record_cell
+      ~name:(Printf.sprintf "table7_1_files/%s/unix" op)
+      ~measured_ms:u ~paper_mach_ms:(Some pm) ~paper_unix_ms:(Some pu)
+  in
   let m1, m2 = file_read_pair mach_os ~name:"/big" ~size:(5 * mb / 2) in
   let u1, u2 = file_read_pair bsd_os ~name:"/big" ~size:(5 * mb / 2) in
+  cells "read_2.5M_1st" ~m:m1 ~u:u1 ~pm:5200. ~pu:5000.;
+  cells "read_2.5M_2nd" ~m:m2 ~u:u2 ~pm:1200. ~pu:5000.;
   Tablefmt.row t
     [ "read 2.5M file, 1st"; fmt_ms m1; fmt_ms u1; "5.2s"; "5.0s" ];
   Tablefmt.row t
     [ "read 2.5M file, 2nd"; fmt_ms m2; fmt_ms u2; "1.2s"; "5.0s" ];
   let m1, m2 = file_read_pair mach_os ~name:"/small" ~size:(50 * kb) in
   let u1, u2 = file_read_pair bsd_os ~name:"/small" ~size:(50 * kb) in
+  cells "read_50K_1st" ~m:m1 ~u:u1 ~pm:200. ~pu:500.;
+  cells "read_50K_2nd" ~m:m2 ~u:u2 ~pm:100. ~pu:200.;
   Tablefmt.row t
     [ "read 50K file, 1st"; fmt_ms m1; fmt_ms u1; "0.2s"; "0.5s" ];
   Tablefmt.row t
@@ -182,22 +232,6 @@ let table7_2 () =
   in
   let cfg13 = Compile_workload.thirteen_programs in
   let cfgk = Compile_workload.kernel_build in
-  Tablefmt.row t
-    [ "13 programs (8650, 400 buffers)";
-      fmt_ms (compile_run mach_400 cfg13);
-      fmt_ms (compile_run bsd_400 cfg13); "23s"; "28s" ];
-  Tablefmt.row t
-    [ "kernel build (8650, 400 buffers)";
-      fmt_ms (compile_run mach_400 cfgk);
-      fmt_ms (compile_run bsd_400 cfgk); "19:58min"; "23:38min" ];
-  Tablefmt.row t
-    [ "13 programs (8650, generic)";
-      fmt_ms (compile_run mach_gen cfg13);
-      fmt_ms (compile_run bsd_gen cfg13); "19s"; "1:16min" ];
-  Tablefmt.row t
-    [ "kernel build (8650, generic)";
-      fmt_ms (compile_run mach_gen cfgk);
-      fmt_ms (compile_run bsd_gen cfgk); "15:50min"; "34:10min" ];
   let mach_sun () =
     let _, _, _, os = boot_mach Arch.sun3_160 in
     os
@@ -205,11 +239,26 @@ let table7_2 () =
     let _, _, _, os = boot_bsd Arch.sun3_160 in
     os
   in
-  let cfg = Compile_workload.fork_test in
-  Tablefmt.row t
-    [ "compile fork test (SUN 3/160)";
-      fmt_ms (compile_run mach_sun cfg);
-      fmt_ms (compile_run bsd_sun cfg); "3s"; "6s" ];
+  List.iter
+    (fun (label, key, boot_m, boot_u, cfg, pm, pu, pms, pus) ->
+       let m = compile_run boot_m cfg and u = compile_run boot_u cfg in
+       record_cell
+         ~name:(Printf.sprintf "table7_2/%s/mach" key)
+         ~measured_ms:m ~paper_mach_ms:(Some pm) ~paper_unix_ms:(Some pu);
+       record_cell
+         ~name:(Printf.sprintf "table7_2/%s/unix" key)
+         ~measured_ms:u ~paper_mach_ms:(Some pm) ~paper_unix_ms:(Some pu);
+       Tablefmt.row t [ label; fmt_ms m; fmt_ms u; pms; pus ])
+    [ ("13 programs (8650, 400 buffers)", "13_programs_400buf", mach_400,
+       bsd_400, cfg13, 23_000., 28_000., "23s", "28s");
+      ("kernel build (8650, 400 buffers)", "kernel_build_400buf", mach_400,
+       bsd_400, cfgk, 1_198_000., 1_418_000., "19:58min", "23:38min");
+      ("13 programs (8650, generic)", "13_programs_generic", mach_gen,
+       bsd_gen, cfg13, 19_000., 76_000., "19s", "1:16min");
+      ("kernel build (8650, generic)", "kernel_build_generic", mach_gen,
+       bsd_gen, cfgk, 950_000., 2_050_000., "15:50min", "34:10min");
+      ("compile fork test (SUN 3/160)", "fork_test_sun3", mach_sun, bsd_sun,
+       Compile_workload.fork_test, 3_000., 6_000., "3s", "6s") ];
   Tablefmt.print t
 
 (* ------------------------------------------------------------------ *)
@@ -653,6 +702,12 @@ let mixed () =
        let _, _, _, mach_os = boot_mach ~mem:(8 * mb) Arch.uvax2 in
        let _, _, _, bsd_os = boot_bsd ~mem:(8 * mb) Arch.uvax2 in
        let m = run_on mach_os and u = run_on bsd_os in
+       record_cell
+         ~name:(Printf.sprintf "mixed/seed%d/mach" seed)
+         ~measured_ms:m ~paper_mach_ms:None ~paper_unix_ms:None;
+       record_cell
+         ~name:(Printf.sprintf "mixed/seed%d/unix" seed)
+         ~measured_ms:u ~paper_mach_ms:None ~paper_unix_ms:None;
        Tablefmt.row t
          [ Printf.sprintf "seed %d" seed;
            string_of_int (Workload.op_count trace); fmt_ms m; fmt_ms u;
@@ -855,23 +910,41 @@ let experiments =
     ("net_memory", net_memory) ]
 
 let usage () =
-  print_endline "usage: main.exe [-e EXPERIMENT] | raw";
+  print_endline "usage: main.exe [-e EXPERIMENT] [-json PATH] | raw";
+  print_endline
+    "  measured cells are written as JSON (default BENCH_vm.json)";
   print_endline "experiments:";
   List.iter (fun (n, _) -> print_endline ("  " ^ n)) experiments
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "-e" :: name :: _ ->
-    (match List.assoc_opt name experiments with
-     | Some f -> f ()
-     | None ->
-       usage ();
-       exit 1)
-  | _ :: "raw" :: _ -> run_bechamel ()
-  | [ _ ] ->
-    List.iter
-      (fun (name, f) ->
-         Printf.printf "=== %s ===\n%!" name;
-         f ())
-      experiments
-  | _ -> usage ()
+  let rec parse json exps = function
+    | [] -> (json, List.rev exps)
+    | "-json" :: path :: rest -> parse (Some path) exps rest
+    | "-e" :: name :: rest -> parse json (name :: exps) rest
+    | "raw" :: rest -> parse json ("raw" :: exps) rest
+    | _ ->
+      usage ();
+      exit 1
+  in
+  let json, exps = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  (match exps with
+   | [ "raw" ] -> run_bechamel ()
+   | [] ->
+     List.iter
+       (fun (name, f) ->
+          Printf.printf "=== %s ===\n%!" name;
+          f ())
+       experiments
+   | names ->
+     List.iter
+       (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+            usage ();
+            exit 1)
+       names);
+  match (!cells, json) with
+  | [], None -> ()
+  | _, _ ->
+    write_cells (match json with Some p -> p | None -> "BENCH_vm.json")

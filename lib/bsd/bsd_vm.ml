@@ -98,7 +98,7 @@ let alloc_frame t ~cpu =
               ~len:t.page
           in
           Hashtbl.replace p.p_swap vpn data;
-          Machine.charge_disk t.machine ~cpu ~bytes:t.page;
+          Machine.charge_disk t.machine ~cpu ~write:true ~bytes:t.page;
           p.p_pmap.Pmap.remove ~start_va:(vpn * t.page)
             ~end_va:((vpn + 1) * t.page);
           Hashtbl.remove p.p_pages vpn;
@@ -156,7 +156,7 @@ let handle_fault t ~cpu (f : Machine.fault) =
        (match Hashtbl.find_opt p.p_swap vpn with
         | Some data ->
           let frame = grab_frame t ~cpu p ~vpn in
-          Machine.charge_disk t.machine ~cpu ~bytes:t.page;
+          Machine.charge_disk t.machine ~cpu ~write:false ~bytes:t.page;
           Phys_mem.write (Machine.phys t.machine) frame ~offset:0 data;
           Hashtbl.remove p.p_swap vpn;
           enter t ~cpu p ~vpn ~frame ~prot:Prot.read_write

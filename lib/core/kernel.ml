@@ -68,12 +68,20 @@ let fork_task t ~cpu parent =
 
 let run_task t ~cpu task =
   Pmap_domain.set_current_cpu t.domain cpu;
-  (match t.current.(cpu) with
-   | Some prev when prev == task -> ()
-   | Some prev -> (Task.pmap prev).Pmap.deactivate ~cpu
-   | None -> ());
+  let switching =
+    match t.current.(cpu) with
+    | Some prev when prev == task -> false
+    | Some prev ->
+      (Task.pmap prev).Pmap.deactivate ~cpu;
+      true
+    | None -> true
+  in
   t.current.(cpu) <- Some task;
-  (Task.pmap task).Pmap.activate ~cpu
+  (Task.pmap task).Pmap.activate ~cpu;
+  if switching && Mach_obs.Obs.enabled (Machine.tracer t.machine) then
+    Mach_obs.Obs.record (Machine.tracer t.machine)
+      ~ts:(Machine.cycles t.machine ~cpu) ~cpu
+      (Mach_obs.Obs.Task_switch { task = task.Task.task_name })
 
 let idle t ~cpu =
   (match t.current.(cpu) with

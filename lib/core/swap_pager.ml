@@ -17,12 +17,13 @@ let make (sys : Vm_sys.t) ~name =
       (fun ~offset ~length ->
          match Hashtbl.find_opt store offset with
          | Some data ->
-           Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~bytes:length;
+           Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:false
+             ~bytes:length;
            Data_provided (Bytes.sub data 0 (min length (Bytes.length data)))
          | None -> Data_unavailable);
     pgr_write =
       (fun ~offset ~data ->
-         Mach_hw.Machine.charge_disk machine ~cpu:(cpu ())
+         Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:true
            ~bytes:(Bytes.length data);
          Hashtbl.replace store offset (Bytes.copy data));
     pgr_should_cache = ref false;

@@ -1,6 +1,7 @@
 open Mach_hw
 open Types
 open Mach_pmap
+module Obs = Mach_obs.Obs
 
 let zero_mach_page = Page_io.zero
 
@@ -31,8 +32,32 @@ let new_page_in (sys : Vm_sys.t) obj ~offset =
 let fault sys map ~va ~write =
   let stats = sys.Vm_sys.stats in
   stats.Vm_sys.faults <- stats.Vm_sys.faults + 1;
+  (* Trace bracketing: one Fault_begin/Fault_end pair per invocation,
+     the end event carrying the resolution kind and service time.  The
+     [resolution]/[paged_in] cells cost a store on the untraced path;
+     event construction and clock reads happen only when tracing. *)
+  let tr = Vm_sys.tracer sys in
+  let traced = Obs.enabled tr in
+  let cpu = Vm_sys.current_cpu sys in
+  let t0 = if traced then Machine.cycles sys.Vm_sys.machine ~cpu else 0 in
+  if traced then Obs.record tr ~ts:t0 ~cpu (Obs.Fault_begin { va; write });
+  let resolution = ref Obs.Fault_error in
+  let paged_in = ref false in
+  let conclude result =
+    if traced then begin
+      let t1 = Machine.cycles sys.Vm_sys.machine ~cpu in
+      let resolution =
+        match result with
+        | Error _ -> Obs.Fault_error
+        | Ok _ -> if !paged_in then Obs.Pagein else !resolution
+      in
+      Obs.record tr ~ts:t1 ~cpu
+        (Obs.Fault_end { va; resolution; cycles = t1 - t0 })
+    end;
+    result
+  in
   match Vm_map.lookup_fault sys map ~va ~write with
-  | Error _ as e -> e
+  | Error _ as e -> conclude e
   | Ok fl ->
     let ps = sys.Vm_sys.page_size in
     let page_va = va - (va mod ps) in
@@ -116,8 +141,19 @@ let fault sys map ~va ~write =
           match obj.obj_pager with
           | None -> None
           | Some pager ->
+            let tp =
+              if traced then Machine.cycles sys.Vm_sys.machine ~cpu else 0
+            in
             (match pager.pgr_request ~offset:off ~length:ps with
-             | Data_provided data -> Some data
+             | Data_provided data ->
+               paged_in := true;
+               if traced then begin
+                 let t1 = Machine.cycles sys.Vm_sys.machine ~cpu in
+                 Obs.record tr ~ts:t1 ~cpu
+                   (Obs.Pagein
+                      { offset = off; bytes = ps; cycles = t1 - tp })
+               end;
+               Some data
              | Data_unavailable -> None)
         in
         (match from_pager with
@@ -133,40 +169,46 @@ let fault sys map ~va ~write =
             | Some next -> search next (off + obj.obj_shadow_offset)
             | None -> `Bottom))
     in
-    (match search first_obj offset with
-     | `Found (owner, p) when owner == first_obj ->
-       stats.Vm_sys.fast_reloads <- stats.Vm_sys.fast_reloads + 1;
-       finish p
-         ~prot:(mapped_prot ~cow:(entry.e_needs_copy || owner.obj_readonly))
-     | `Found (_, src) ->
-       if write then begin
-         (* Copy the page up into the first object. *)
+    conclude
+      (match search first_obj offset with
+       | `Found (owner, p) when owner == first_obj ->
+         stats.Vm_sys.fast_reloads <- stats.Vm_sys.fast_reloads + 1;
+         resolution := Obs.Fast_reload;
+         finish p
+           ~prot:(mapped_prot ~cow:(entry.e_needs_copy || owner.obj_readonly))
+       | `Found (_, src) ->
+         if write then begin
+           (* Copy the page up into the first object. *)
+           let p = new_page_in sys first_obj ~offset in
+           copy_mach_page sys ~src ~dst:p;
+           stats.Vm_sys.cow_copies <- stats.Vm_sys.cow_copies + 1;
+           resolution := Obs.Cow_copy;
+           invalidate_shared_source src;
+           Vm_object.collapse sys first_obj;
+           (* The copy may have moved the page up; look it up afresh. *)
+           (match Vm_object.lookup_resident sys first_obj ~offset with
+            | Some p -> finish p ~prot:(mapped_prot ~cow:false)
+            | None -> assert false)
+         end
+         else begin
+           (* Map the lower object's page without write permission so a
+              later write still faults and copies. *)
+           resolution := Obs.Fast_reload;
+           finish src ~prot:(mapped_prot ~cow:true)
+         end
+       | `Bottom ->
+         (* Nothing anywhere in the chain: memory with no backing data is
+            automatically zero filled, directly in the first object. *)
          let p = new_page_in sys first_obj ~offset in
-         copy_mach_page sys ~src ~dst:p;
-         stats.Vm_sys.cow_copies <- stats.Vm_sys.cow_copies + 1;
-         invalidate_shared_source src;
-         Vm_object.collapse sys first_obj;
-         (* The copy may have moved the page up; look it up afresh. *)
-         (match Vm_object.lookup_resident sys first_obj ~offset with
-          | Some p -> finish p ~prot:(mapped_prot ~cow:false)
-          | None -> assert false)
-       end
-       else
-         (* Map the lower object's page without write permission so a
-            later write still faults and copies. *)
-         finish src ~prot:(mapped_prot ~cow:true)
-     | `Bottom ->
-       (* Nothing anywhere in the chain: memory with no backing data is
-          automatically zero filled, directly in the first object. *)
-       let p = new_page_in sys first_obj ~offset in
-       zero_mach_page sys p;
-       stats.Vm_sys.zero_fills <- stats.Vm_sys.zero_fills + 1;
-       finish p
-         ~prot:
-           (mapped_prot
-              ~cow:
-                ((entry.e_needs_copy && not write)
-                 || first_obj.obj_readonly)))
+         zero_mach_page sys p;
+         stats.Vm_sys.zero_fills <- stats.Vm_sys.zero_fills + 1;
+         resolution := Obs.Zero_fill;
+         finish p
+           ~prot:
+             (mapped_prot
+                ~cow:
+                  ((entry.e_needs_copy && not write)
+                   || first_obj.obj_readonly)))
 
 let wire sys map ~va =
   match fault sys map ~va ~write:true with

@@ -110,14 +110,6 @@ let create_with_pager sys pager ~size =
     Hashtbl.add sys.Vm_sys.pager_objects pager.pgr_id o;
     o
 
-let shadow sys o ~offset ~size =
-  let s = make_obj ~size ~pager:None ~temporary:true ~can_persist:false in
-  s.obj_shadow <- Some o; (* consumes the caller's reference to [o] *)
-  s.obj_shadow_offset <- offset;
-  sys.Vm_sys.stats.Vm_sys.shadows_created <-
-    sys.Vm_sys.stats.Vm_sys.shadows_created + 1;
-  s
-
 let chain_length o =
   let rec loop acc o =
     match o.obj_shadow with
@@ -125,6 +117,16 @@ let chain_length o =
     | Some s -> loop (acc + 1) s
   in
   loop 1 o
+
+let shadow sys o ~offset ~size =
+  let s = make_obj ~size ~pager:None ~temporary:true ~can_persist:false in
+  s.obj_shadow <- Some o; (* consumes the caller's reference to [o] *)
+  s.obj_shadow_offset <- offset;
+  sys.Vm_sys.stats.Vm_sys.shadows_created <-
+    sys.Vm_sys.stats.Vm_sys.shadows_created + 1;
+  if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
+    Vm_sys.emit sys (Mach_obs.Obs.Object_shadow { depth = chain_length s });
+  s
 
 let chain_lookup sys o ~offset =
   assert (offset mod sys.Vm_sys.page_size = 0);

@@ -60,7 +60,13 @@ let clean_page (sys : Vm_sys.t) p =
     pager.pgr_write ~offset:p.pg_offset ~data:(page_bytes sys p);
     clear_modified sys p;
     sys.Vm_sys.stats.Vm_sys.pageouts <-
-      sys.Vm_sys.stats.Vm_sys.pageouts + 1
+      sys.Vm_sys.stats.Vm_sys.pageouts + 1;
+    if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
+      Vm_sys.emit sys
+        (Mach_obs.Obs.Pageout
+           { offset = p.pg_offset; bytes = sys.Vm_sys.page_size;
+             inactive_depth =
+               Resident.inactive_count sys.Vm_sys.resident })
 
 let run (sys : Vm_sys.t) ~wanted =
   let res = sys.Vm_sys.resident in

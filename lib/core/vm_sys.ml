@@ -72,6 +72,17 @@ let current_cpu t = Pmap_domain.current_cpu t.domain
 
 let charge t c = Machine.charge t.machine ~cpu:(current_cpu t) c
 
+let tracer t = Machine.tracer t.machine
+
+let now t = Machine.cycles t.machine ~cpu:(current_cpu t)
+
+let emit t ev =
+  let tr = tracer t in
+  if Mach_obs.Obs.enabled tr then begin
+    let cpu = current_cpu t in
+    Mach_obs.Obs.record tr ~ts:(Machine.cycles t.machine ~cpu) ~cpu ev
+  end
+
 let cost t = (Machine.arch t.machine).Arch.cost
 
 let grab_page t =

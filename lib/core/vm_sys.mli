@@ -72,6 +72,17 @@ val charge : t -> int -> unit
 val current_cpu : t -> int
 (** CPU executing kernel code, as recorded in the pmap domain. *)
 
+val tracer : t -> Mach_obs.Obs.t
+(** The machine's trace sink ({!Mach_hw.Machine.tracer}). *)
+
+val now : t -> int
+(** Current CPU's clock, the timestamp trace events carry. *)
+
+val emit : t -> Mach_obs.Obs.event -> unit
+(** [emit t ev] records [ev] at the current CPU/time if tracing is
+    enabled; one branch otherwise.  Hot paths that would compute event
+    payloads eagerly should check [Obs.enabled (tracer t)] themselves. *)
+
 val cost : t -> Mach_hw.Arch.cost
 (** The architecture's cost table. *)
 

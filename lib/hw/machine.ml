@@ -22,6 +22,8 @@ type stats = {
   mutable stale_tlb_uses : int;
   mutable disk_ops : int;
   mutable disk_bytes : int;
+  mutable tlb_hit_count : int;
+  mutable tlb_miss_count : int;
 }
 
 type cpu = {
@@ -41,11 +43,13 @@ type t = {
   stats : stats;
   mutable fault_handler : (cpu:int -> fault -> unit) option;
   mutable on_translated : (pfn:int -> write:bool -> unit) option;
+  mutable tracer : Mach_obs.Obs.t;
 }
 
 let fresh_stats () =
   { faults = 0; ipis = 0; shootdowns = 0; deferred_flushes = 0;
-    stale_tlb_uses = 0; disk_ops = 0; disk_bytes = 0 }
+    stale_tlb_uses = 0; disk_ops = 0; disk_bytes = 0;
+    tlb_hit_count = 0; tlb_miss_count = 0 }
 
 let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
     ?(shootdown = Immediate_ipi) ?(tick_interval_ms = 10) () =
@@ -61,7 +65,8 @@ let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
   { arch; phys; cpus = Array.init cpus mk_cpu;
     shootdown_mode = shootdown;
     tick_interval = tick_interval_ms * arch.Arch.cycles_per_ms;
-    stats = fresh_stats (); fault_handler = None; on_translated = None }
+    stats = fresh_stats (); fault_handler = None; on_translated = None;
+    tracer = Mach_obs.Obs.null }
 
 let arch t = t.arch
 let phys t = t.phys
@@ -70,6 +75,13 @@ let stats t = t.stats
 
 let shootdown_strategy t = t.shootdown_mode
 let set_shootdown_strategy t s = t.shootdown_mode <- s
+
+let tracer t = t.tracer
+let set_tracer t tr = t.tracer <- tr
+
+(* Instrumentation sites check [Obs.enabled] themselves before building
+   the event, so disabled tracing costs one load-and-branch. *)
+let traced t = Mach_obs.Obs.enabled t.tracer
 
 let set_fault_handler t h = t.fault_handler <- Some h
 let set_on_translated t f = t.on_translated <- Some f
@@ -92,14 +104,19 @@ let reset_clocks t =
   Array.iter (fun c -> c.clock <- 0) t.cpus;
   let s = t.stats in
   s.faults <- 0; s.ipis <- 0; s.shootdowns <- 0; s.deferred_flushes <- 0;
-  s.stale_tlb_uses <- 0; s.disk_ops <- 0; s.disk_bytes <- 0
+  s.stale_tlb_uses <- 0; s.disk_ops <- 0; s.disk_bytes <- 0;
+  s.tlb_hit_count <- 0; s.tlb_miss_count <- 0
 
-let charge_disk t ~cpu ~bytes =
+let charge_disk t ~cpu ~write ~bytes =
   let cost = t.arch.Arch.cost in
   let kb = (bytes + 1023) / 1024 in
-  charge t ~cpu (cost.Arch.disk_latency + (kb * cost.Arch.disk_per_kb));
+  let cycles = cost.Arch.disk_latency + (kb * cost.Arch.disk_per_kb) in
+  charge t ~cpu cycles;
   t.stats.disk_ops <- t.stats.disk_ops + 1;
-  t.stats.disk_bytes <- t.stats.disk_bytes + bytes
+  t.stats.disk_bytes <- t.stats.disk_bytes + bytes;
+  if traced t then
+    Mach_obs.Obs.record t.tracer ~ts:(cpu_of t cpu).clock ~cpu
+      (Mach_obs.Obs.Disk_io { write; bytes; cycles })
 
 (* --- TLB maintenance ------------------------------------------------- *)
 
@@ -108,14 +125,29 @@ let apply_flush c = function
   | Flush_asid asid -> Tlb.invalidate_asid c.tlb ~asid
   | Flush_all -> Tlb.invalidate_all c.tlb
 
+let flush_kind_of = function
+  | Flush_page _ -> Mach_obs.Obs.Fl_page
+  | Flush_asid _ -> Mach_obs.Obs.Fl_asid
+  | Flush_all -> Mach_obs.Obs.Fl_all
+
+let note_flush t c req ~deferred =
+  if traced t then
+    Mach_obs.Obs.record t.tracer ~ts:c.clock ~cpu:c.id
+      (Mach_obs.Obs.Tlb_flush { kind = flush_kind_of req; deferred })
+
 let flush_local t ~cpu req =
   let c = cpu_of t cpu in
   apply_flush c req;
-  charge t ~cpu t.arch.Arch.cost.Arch.tlb_flush
+  charge t ~cpu t.arch.Arch.cost.Arch.tlb_flush;
+  note_flush t c req ~deferred:false
 
 let drain_pending t c =
   if not (Queue.is_empty c.pending) then begin
-    Queue.iter (fun req -> apply_flush c req) c.pending;
+    Queue.iter
+      (fun req ->
+         apply_flush c req;
+         note_flush t c req ~deferred:true)
+      c.pending;
     t.stats.deferred_flushes <- t.stats.deferred_flushes + Queue.length c.pending;
     Queue.clear c.pending;
     c.clock <- c.clock + t.arch.Arch.cost.Arch.tlb_flush
@@ -127,10 +159,20 @@ let pending_flushes t ~cpu = Queue.length (cpu_of t cpu).pending
 
 let shootdown t ~initiator ~targets req ~urgent =
   t.stats.shootdowns <- t.stats.shootdowns + 1;
+  let start_clock = (cpu_of t initiator).clock in
   flush_local t ~cpu:initiator req;
   let remote = List.filter (fun id -> id <> initiator) targets in
-  if remote = [] then ()
-  else if urgent || t.shootdown_mode = Immediate_ipi then
+  let note_shootdown () =
+    if traced t then begin
+      let c = cpu_of t initiator in
+      Mach_obs.Obs.record t.tracer ~ts:c.clock ~cpu:initiator
+        (Mach_obs.Obs.Shootdown
+           { initiator; targets = List.length remote; urgent;
+             cycles = c.clock - start_clock })
+    end
+  in
+  if remote = [] then note_shootdown ()
+  else if urgent || t.shootdown_mode = Immediate_ipi then begin
     List.iter
       (fun id ->
          let target = cpu_of t id in
@@ -140,21 +182,25 @@ let shootdown t ~initiator ~targets req ~urgent =
          charge t ~cpu:initiator t.arch.Arch.cost.Arch.ipi;
          target.clock <- target.clock + t.arch.Arch.cost.Arch.ipi;
          apply_flush target req;
+         note_flush t target req ~deferred:false;
          target.clock <- target.clock + t.arch.Arch.cost.Arch.tlb_flush)
-      remote
+      remote;
+    note_shootdown ()
+  end
   else begin
     List.iter (fun id -> Queue.add req (cpu_of t id).pending) remote;
-    match t.shootdown_mode with
-    | Deferred_timer ->
-      (* Case 2: the initiator may not use the changed mapping until every
-         CPU has taken a timer interrupt, so it waits out the rest of the
-         current tick period, after which all pending flushes land. *)
-      let c = cpu_of t initiator in
-      let remainder = t.tick_interval - (c.clock mod t.tick_interval) in
-      c.clock <- c.clock + remainder;
-      tick t
-    | Lazy_local -> ()
-    | Immediate_ipi -> assert false
+    (match t.shootdown_mode with
+     | Deferred_timer ->
+       (* Case 2: the initiator may not use the changed mapping until every
+          CPU has taken a timer interrupt, so it waits out the rest of the
+          current tick period, after which all pending flushes land. *)
+       let c = cpu_of t initiator in
+       let remainder = t.tick_interval - (c.clock mod t.tick_interval) in
+       c.clock <- c.clock + remainder;
+       tick t
+     | Lazy_local -> ()
+     | Immediate_ipi -> assert false);
+    note_shootdown ()
   end
 
 (* --- Translation and access ------------------------------------------ *)
@@ -229,6 +275,7 @@ let translate t ~cpu ~va ~write =
     | _, None ->
       raise (Memory_violation { va; write; reason = "no address space" })
     | Some e, Some tr ->
+      t.stats.tlb_hit_count <- t.stats.tlb_hit_count + 1;
       if Prot.allows e.Tlb.prot ~write then begin
         if stale_hit c ~asid:tr.Translator.asid ~vpn then
           t.stats.stale_tlb_uses <- t.stats.stale_tlb_uses + 1;
@@ -245,6 +292,7 @@ let translate t ~cpu ~va ~write =
         attempt (retries + 1)
       end
     | None, Some tr ->
+      t.stats.tlb_miss_count <- t.stats.tlb_miss_count + 1;
       charge t ~cpu tr.Translator.walk_cost;
       (match tr.Translator.lookup vpn with
        | Translator.Mapped { pfn; prot } ->

@@ -58,6 +58,9 @@ type stats = {
                                       invalidation (Lazy_local windows) *)
   mutable disk_ops : int;
   mutable disk_bytes : int;
+  mutable tlb_hit_count : int;    (** translations served from a TLB entry *)
+  mutable tlb_miss_count : int;   (** translations that walked the
+                                      hardware map (or had no TLB) *)
 }
 
 val create :
@@ -77,6 +80,17 @@ val stats : t -> stats
 
 val shootdown_strategy : t -> shootdown_strategy
 val set_shootdown_strategy : t -> shootdown_strategy -> unit
+
+(** {1 Tracing}
+
+    The machine owns the observability sink: every subsystem (pmap
+    backends, fault handler, pageout daemon, pagers) reaches it through
+    its machine, so installing one tracer instruments the whole kernel.
+    The default is {!Mach_obs.Obs.null}, permanently disabled; each
+    instrumentation site pays one branch when tracing is off. *)
+
+val tracer : t -> Mach_obs.Obs.t
+val set_tracer : t -> Mach_obs.Obs.t -> unit
 
 val set_fault_handler : t -> (cpu:int -> fault -> unit) -> unit
 (** [set_fault_handler t h] installs the kernel's page-fault handler.  [h]
@@ -107,9 +121,10 @@ val reset_clocks : t -> unit
 (** [reset_clocks t] zeroes every CPU clock and the statistics; benchmarks
     call this between measurements. *)
 
-val charge_disk : t -> cpu:int -> bytes:int -> unit
-(** [charge_disk t ~cpu ~bytes] accounts one disk operation moving [bytes]
-    bytes (latency plus per-KB transfer cost). *)
+val charge_disk : t -> cpu:int -> write:bool -> bytes:int -> unit
+(** [charge_disk t ~cpu ~write ~bytes] accounts one disk operation moving
+    [bytes] bytes (latency plus per-KB transfer cost); [write] is the
+    transfer direction, recorded on the trace event. *)
 
 (** {1 Address translation and access} *)
 
@@ -170,7 +185,8 @@ val pending_flushes : t -> cpu:int -> int
     flush requests on [cpu]; used by tests. *)
 
 val tlb_hits : t -> int
-(** Total TLB hits across CPUs. *)
+(** Total TLB hits across CPUs (per-TLB counters; includes lookups made
+    outside {!translate}). *)
 
 val tlb_misses : t -> int
 (** Total TLB misses across CPUs. *)

@@ -1,0 +1,180 @@
+open Mach_util
+
+let flush_kind_name = function
+  | Obs.Fl_page -> "page"
+  | Obs.Fl_asid -> "asid"
+  | Obs.Fl_all -> "all"
+
+(* Payload fields shown in the trace viewer's args pane. *)
+let args_of_event (ev : Obs.event) =
+  match ev with
+  | Obs.Fault_begin { va; write } ->
+    [ ("va", Jout.Int va); ("write", Jout.Bool write) ]
+  | Obs.Fault_end { va; resolution; cycles } ->
+    [ ("va", Jout.Int va);
+      ("resolution", Jout.Str (Obs.fault_resolution_name resolution));
+      ("cycles", Jout.Int cycles) ]
+  | Obs.Pagein { offset; bytes; cycles } ->
+    [ ("offset", Jout.Int offset); ("bytes", Jout.Int bytes);
+      ("cycles", Jout.Int cycles) ]
+  | Obs.Pageout { offset; bytes; inactive_depth } ->
+    [ ("offset", Jout.Int offset); ("bytes", Jout.Int bytes);
+      ("inactive_depth", Jout.Int inactive_depth) ]
+  | Obs.Shootdown { initiator; targets; urgent; cycles } ->
+    [ ("initiator", Jout.Int initiator); ("targets", Jout.Int targets);
+      ("urgent", Jout.Bool urgent); ("cycles", Jout.Int cycles) ]
+  | Obs.Tlb_flush { kind; deferred } ->
+    [ ("kind", Jout.Str (flush_kind_name kind));
+      ("deferred", Jout.Bool deferred) ]
+  | Obs.Pmap_enter { asid; va; pfn } ->
+    [ ("asid", Jout.Int asid); ("va", Jout.Int va); ("pfn", Jout.Int pfn) ]
+  | Obs.Pmap_remove { asid; start_va; end_va } ->
+    [ ("asid", Jout.Int asid); ("start_va", Jout.Int start_va);
+      ("end_va", Jout.Int end_va) ]
+  | Obs.Pmap_protect { asid; start_va; end_va } ->
+    [ ("asid", Jout.Int asid); ("start_va", Jout.Int start_va);
+      ("end_va", Jout.Int end_va) ]
+  | Obs.Object_shadow { depth } -> [ ("depth", Jout.Int depth) ]
+  | Obs.Task_switch { task } -> [ ("task", Jout.Str task) ]
+  | Obs.Disk_io { write; bytes; cycles } ->
+    [ ("write", Jout.Bool write); ("bytes", Jout.Int bytes);
+      ("cycles", Jout.Int cycles) ]
+
+let chrome_trace ?(cycles_per_us = 1.0) tr =
+  let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in
+  let events = ref [] in
+  let cpus = Hashtbl.create 8 in
+  let push e = events := e :: !events in
+  Ring.iter
+    (fun { Obs.ts; cpu; ev } ->
+       Hashtbl.replace cpus cpu ();
+       let base name ph =
+         [ ("name", Jout.Str name); ("cat", Jout.Str "vm");
+           ("ph", Jout.Str ph); ("ts", ts_of ts); ("pid", Jout.Int 0);
+           ("tid", Jout.Int cpu); ("args", Jout.Obj (args_of_event ev)) ]
+       in
+       match ev with
+       | Obs.Fault_begin _ -> push (Jout.Obj (base "fault" "B"))
+       | Obs.Fault_end _ -> push (Jout.Obj (base "fault" "E"))
+       | _ ->
+         (* Instant event, thread-scoped. *)
+         push (Jout.Obj (base (Obs.kind_name ev) "i"
+                         @ [ ("s", Jout.Str "t") ])))
+    (Obs.ring tr);
+  let metadata =
+    Jout.Obj
+      [ ("name", Jout.Str "process_name"); ("ph", Jout.Str "M");
+        ("pid", Jout.Int 0); ("tid", Jout.Int 0);
+        ("args", Jout.Obj [ ("name", Jout.Str "machsim") ]) ]
+    :: Hashtbl.fold
+         (fun cpu () acc ->
+            Jout.Obj
+              [ ("name", Jout.Str "thread_name"); ("ph", Jout.Str "M");
+                ("pid", Jout.Int 0); ("tid", Jout.Int cpu);
+                ("args",
+                 Jout.Obj
+                   [ ("name", Jout.Str (Printf.sprintf "cpu%d" cpu)) ]) ]
+            :: acc)
+         cpus []
+  in
+  Jout.Obj
+    [ ("traceEvents", Jout.Arr (metadata @ List.rev !events));
+      ("displayTimeUnit", Jout.Str "ms");
+      ("otherData",
+       Jout.Obj
+         [ ("events_seen", Jout.Int (Obs.events_seen tr));
+           ("events_dropped", Jout.Int (Ring.dropped (Obs.ring tr))) ]) ]
+
+let write_chrome_trace ~path ?cycles_per_us tr =
+  Jout.write_file path (chrome_trace ?cycles_per_us tr)
+
+let hist_json h =
+  let buckets = ref [] in
+  Hist.iter_nonempty h (fun ~lo ~hi ~count ->
+      buckets :=
+        Jout.Obj
+          [ ("lo", Jout.Int lo); ("hi", Jout.Int hi);
+            ("count", Jout.Int count) ]
+        :: !buckets);
+  Jout.Obj
+    [ ("count", Jout.Int (Hist.count h));
+      ("sum", Jout.Int (Hist.sum h));
+      ("mean", Jout.Float (Hist.mean h));
+      ("min", Jout.Int (Hist.min_value h));
+      ("max", Jout.Int (Hist.max_value h));
+      ("p50", Jout.Int (Hist.percentile h 0.50));
+      ("p90", Jout.Int (Hist.percentile h 0.90));
+      ("p99", Jout.Int (Hist.percentile h 0.99));
+      ("buckets", Jout.Arr (List.rev !buckets)) ]
+
+let stats_json ?(extra = []) tr =
+  let kind_counts =
+    List.init Obs.kind_count (fun k ->
+        (Obs.kind_name_of_index k, Jout.Int (Obs.count_index tr k)))
+  in
+  let fault_hists =
+    List.map
+      (fun r ->
+         (Obs.fault_resolution_name r, hist_json (Obs.fault_latency tr r)))
+      Obs.fault_resolutions
+  in
+  let fault_total =
+    List.fold_left
+      (fun acc r -> acc + Hist.count (Obs.fault_latency tr r))
+      0 Obs.fault_resolutions
+  in
+  Jout.Obj
+    ([ ("events", Jout.Obj kind_counts);
+       ("events_seen", Jout.Int (Obs.events_seen tr));
+       ("events_retained", Jout.Int (Ring.length (Obs.ring tr)));
+       ("events_dropped", Jout.Int (Ring.dropped (Obs.ring tr)));
+       ("open_faults", Jout.Int (Obs.open_faults tr));
+       ("faults_total", Jout.Int fault_total);
+       ("fault_latency", Jout.Obj fault_hists);
+       ("shootdown_latency", hist_json (Obs.shootdown_latency tr));
+       ("pagein_latency", hist_json (Obs.pagein_latency tr));
+       ("disk_latency", hist_json (Obs.disk_latency tr));
+       ("pageout_queue_depth", hist_json (Obs.pageout_depth tr)) ]
+     @ extra)
+
+let write_stats ~path ?extra tr =
+  Jout.write_file path (stats_json ?extra tr)
+
+let summary_tables tr =
+  let counts =
+    Tablefmt.create ~title:"Trace: events by kind"
+      ~columns:[ "event"; "count" ]
+  in
+  for k = 0 to Obs.kind_count - 1 do
+    let n = Obs.count_index tr k in
+    if n > 0 then
+      Tablefmt.row counts [ Obs.kind_name_of_index k; string_of_int n ]
+  done;
+  let lat =
+    Tablefmt.create
+      ~title:"Trace: latency summaries (simulated cycles)"
+      ~columns:[ "metric"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+  in
+  let hist_row name h =
+    if Hist.count h > 0 then
+      Tablefmt.row lat
+        [ name; string_of_int (Hist.count h);
+          Printf.sprintf "%.0f" (Hist.mean h);
+          string_of_int (Hist.percentile h 0.50);
+          string_of_int (Hist.percentile h 0.90);
+          string_of_int (Hist.percentile h 0.99);
+          string_of_int (Hist.max_value h) ]
+  in
+  List.iter
+    (fun r ->
+       hist_row
+         ("fault: " ^ Obs.fault_resolution_name r)
+         (Obs.fault_latency tr r))
+    Obs.fault_resolutions;
+  hist_row "shootdown" (Obs.shootdown_latency tr);
+  hist_row "pagein" (Obs.pagein_latency tr);
+  hist_row "disk io" (Obs.disk_latency tr);
+  hist_row "pageout queue depth" (Obs.pageout_depth tr);
+  [ counts; lat ]
+
+let print_summary tr = List.iter Tablefmt.print (summary_tables tr)

@@ -1,0 +1,34 @@
+(** Exporters: Chrome/Perfetto trace JSON, stats JSON, human tables.
+
+    The Chrome export follows the [trace_event] format, so a produced
+    file loads directly in Perfetto (https://ui.perfetto.dev) or
+    chrome://tracing: a top-level [traceEvents] array whose elements
+    carry [name]/[ph]/[ts]/[pid]/[tid].  Fault service is emitted as
+    B/E duration pairs per CPU track; everything else as instant
+    events. *)
+
+val chrome_trace : ?cycles_per_us:float -> Obs.t -> Jout.t
+(** [chrome_trace tr] renders the retained ring as a Chrome trace
+    document.  [cycles_per_us] converts simulated cycles to the format's
+    microsecond timestamps (default 1.0: one cycle shown as one us). *)
+
+val write_chrome_trace : path:string -> ?cycles_per_us:float -> Obs.t -> unit
+
+val hist_json : Hist.t -> Jout.t
+(** count/sum/mean/min/max, p50/p90/p99 and the non-empty buckets. *)
+
+val stats_json : ?extra:(string * Jout.t) list -> Obs.t -> Jout.t
+(** Machine-readable summary: per-kind event counts, drop accounting,
+    fault-latency histograms split by resolution kind (their counts sum
+    to the recorded [fault_end] total), shootdown/pagein/disk latency
+    and pageout queue-depth histograms.  [extra] fields are appended at
+    the top level, for callers folding in [Machine.stats] etc. *)
+
+val write_stats :
+  path:string -> ?extra:(string * Jout.t) list -> Obs.t -> unit
+
+val summary_tables : Obs.t -> Mach_util.Tablefmt.t list
+(** Human-readable rendering of the same aggregates: an event-count
+    table and a latency-percentile table. *)
+
+val print_summary : Obs.t -> unit

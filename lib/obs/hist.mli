@@ -1,0 +1,47 @@
+(** Log2-bucketed latency histograms.
+
+    Bucket [0] counts values [<= 0]; bucket [i > 0] counts values in
+    [[2^(i-1), 2^i)].  Sixty-three buckets cover the whole non-negative
+    [int] range, so insertion is O(1), memory is constant, and
+    percentiles are answered to within a factor of two — plenty for
+    "did the fault path get slower" questions over simulated cycles. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** [add t v] records one observation of [v] (cycles, depth, bytes...). *)
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+(** [mean t] is [0.] when empty. *)
+
+val min_value : t -> int
+(** Smallest observation; [0] when empty. *)
+
+val max_value : t -> int
+(** Largest observation; [0] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0..1] is an upper bound for the value
+    below which a fraction [p] of observations fall: the top of the
+    bucket where the cumulative count crosses [p * count], clamped to
+    [max_value].  [0] when empty. *)
+
+val bucket_count : int
+
+val bucket_lo : int -> int
+(** Inclusive lower bound of bucket [i]. *)
+
+val bucket_hi : int -> int
+(** Inclusive upper bound of bucket [i]. *)
+
+val get_bucket : t -> int -> int
+(** Observations in bucket [i]. *)
+
+val iter_nonempty : t -> (lo:int -> hi:int -> count:int -> unit) -> unit
+(** Visit non-empty buckets in increasing value order. *)
+
+val clear : t -> unit

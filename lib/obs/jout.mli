@@ -1,0 +1,23 @@
+(** Minimal JSON construction and serialisation.
+
+    The exporters need to *write* well-formed JSON (Chrome traces,
+    stats.json, BENCH_vm.json); nothing in the tree needs to parse it,
+    so a small value type and printer avoid a dependency the container
+    may not have. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val write_file : string -> t -> unit
+(** [write_file path j] writes [to_string j] followed by a newline. *)

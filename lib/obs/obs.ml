@@ -1,0 +1,154 @@
+type fault_resolution =
+  | Fast_reload
+  | Zero_fill
+  | Cow_copy
+  | Pagein
+  | Fault_error
+
+let fault_resolutions =
+  [ Fast_reload; Zero_fill; Cow_copy; Pagein; Fault_error ]
+
+let resolution_index = function
+  | Fast_reload -> 0
+  | Zero_fill -> 1
+  | Cow_copy -> 2
+  | Pagein -> 3
+  | Fault_error -> 4
+
+let fault_resolution_name = function
+  | Fast_reload -> "fast_reload"
+  | Zero_fill -> "zero_fill"
+  | Cow_copy -> "cow_copy"
+  | Pagein -> "pagein"
+  | Fault_error -> "error"
+
+type flush_kind = Fl_page | Fl_asid | Fl_all
+
+type event =
+  | Fault_begin of { va : int; write : bool }
+  | Fault_end of { va : int; resolution : fault_resolution; cycles : int }
+  | Pagein of { offset : int; bytes : int; cycles : int }
+  | Pageout of { offset : int; bytes : int; inactive_depth : int }
+  | Shootdown of { initiator : int; targets : int; urgent : bool;
+                   cycles : int }
+  | Tlb_flush of { kind : flush_kind; deferred : bool }
+  | Pmap_enter of { asid : int; va : int; pfn : int }
+  | Pmap_remove of { asid : int; start_va : int; end_va : int }
+  | Pmap_protect of { asid : int; start_va : int; end_va : int }
+  | Object_shadow of { depth : int }
+  | Task_switch of { task : string }
+  | Disk_io of { write : bool; bytes : int; cycles : int }
+
+let kind_count = 12
+
+let kind_index = function
+  | Fault_begin _ -> 0
+  | Fault_end _ -> 1
+  | Pagein _ -> 2
+  | Pageout _ -> 3
+  | Shootdown _ -> 4
+  | Tlb_flush _ -> 5
+  | Pmap_enter _ -> 6
+  | Pmap_remove _ -> 7
+  | Pmap_protect _ -> 8
+  | Object_shadow _ -> 9
+  | Task_switch _ -> 10
+  | Disk_io _ -> 11
+
+let kind_name_of_index = function
+  | 0 -> "fault_begin"
+  | 1 -> "fault_end"
+  | 2 -> "pagein"
+  | 3 -> "pageout"
+  | 4 -> "shootdown"
+  | 5 -> "tlb_flush"
+  | 6 -> "pmap_enter"
+  | 7 -> "pmap_remove"
+  | 8 -> "pmap_protect"
+  | 9 -> "object_shadow"
+  | 10 -> "task_switch"
+  | 11 -> "disk_io"
+  | _ -> invalid_arg "Obs.kind_name_of_index"
+
+let kind_name ev = kind_name_of_index (kind_index ev)
+
+type record = { ts : int; cpu : int; ev : event }
+
+type t = {
+  mutable enabled : bool;
+  is_null : bool;
+  ring : record Ring.t;
+  kind_counts : int array;
+  fault_latency : Hist.t array; (* indexed by resolution_index *)
+  shootdown_latency : Hist.t;
+  pagein_latency : Hist.t;
+  disk_latency : Hist.t;
+  pageout_depth : Hist.t;
+  mutable open_faults : int;
+}
+
+let make ~capacity ~is_null =
+  { enabled = false;
+    is_null;
+    ring = Ring.create ~capacity;
+    kind_counts = Array.make kind_count 0;
+    fault_latency =
+      Array.init (List.length fault_resolutions) (fun _ -> Hist.create ());
+    shootdown_latency = Hist.create ();
+    pagein_latency = Hist.create ();
+    disk_latency = Hist.create ();
+    pageout_depth = Hist.create ();
+    open_faults = 0 }
+
+let create ?(capacity = 65536) () = make ~capacity ~is_null:false
+
+let null = make ~capacity:0 ~is_null:true
+
+let enabled t = t.enabled
+
+let set_enabled t on =
+  if on && t.is_null then
+    invalid_arg "Obs.set_enabled: the null sink cannot be enabled";
+  t.enabled <- on
+
+let record t ~ts ~cpu ev =
+  Ring.push t.ring { ts; cpu; ev };
+  let k = kind_index ev in
+  t.kind_counts.(k) <- t.kind_counts.(k) + 1;
+  match ev with
+  | Fault_begin _ -> t.open_faults <- t.open_faults + 1
+  | Fault_end { resolution; cycles; _ } ->
+    t.open_faults <- t.open_faults - 1;
+    Hist.add t.fault_latency.(resolution_index resolution) cycles
+  | Pagein { cycles; _ } -> Hist.add t.pagein_latency cycles
+  | Pageout { inactive_depth; _ } -> Hist.add t.pageout_depth inactive_depth
+  | Shootdown { cycles; _ } -> Hist.add t.shootdown_latency cycles
+  | Disk_io { cycles; _ } -> Hist.add t.disk_latency cycles
+  | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
+  | Object_shadow _ | Task_switch _ -> ()
+
+let ring t = t.ring
+
+let events_seen t = Ring.pushed t.ring
+
+let count_index t k = t.kind_counts.(k)
+
+let count t ev = count_index t (kind_index ev)
+
+let open_faults t = t.open_faults
+
+let fault_latency t r = t.fault_latency.(resolution_index r)
+let shootdown_latency t = t.shootdown_latency
+let pagein_latency t = t.pagein_latency
+let disk_latency t = t.disk_latency
+let pageout_depth t = t.pageout_depth
+
+let reset t =
+  Ring.clear t.ring;
+  Array.fill t.kind_counts 0 kind_count 0;
+  Array.iter Hist.clear t.fault_latency;
+  Hist.clear t.shootdown_latency;
+  Hist.clear t.pagein_latency;
+  Hist.clear t.disk_latency;
+  Hist.clear t.pageout_depth;
+  t.open_faults <- 0

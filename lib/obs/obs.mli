@@ -1,0 +1,107 @@
+(** Kernel-wide VM tracing: typed events, a ring-buffer sink, and online
+    latency aggregates.
+
+    Every interesting transition in the simulator — fault service,
+    pageout, TLB shootdown, pmap mutation, disk transfer, task switch —
+    can emit a typed {!event} timestamped in simulated cycles with the
+    CPU it happened on.  Events land in a fixed-capacity {!Ring} (old
+    events are dropped, never reallocated) and feed per-kind counters
+    plus log2 {!Hist} latency histograms, so summaries survive even
+    when the ring has wrapped.
+
+    The whole layer is off by default: machines start with {!null}, a
+    permanently disabled sink, and every instrumentation site is
+    written as [if Obs.enabled tr then Obs.record tr ...] so the
+    disabled cost is a single load-and-branch with no allocation. *)
+
+type fault_resolution =
+  | Fast_reload  (** re-entered a mapping the pmap had dropped *)
+  | Zero_fill    (** no backing data anywhere: fresh zero page *)
+  | Cow_copy     (** write fault copied a page up a shadow chain *)
+  | Pagein       (** a pager supplied the data (disk, swap, network) *)
+  | Fault_error  (** the fault was rejected (bad address/protection) *)
+
+val fault_resolutions : fault_resolution list
+val fault_resolution_name : fault_resolution -> string
+
+type flush_kind = Fl_page | Fl_asid | Fl_all
+
+type event =
+  | Fault_begin of { va : int; write : bool }
+  | Fault_end of { va : int; resolution : fault_resolution; cycles : int }
+      (** [cycles] is the fault service time: initiating CPU clock at
+          [Fault_end] minus at [Fault_begin]. *)
+  | Pagein of { offset : int; bytes : int; cycles : int }
+      (** A pager satisfied a fault-time data request. *)
+  | Pageout of { offset : int; bytes : int; inactive_depth : int }
+      (** The daemon cleaned a dirty page; [inactive_depth] is the
+          inactive-queue length at that moment (queue-depth gauge). *)
+  | Shootdown of { initiator : int; targets : int; urgent : bool;
+                   cycles : int }
+      (** [cycles] is what the shootdown cost the initiating CPU. *)
+  | Tlb_flush of { kind : flush_kind; deferred : bool }
+  | Pmap_enter of { asid : int; va : int; pfn : int }
+  | Pmap_remove of { asid : int; start_va : int; end_va : int }
+  | Pmap_protect of { asid : int; start_va : int; end_va : int }
+  | Object_shadow of { depth : int }
+      (** A shadow object was interposed; [depth] is the new chain
+          length. *)
+  | Task_switch of { task : string }
+  | Disk_io of { write : bool; bytes : int; cycles : int }
+
+val kind_count : int
+val kind_index : event -> int
+val kind_name_of_index : int -> string
+val kind_name : event -> string
+
+type record = { ts : int; cpu : int; ev : event }
+
+type t
+(** A trace sink plus its aggregates. *)
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] builds a sink (default ring capacity 65536), initially
+    disabled. *)
+
+val null : t
+(** The shared, permanently disabled sink every machine starts with.
+    Never enable it; install your own with [Machine.set_tracer]. *)
+
+val enabled : t -> bool
+(** The one branch instrumentation sites pay when tracing is off. *)
+
+val set_enabled : t -> bool -> unit
+(** Raises [Invalid_argument] when asked to enable {!null}. *)
+
+val record : t -> ts:int -> cpu:int -> event -> unit
+(** [record t ~ts ~cpu ev] unconditionally appends the event and updates
+    counters/histograms.  Call only under an [enabled] check so disabled
+    tracing stays free. *)
+
+(** {1 Reading back} *)
+
+val ring : t -> record Ring.t
+val events_seen : t -> int
+(** Total events recorded (survives ring wraparound). *)
+
+val count : t -> event -> int
+(** Events recorded of the same kind as the witness event. *)
+
+val count_index : t -> int -> int
+
+val open_faults : t -> int
+(** [Fault_begin]s minus [Fault_end]s; 0 whenever no fault is in
+    flight. *)
+
+val fault_latency : t -> fault_resolution -> Hist.t
+(** Service-time histogram for faults resolved that way; its [count] is
+    the number of such faults. *)
+
+val shootdown_latency : t -> Hist.t
+val pagein_latency : t -> Hist.t
+val disk_latency : t -> Hist.t
+val pageout_depth : t -> Hist.t
+(** Inactive-queue depth observed at each pageout. *)
+
+val reset : t -> unit
+(** Drop all recorded events and aggregates; keeps the enabled flag. *)

@@ -1,0 +1,34 @@
+(** Fixed-capacity ring buffer.
+
+    The trace sink keeps the most recent [capacity] records; older ones
+    are silently overwritten (and counted) rather than growing without
+    bound.  A capacity of zero makes every push a no-op, which is what
+    the null sink uses. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] holds at most [capacity] elements. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** [push t x] appends [x], evicting the oldest element when full. *)
+
+val length : 'a t -> int
+(** Elements currently held. *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed, including those since overwritten. *)
+
+val dropped : 'a t -> int
+(** [pushed - length]: elements lost to wraparound. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] oldest-first over the retained elements. *)
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val clear : 'a t -> unit
+(** Forget everything, including the pushed count. *)

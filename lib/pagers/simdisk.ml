@@ -16,7 +16,7 @@ let block_size t = t.block_size
 
 let read t ~cpu ~block =
   t.reads <- t.reads + 1;
-  Machine.charge_disk t.machine ~cpu ~bytes:t.block_size;
+  Machine.charge_disk t.machine ~cpu ~write:false ~bytes:t.block_size;
   match Hashtbl.find_opt t.blocks block with
   | Some b -> Bytes.copy b
   | None -> Bytes.make t.block_size '\000'
@@ -24,7 +24,7 @@ let read t ~cpu ~block =
 let write t ~cpu ~block data =
   if Bytes.length data > t.block_size then invalid_arg "Simdisk.write";
   t.writes <- t.writes + 1;
-  Machine.charge_disk t.machine ~cpu ~bytes:t.block_size;
+  Machine.charge_disk t.machine ~cpu ~write:true ~bytes:t.block_size;
   let b = Bytes.make t.block_size '\000' in
   Bytes.blit data 0 b 0 (Bytes.length data);
   Hashtbl.replace t.blocks block b

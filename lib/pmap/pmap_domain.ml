@@ -24,8 +24,36 @@ let create machine =
 
 let machine t = t.ctx.Backend.machine
 
+(* Wrap the mutation entry points with trace emission.  Instrumenting
+   here covers every architecture backend at once; the tracer is read
+   through the machine on each call so enabling tracing mid-run works.
+   When tracing is off each wrapped call pays one branch. *)
+let instrument t (p : Pmap.t) =
+  let m = t.ctx.Backend.machine in
+  let asid = p.Pmap.asid in
+  let note ev =
+    let tr = Machine.tracer m in
+    if Mach_obs.Obs.enabled tr then begin
+      let cpu = t.ctx.Backend.cur_cpu in
+      Mach_obs.Obs.record tr ~ts:(Machine.cycles m ~cpu) ~cpu ev
+    end
+  in
+  { p with
+    Pmap.enter =
+      (fun ~va ~pfn ~prot ~wired ->
+         p.Pmap.enter ~va ~pfn ~prot ~wired;
+         note (Mach_obs.Obs.Pmap_enter { asid; va; pfn }));
+    remove =
+      (fun ~start_va ~end_va ->
+         p.Pmap.remove ~start_va ~end_va;
+         note (Mach_obs.Obs.Pmap_remove { asid; start_va; end_va }));
+    protect =
+      (fun ~start_va ~end_va ~prot ->
+         p.Pmap.protect ~start_va ~end_va ~prot;
+         note (Mach_obs.Obs.Pmap_protect { asid; start_va; end_va })) }
+
 let create_pmap t =
-  let p = t.factory.Backend.new_pmap () in
+  let p = instrument t (t.factory.Backend.new_pmap ()) in
   (* Wrap with reference counting (pmap_reference/pmap_destroy of Table
      3-3) and keep the registry in step with the pmap's lifetime. *)
   let refs = ref 1 in

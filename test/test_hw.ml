@@ -239,7 +239,7 @@ let test_machine_clock_charging () =
 
 let test_machine_disk_charge () =
   let m = test_machine () in
-  Machine.charge_disk m ~cpu:0 ~bytes:4096;
+  Machine.charge_disk m ~cpu:0 ~write:false ~bytes:4096;
   let s = Machine.stats m in
   Alcotest.(check int) "ops" 1 s.Machine.disk_ops;
   Alcotest.(check int) "bytes" 4096 s.Machine.disk_bytes;

@@ -1,0 +1,313 @@
+(* Observability layer: histograms, the ring sink, the disabled path,
+   and an end-to-end fork+touch run whose trace must be balanced and
+   whose Chrome export must be well-formed trace_event JSON. *)
+
+open Mach_hw
+open Mach_core
+open Mach_obs
+
+(* ---- Hist -------------------------------------------------------------- *)
+
+let test_hist_bucketing () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 0; 1; 2; 3; 4; 7; 8; 1000 ];
+  Alcotest.(check int) "count" 8 (Hist.count h);
+  Alcotest.(check int) "sum" 1025 (Hist.sum h);
+  Alcotest.(check int) "min" 0 (Hist.min_value h);
+  Alcotest.(check int) "max" 1000 (Hist.max_value h);
+  (* v <= 0 lands in bucket 0; [2^(i-1), 2^i) in bucket i. *)
+  Alcotest.(check int) "bucket 0 (v=0)" 1 (Hist.get_bucket h 0);
+  Alcotest.(check int) "bucket 1 (v=1)" 1 (Hist.get_bucket h 1);
+  Alcotest.(check int) "bucket 2 (2..3)" 2 (Hist.get_bucket h 2);
+  Alcotest.(check int) "bucket 3 (4..7)" 2 (Hist.get_bucket h 3);
+  Alcotest.(check int) "bucket 4 (8..15)" 1 (Hist.get_bucket h 4);
+  Alcotest.(check int) "bucket 10 (512..1023)" 1 (Hist.get_bucket h 10)
+
+let test_hist_percentiles () =
+  let h = Hist.create () in
+  (* 100 observations of 10 and one outlier of 10_000. *)
+  for _ = 1 to 100 do
+    Hist.add h 10
+  done;
+  Hist.add h 10_000;
+  (* p50/p90 fall in the bucket holding 10: [8, 15]. *)
+  Alcotest.(check bool) "p50 bounds 10" true
+    (Hist.percentile h 0.5 >= 10 && Hist.percentile h 0.5 <= 15);
+  Alcotest.(check bool) "p90 bounds 10" true
+    (Hist.percentile h 0.9 >= 10 && Hist.percentile h 0.9 <= 15);
+  (* p100 is clamped to the largest observation. *)
+  Alcotest.(check int) "p100 = max" 10_000 (Hist.percentile h 1.0);
+  Alcotest.(check int) "empty percentile" 0
+    (Hist.percentile (Hist.create ()) 0.5)
+
+(* ---- Ring -------------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:8 in
+  for i = 0 to 19 do
+    Ring.push r i
+  done;
+  Alcotest.(check int) "length" 8 (Ring.length r);
+  Alcotest.(check int) "pushed" 20 (Ring.pushed r);
+  Alcotest.(check int) "dropped" 12 (Ring.dropped r);
+  Alcotest.(check (list int)) "retains newest, oldest first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (Ring.to_list r);
+  Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Ring.length r);
+  (* Zero capacity: every push is a no-op (the null sink's ring). *)
+  let z = Ring.create ~capacity:0 in
+  Ring.push z 42;
+  Alcotest.(check int) "zero-capacity stays empty" 0 (Ring.length z)
+
+(* ---- disabled sink ----------------------------------------------------- *)
+
+let test_disabled_sink () =
+  Alcotest.(check bool) "null disabled" false (Obs.enabled Obs.null);
+  Alcotest.check_raises "null cannot be enabled"
+    (Invalid_argument "Obs.set_enabled: the null sink cannot be enabled")
+    (fun () -> Obs.set_enabled Obs.null true);
+  (* A fresh machine runs a faulting workload with the default null
+     tracer installed: nothing may be recorded anywhere. *)
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:512 () in
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  let sys = Kernel.sys kernel in
+  let t = Kernel.create_task kernel () in
+  Kernel.run_task kernel ~cpu:0 t;
+  (match Vm_user.allocate sys t ~size:16384 ~anywhere:true () with
+   | Ok a -> Machine.write_byte machine ~cpu:0 ~va:a 'x'
+   | Error e -> Alcotest.fail (Kr.to_string e));
+  let tr = Machine.tracer machine in
+  Alcotest.(check int) "no events seen" 0 (Obs.events_seen tr);
+  Alcotest.(check int) "ring empty" 0 (Ring.length (Obs.ring tr));
+  List.iter
+    (fun r ->
+       Alcotest.(check int)
+         ("no latency samples: " ^ Obs.fault_resolution_name r)
+         0
+         (Hist.count (Obs.fault_latency tr r)))
+    Obs.fault_resolutions
+
+(* ---- a minimal JSON syntax checker ------------------------------------- *)
+
+(* Enough of a parser to prove the exporter emits well-formed JSON; it
+   validates structure without building a document. *)
+let json_ok (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let fail = ref false in
+  let expect c =
+    if peek () = Some c then incr pos else fail := true
+  in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some ('-' | '0' .. '9') -> number ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | _ -> fail := true
+    end
+  and literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l
+    else fail := true
+  and number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail := true
+  and string_lit () =
+    expect '"';
+    let closed = ref false in
+    while (not !closed) && not !fail do
+      if !pos >= n then fail := true
+      else begin
+        let c = s.[!pos] in
+        incr pos;
+        if c = '\\' then begin
+          if !pos >= n then fail := true else incr pos
+        end
+        else if c = '"' then closed := true
+      end
+    done
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let more = ref true in
+      while !more && not !fail do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' ->
+          incr pos;
+          more := false
+        | _ -> fail := true
+      done
+    end
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let more = ref true in
+      while !more && not !fail do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' ->
+          incr pos;
+          more := false
+        | _ -> fail := true
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+let test_json_checker_sanity () =
+  Alcotest.(check bool) "accepts object" true
+    (json_ok {|{"a": [1, 2.5, -3e4], "b": "x\"y", "c": null}|});
+  Alcotest.(check bool) "rejects trailing junk" false (json_ok "{} x");
+  Alcotest.(check bool) "rejects unclosed" false (json_ok {|{"a": 1|})
+
+(* ---- end to end -------------------------------------------------------- *)
+
+let lookup name = function
+  | Jout.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let test_end_to_end () =
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:2048 () in
+  let tr = Obs.create ~capacity:8192 () in
+  Obs.set_enabled tr true;
+  Machine.set_tracer machine tr;
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  let sys = Kernel.sys kernel in
+  let ps = Kernel.page_size kernel in
+  (* Fork + touch: zero fills in the parent, COW copies in the child. *)
+  let parent = Kernel.create_task kernel ~name:"parent" () in
+  Kernel.run_task kernel ~cpu:0 parent;
+  let size = 16 * ps in
+  let addr =
+    match Vm_user.allocate sys parent ~size ~anywhere:true () with
+    | Ok a -> a
+    | Error e -> Alcotest.fail (Kr.to_string e)
+  in
+  let sweep () =
+    let rec loop va =
+      if va < addr + size then begin
+        Machine.write_byte machine ~cpu:0 ~va 'e';
+        loop (va + ps)
+      end
+    in
+    loop addr
+  in
+  sweep ();
+  let child = Kernel.fork_task kernel ~cpu:0 parent in
+  Kernel.run_task kernel ~cpu:0 child;
+  sweep ();
+  (* Balanced bracketing and full latency coverage. *)
+  let begins = Obs.count tr (Obs.Fault_begin { va = 0; write = false }) in
+  let ends =
+    Obs.count tr
+      (Obs.Fault_end { va = 0; resolution = Obs.Fault_error; cycles = 0 })
+  in
+  Alcotest.(check bool) "faults happened" true (begins > 0);
+  Alcotest.(check int) "begin/end balanced" begins ends;
+  Alcotest.(check int) "no open faults" 0 (Obs.open_faults tr);
+  let hist_total =
+    List.fold_left
+      (fun acc r -> acc + Hist.count (Obs.fault_latency tr r))
+      0 Obs.fault_resolutions
+  in
+  Alcotest.(check int) "hist counts sum to machine faults"
+    (Machine.stats machine).Machine.faults hist_total;
+  Alcotest.(check bool) "saw zero fills" true
+    (Hist.count (Obs.fault_latency tr Obs.Zero_fill) > 0);
+  Alcotest.(check bool) "saw cow copies" true
+    (Hist.count (Obs.fault_latency tr Obs.Cow_copy) > 0);
+  (* The Chrome export is well-formed and every event carries the
+     trace_event essentials. *)
+  let doc = Export.chrome_trace ~cycles_per_us:1.0 tr in
+  Alcotest.(check bool) "chrome trace is valid JSON" true
+    (json_ok (Jout.to_string doc));
+  let events =
+    match lookup "traceEvents" doc with
+    | Some (Jout.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "trace has events" true (List.length events > 0);
+  let b = ref 0 and e = ref 0 in
+  List.iter
+    (fun ev ->
+       let is_meta = lookup "ph" ev = Some (Jout.Str "M") in
+       List.iter
+         (fun field ->
+            if lookup field ev = None then
+              Alcotest.failf "event missing %s: %s" field
+                (Jout.to_string ev))
+         (* Metadata records carry no timestamp in the trace_event
+            format; every real event must. *)
+         ([ "name"; "ph"; "pid"; "tid" ] @ if is_meta then [] else [ "ts" ]);
+       match lookup "ph" ev with
+       | Some (Jout.Str "B") -> incr b
+       | Some (Jout.Str "E") -> incr e
+       | _ -> ())
+    events;
+  Alcotest.(check int) "B/E pairs balanced in export" !b !e;
+  (* stats_json agrees with itself. *)
+  let stats = Export.stats_json tr in
+  Alcotest.(check bool) "stats is valid JSON" true
+    (json_ok (Jout.to_string stats));
+  (match lookup "faults_total" stats with
+   | Some (Jout.Int n) -> Alcotest.(check int) "faults_total" hist_total n
+   | _ -> Alcotest.fail "stats missing faults_total");
+  Kernel.terminate_task kernel ~cpu:0 child;
+  Kernel.terminate_task kernel ~cpu:0 parent
+
+let () =
+  Alcotest.run "obs"
+    [ ( "hist",
+        [ Alcotest.test_case "log2 bucketing" `Quick test_hist_bucketing;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles ] );
+      ( "ring",
+        [ Alcotest.test_case "wraparound" `Quick test_ring_wraparound ] );
+      ( "disabled",
+        [ Alcotest.test_case "null sink records nothing" `Quick
+            test_disabled_sink ] );
+      ( "export",
+        [ Alcotest.test_case "json checker sanity" `Quick
+            test_json_checker_sanity;
+          Alcotest.test_case "fork+touch end to end" `Quick
+            test_end_to_end ] ) ]

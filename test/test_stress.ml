@@ -26,8 +26,18 @@ type live_task = {
   lt_expect : (int, char) Hashtbl.t;
 }
 
-let run_stress ?(cpus = 1) ~seed ~ops ~frames ~arch ~page_multiple () =
+let run_stress ?(cpus = 1) ?(traced = false) ~seed ~ops ~frames ~arch
+    ~page_multiple () =
   let machine = Machine.create ~arch ~memory_frames:frames ~cpus () in
+  let tracer =
+    if traced then begin
+      let tr = Mach_obs.Obs.create ~capacity:4096 () in
+      Mach_obs.Obs.set_enabled tr true;
+      Machine.set_tracer machine tr;
+      Some tr
+    end
+    else None
+  in
   let kernel = Kernel.create ~page_multiple machine in
   let sys = Kernel.sys kernel in
   let rng = Det_rng.create ~seed in
@@ -205,11 +215,33 @@ let run_stress ?(cpus = 1) ~seed ~ops ~frames ~arch ~page_multiple () =
                 table)
          lt.lt_regions)
     !tasks;
-  List.iter (fun lt -> Kernel.terminate_task kernel ~cpu:0 lt.lt_task) !tasks
+  List.iter (fun lt -> Kernel.terminate_task kernel ~cpu:0 lt.lt_task) !tasks;
+  (* When traced, the event stream must be internally consistent: every
+     fault bracketed, and the per-resolution latency counts covering
+     every fault the machine saw. *)
+  match tracer with
+  | None -> ()
+  | Some tr ->
+    let open Mach_obs in
+    Alcotest.(check bool) "trace recorded events" true
+      (Obs.events_seen tr > 0);
+    Alcotest.(check int) "balanced fault begin/end"
+      (Obs.count tr (Obs.Fault_begin { va = 0; write = false }))
+      (Obs.count tr
+         (Obs.Fault_end
+            { va = 0; resolution = Obs.Fault_error; cycles = 0 }));
+    Alcotest.(check int) "no fault left open" 0 (Obs.open_faults tr);
+    let hist_total =
+      List.fold_left
+        (fun acc r -> acc + Hist.count (Obs.fault_latency tr r))
+        0 Obs.fault_resolutions
+    in
+    Alcotest.(check int) "fault histograms cover all faults"
+      (Machine.stats machine).Machine.faults hist_total
 
-let stress_case ?cpus name ~seed ~arch ~page_multiple ~frames =
+let stress_case ?cpus ?traced name ~seed ~arch ~page_multiple ~frames =
   Alcotest.test_case name `Slow (fun () ->
-      run_stress ?cpus ~seed ~ops:400 ~frames ~arch ~page_multiple ())
+      run_stress ?cpus ?traced ~seed ~ops:400 ~frames ~arch ~page_multiple ())
 
 let test_invariants_detect_breakage () =
   (* Sanity of the checker itself: a deliberately corrupted map is
@@ -274,7 +306,9 @@ let () =
           stress_case "two CPUs, migrating tasks" ~seed:8 ~cpus:2
             ~arch:Arch.uvax2 ~page_multiple:8 ~frames:4096;
           stress_case "four CPUs on the NS32082" ~seed:9 ~cpus:4
-            ~arch:Arch.ns32082 ~page_multiple:8 ~frames:4096 ] );
+            ~arch:Arch.ns32082 ~page_multiple:8 ~frames:4096;
+          stress_case "uVAX II with tracing (observability)" ~seed:10
+            ~traced:true ~arch:Arch.uvax2 ~page_multiple:8 ~frames:1024 ] );
       ( "checker",
         [ Alcotest.test_case "detects corruption" `Quick
             test_invariants_detect_breakage;
