@@ -1,4 +1,4 @@
-.PHONY: all check test bench clean
+.PHONY: all check test bench bench-smoke clean
 
 all:
 	dune build
@@ -11,6 +11,9 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+bench-smoke:
+	sh tools/bench_smoke.sh
 
 clean:
 	dune clean

@@ -9,15 +9,18 @@ let copy_mach_page sys ~src ~dst = Page_io.copy sys ~src ~dst
 
 let fill_page_bytes = Page_io.fill
 
-(* Enter every hardware frame of [p] at [page_va] in [pmap]. *)
+(* Enter every hardware frame of [p] at [page_va] in [pmap].  Batched so
+   that on architectures whose pages are smaller than the machine page a
+   re-enter's flushes go out as one exchange. *)
 let enter_page (sys : Vm_sys.t) pmap ~page_va p ~prot =
   let phys = Machine.phys sys.Vm_sys.machine in
   let hw = Phys_mem.page_size phys in
   let m = Resident.multiple sys.Vm_sys.resident in
-  for i = 0 to m - 1 do
-    pmap.Pmap.enter ~va:(page_va + (i * hw)) ~pfn:(p.pfn + i) ~prot
-      ~wired:(p.pg_wire_count > 0)
-  done
+  Pmap_domain.batched sys.Vm_sys.domain (fun () ->
+      for i = 0 to m - 1 do
+        pmap.Pmap.enter ~va:(page_va + (i * hw)) ~pfn:(p.pfn + i) ~prot
+          ~wired:(p.pg_wire_count > 0)
+      done)
 
 let activate_page (sys : Vm_sys.t) p =
   if p.pg_wire_count = 0 then
@@ -120,13 +123,15 @@ let fault sys map ~va ~write =
       match fl.Vm_map.fl_map.map_pmap with None -> true | Some _ -> false
     in
     let invalidate_shared_source src =
-      if shared_entry then begin
-        let m = Resident.multiple sys.Vm_sys.resident in
-        for i = 0 to m - 1 do
-          Pmap_domain.remove_all sys.Vm_sys.domain ~pfn:(src.pfn + i)
-            ~urgent:false
-        done
-      end
+      if shared_entry then
+        (* One batch across all hardware frames (each remove_all nests
+           its own batch inside this one). *)
+        Pmap_domain.batched sys.Vm_sys.domain (fun () ->
+            let m = Resident.multiple sys.Vm_sys.resident in
+            for i = 0 to m - 1 do
+              Pmap_domain.remove_all sys.Vm_sys.domain ~pfn:(src.pfn + i)
+                ~urgent:false
+            done)
     in
     (* Walk the shadow chain.  At each level the resident page wins;
        failing that the object's *own* pager is asked (a shadow that has

@@ -11,6 +11,7 @@ type shootdown_strategy = Immediate_ipi | Deferred_timer | Lazy_local
 
 type flush_request =
   | Flush_page of { asid : int; vpn : int }
+  | Flush_range of { asid : int; lo_vpn : int; hi_vpn : int }
   | Flush_asid of int
   | Flush_all
 
@@ -91,7 +92,9 @@ let cpu_of t id =
     invalid_arg "Machine: bad CPU id";
   t.cpus.(id)
 
-let charge t ~cpu c = (cpu_of t cpu).clock <- (cpu_of t cpu).clock + c
+let charge t ~cpu c =
+  let cr = cpu_of t cpu in
+  cr.clock <- cr.clock + c
 
 let cycles t ~cpu = (cpu_of t cpu).clock
 
@@ -122,11 +125,14 @@ let charge_disk t ~cpu ~write ~bytes =
 
 let apply_flush c = function
   | Flush_page { asid; vpn } -> Tlb.invalidate_page c.tlb ~asid ~vpn
+  | Flush_range { asid; lo_vpn; hi_vpn } ->
+    Tlb.invalidate_range c.tlb ~asid ~lo_vpn ~hi_vpn
   | Flush_asid asid -> Tlb.invalidate_asid c.tlb ~asid
   | Flush_all -> Tlb.invalidate_all c.tlb
 
 let flush_kind_of = function
   | Flush_page _ -> Mach_obs.Obs.Fl_page
+  | Flush_range _ -> Mach_obs.Obs.Fl_range
   | Flush_asid _ -> Mach_obs.Obs.Fl_asid
   | Flush_all -> Mach_obs.Obs.Fl_all
 
@@ -156,6 +162,15 @@ let drain_pending t c =
 let tick t = Array.iter (fun c -> drain_pending t c) t.cpus
 
 let pending_flushes t ~cpu = Queue.length (cpu_of t cpu).pending
+
+(* Case 2: the initiator may not use the changed mapping until every CPU
+   has taken a timer interrupt, so it waits out the rest of the current
+   tick period, after which all pending flushes land. *)
+let deferred_wait t ~initiator =
+  let c = cpu_of t initiator in
+  let remainder = t.tick_interval - (c.clock mod t.tick_interval) in
+  c.clock <- c.clock + remainder;
+  tick t
 
 let shootdown t ~initiator ~targets req ~urgent =
   t.stats.shootdowns <- t.stats.shootdowns + 1;
@@ -190,18 +205,86 @@ let shootdown t ~initiator ~targets req ~urgent =
   else begin
     List.iter (fun id -> Queue.add req (cpu_of t id).pending) remote;
     (match t.shootdown_mode with
-     | Deferred_timer ->
-       (* Case 2: the initiator may not use the changed mapping until every
-          CPU has taken a timer interrupt, so it waits out the rest of the
-          current tick period, after which all pending flushes land. *)
-       let c = cpu_of t initiator in
-       let remainder = t.tick_interval - (c.clock mod t.tick_interval) in
-       c.clock <- c.clock + remainder;
-       tick t
+     | Deferred_timer -> deferred_wait t ~initiator
      | Lazy_local -> ()
      | Immediate_ipi -> assert false);
     note_shootdown ()
   end
+
+(* One TLB-consistency exchange covering a whole list of flush requests.
+   The point of batching: the initiator interrupts each target CPU once
+   for the entire list instead of once per request, so the IPI cost
+   scales with the number of target CPUs, not the number of pages
+   touched.  When the change must be visible immediately (Immediate_ipi
+   or urgent) each target still applies every request before the
+   initiator proceeds; under Deferred_timer/Lazy_local the requests are
+   queued exactly as unbatched shootdowns would queue them, so *when*
+   consistency is restored never changes — only how many exchanges it
+   takes. *)
+let shootdown_batch t ~initiator ~targets reqs ~urgent =
+  match reqs with
+  | [] -> ()
+  | [ req ] -> shootdown t ~initiator ~targets req ~urgent
+  | reqs ->
+    t.stats.shootdowns <- t.stats.shootdowns + 1;
+    let init = cpu_of t initiator in
+    let start_clock = init.clock in
+    let tlb_flush = t.arch.Arch.cost.Arch.tlb_flush in
+    List.iter
+      (fun req ->
+         apply_flush init req;
+         init.clock <- init.clock + tlb_flush;
+         note_flush t init req ~deferred:false)
+      reqs;
+    let remote = List.filter (fun id -> id <> initiator) targets in
+    let note_batch () =
+      if traced t then begin
+        let span_pages =
+          List.fold_left
+            (fun acc -> function
+               | Flush_page _ -> acc + 1
+               | Flush_range { lo_vpn; hi_vpn; _ } -> acc + (hi_vpn - lo_vpn)
+               | Flush_asid _ | Flush_all -> acc)
+            0 reqs
+        in
+        Mach_obs.Obs.record t.tracer ~ts:init.clock ~cpu:initiator
+          (Mach_obs.Obs.Shootdown_batch
+             { initiator; targets = List.length remote;
+               requests = List.length reqs; span_pages; urgent;
+               cycles = init.clock - start_clock })
+      end
+    in
+    if remote = [] then note_batch ()
+    else if urgent || t.shootdown_mode = Immediate_ipi then begin
+      List.iter
+        (fun id ->
+           let target = cpu_of t id in
+           (* One interrupt delivers the whole request list; the target
+              then pays a flush per request. *)
+           t.stats.ipis <- t.stats.ipis + 1;
+           init.clock <- init.clock + t.arch.Arch.cost.Arch.ipi;
+           target.clock <- target.clock + t.arch.Arch.cost.Arch.ipi;
+           List.iter
+             (fun req ->
+                apply_flush target req;
+                note_flush t target req ~deferred:false;
+                target.clock <- target.clock + tlb_flush)
+             reqs)
+        remote;
+      note_batch ()
+    end
+    else begin
+      List.iter
+        (fun id ->
+           let pending = (cpu_of t id).pending in
+           List.iter (fun req -> Queue.add req pending) reqs)
+        remote;
+      (match t.shootdown_mode with
+       | Deferred_timer -> deferred_wait t ~initiator
+       | Lazy_local -> ()
+       | Immediate_ipi -> assert false);
+      note_batch ()
+    end
 
 (* --- Translation and access ------------------------------------------ *)
 
@@ -212,6 +295,7 @@ let stale_hit c ~asid ~vpn =
        ||
        match req with
        | Flush_page p -> p.asid = asid && p.vpn = vpn
+       | Flush_range r -> r.asid = asid && vpn >= r.lo_vpn && vpn < r.hi_vpn
        | Flush_asid a -> a = asid
        | Flush_all -> true)
     false c.pending
@@ -251,19 +335,21 @@ let reported_write t ~write ~kind =
   | `Protection when write && t.arch.Arch.reports_rmw_as_read -> false
   | `Protection | `Invalid -> write
 
+(* Built only on trap paths, so the hot hit path allocates nothing. *)
+let trap_fault t ~va ~write kind =
+  { fault_va = va;
+    fault_write = reported_write t ~write ~kind;
+    fault_kind = kind }
+
 let translate t ~cpu ~va ~write =
   if va < 0 then
     raise (Memory_violation { va; write; reason = "negative address" });
   let c = cpu_of t cpu in
   let cost = t.arch.Arch.cost in
   let vpn = va / t.arch.Arch.hw_page_size in
-  let fault kind =
-    { fault_va = va;
-      fault_write = reported_write t ~write ~kind;
-      fault_kind = kind }
-  in
   let rec attempt retries =
-    if retries > 16 then raise (Unresolved_fault (fault `Invalid));
+    if retries > 16 then
+      raise (Unresolved_fault (trap_fault t ~va ~write `Invalid));
     let cached =
       match c.translator with
       | None -> None
@@ -277,9 +363,10 @@ let translate t ~cpu ~va ~write =
     | Some e, Some tr ->
       t.stats.tlb_hit_count <- t.stats.tlb_hit_count + 1;
       if Prot.allows e.Tlb.prot ~write then begin
-        if stale_hit c ~asid:tr.Translator.asid ~vpn then
+        if not (Queue.is_empty c.pending)
+           && stale_hit c ~asid:tr.Translator.asid ~vpn then
           t.stats.stale_tlb_uses <- t.stats.stale_tlb_uses + 1;
-        charge t ~cpu cost.Arch.mem_op;
+        c.clock <- c.clock + cost.Arch.mem_op;
         (match t.on_translated with
          | None -> ()
          | Some f -> f ~pfn:e.Tlb.pfn ~write);
@@ -288,30 +375,30 @@ let translate t ~cpu ~va ~write =
       else begin
         (* Protection faults drop the stale entry before trapping. *)
         Tlb.invalidate_page c.tlb ~asid:tr.Translator.asid ~vpn;
-        deliver_fault t ~cpu (fault `Protection);
+        deliver_fault t ~cpu (trap_fault t ~va ~write `Protection);
         attempt (retries + 1)
       end
     | None, Some tr ->
       t.stats.tlb_miss_count <- t.stats.tlb_miss_count + 1;
-      charge t ~cpu tr.Translator.walk_cost;
+      c.clock <- c.clock + tr.Translator.walk_cost;
       (match tr.Translator.lookup vpn with
        | Translator.Mapped { pfn; prot } ->
          if Tlb.capacity c.tlb > 0 then
            Tlb.insert c.tlb
              { Tlb.asid = tr.Translator.asid; vpn; pfn; prot };
          if Prot.allows prot ~write then begin
-           charge t ~cpu cost.Arch.mem_op;
+           c.clock <- c.clock + cost.Arch.mem_op;
            (match t.on_translated with
             | None -> ()
             | Some f -> f ~pfn ~write);
            pfn
          end
          else begin
-           deliver_fault t ~cpu (fault `Protection);
+           deliver_fault t ~cpu (trap_fault t ~va ~write `Protection);
            attempt (retries + 1)
          end
        | Translator.Missing ->
-         deliver_fault t ~cpu (fault `Invalid);
+         deliver_fault t ~cpu (trap_fault t ~va ~write `Invalid);
          attempt (retries + 1))
   in
   attempt 0
@@ -368,6 +455,8 @@ let touch t ~cpu ~va ~write =
     write_byte t ~cpu ~va current
   end
   else ignore (read_byte t ~cpu ~va)
+
+let tlb_contents t ~cpu = Tlb.entries (cpu_of t cpu).tlb
 
 let tlb_hits t =
   Array.fold_left (fun acc c -> acc + Tlb.hits c.tlb) 0 t.cpus

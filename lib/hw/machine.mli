@@ -46,6 +46,9 @@ type shootdown_strategy =
 
 type flush_request =
   | Flush_page of { asid : int; vpn : int }  (** one translation *)
+  | Flush_range of { asid : int; lo_vpn : int; hi_vpn : int }
+      (** a coalesced run of pages, [\[lo_vpn, hi_vpn)]; produced by the
+          pmap layer's flush batching *)
   | Flush_asid of int                        (** one address space *)
   | Flush_all                                (** the whole TLB *)
 
@@ -175,6 +178,18 @@ val shootdown : t -> initiator:int -> targets:int list ->
     paper's case 1: "time critical and must be propagated at all costs");
     otherwise the machine's configured strategy applies. *)
 
+val shootdown_batch : t -> initiator:int -> targets:int list ->
+  flush_request list -> urgent:bool -> unit
+(** [shootdown_batch t ~initiator ~targets reqs ~urgent] propagates a whole
+    list of mapping changes in a single consistency exchange: each target
+    CPU is interrupted once for the entire list (one IPI per target, not
+    per request) and then applies every request.  Strategy semantics match
+    {!shootdown} — immediate/urgent batches complete before returning,
+    deferred batches wait out the timer tick, lazy batches only queue — so
+    batching changes how many exchanges occur, never when consistency is
+    restored.  The empty list is a no-op; a singleton behaves exactly like
+    {!shootdown}. *)
+
 val tick : t -> unit
 (** [tick t] delivers a timer interrupt to every CPU: pending deferred
     flushes are applied (and charged).  Workloads call this periodically;
@@ -183,6 +198,10 @@ val tick : t -> unit
 val pending_flushes : t -> cpu:int -> int
 (** [pending_flushes t ~cpu] is the number of queued, not-yet-applied
     flush requests on [cpu]; used by tests. *)
+
+val tlb_contents : t -> cpu:int -> Tlb.entry list
+(** [tlb_contents t ~cpu] is that CPU's current TLB contents, oldest
+    first; used by tests cross-checking TLBs against page tables. *)
 
 val tlb_hits : t -> int
 (** Total TLB hits across CPUs (per-TLB counters; includes lookups made

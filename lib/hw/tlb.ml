@@ -32,18 +32,52 @@ let rec evict_one t =
     if Hashtbl.mem t.table key then Hashtbl.remove t.table key
     else evict_one t
 
+(* Entries invalidated by page/asid leave dead keys behind in the FIFO
+   queue.  Rebuild it (keeping the first occurrence of each live key, the
+   position [evict_one] would act on) once it holds more dead weight than
+   live entries, so the queue stays O(capacity). *)
+let compact t =
+  let seen = Hashtbl.create (Hashtbl.length t.table) in
+  let live = Queue.create () in
+  Queue.iter
+    (fun key ->
+       if Hashtbl.mem t.table key && not (Hashtbl.mem seen key) then begin
+         Hashtbl.add seen key ();
+         Queue.add key live
+       end)
+    t.order;
+  Queue.clear t.order;
+  Queue.transfer live t.order
+
 let insert t e =
   if t.capacity = 0 then ()
   else begin
     let key = (e.asid, e.vpn) in
     if not (Hashtbl.mem t.table key) then begin
       if Hashtbl.length t.table >= t.capacity then evict_one t;
+      if Queue.length t.order > 2 * t.capacity then compact t;
       Queue.add key t.order
     end;
     Hashtbl.replace t.table key e
   end
 
 let invalidate_page t ~asid ~vpn = Hashtbl.remove t.table (asid, vpn)
+
+let invalidate_range t ~asid ~lo_vpn ~hi_vpn =
+  (* Walk whichever side is smaller: the span or the current contents. *)
+  if hi_vpn - lo_vpn <= Hashtbl.length t.table then
+    for vpn = lo_vpn to hi_vpn - 1 do
+      Hashtbl.remove t.table (asid, vpn)
+    done
+  else begin
+    let doomed =
+      Hashtbl.fold
+        (fun ((a, v) as key) _ acc ->
+           if a = asid && v >= lo_vpn && v < hi_vpn then key :: acc else acc)
+        t.table []
+    in
+    List.iter (Hashtbl.remove t.table) doomed
+  end
 
 let invalidate_asid t ~asid =
   let doomed =

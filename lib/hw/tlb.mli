@@ -33,6 +33,11 @@ val invalidate_page : t -> asid:int -> vpn:int -> unit
 (** [invalidate_page t ~asid ~vpn] drops the entry for one page, if
     cached. *)
 
+val invalidate_range : t -> asid:int -> lo_vpn:int -> hi_vpn:int -> unit
+(** [invalidate_range t ~asid ~lo_vpn ~hi_vpn] drops every cached entry of
+    [asid] with virtual page in [\[lo_vpn, hi_vpn)]; the batched-shootdown
+    unit of invalidation. *)
+
 val invalidate_asid : t -> asid:int -> unit
 (** [invalidate_asid t ~asid] drops every entry of one address space. *)
 

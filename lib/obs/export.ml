@@ -2,6 +2,7 @@ open Mach_util
 
 let flush_kind_name = function
   | Obs.Fl_page -> "page"
+  | Obs.Fl_range -> "range"
   | Obs.Fl_asid -> "asid"
   | Obs.Fl_all -> "all"
 
@@ -39,6 +40,11 @@ let args_of_event (ev : Obs.event) =
   | Obs.Disk_io { write; bytes; cycles } ->
     [ ("write", Jout.Bool write); ("bytes", Jout.Int bytes);
       ("cycles", Jout.Int cycles) ]
+  | Obs.Shootdown_batch { initiator; targets; requests; span_pages; urgent;
+                          cycles } ->
+    [ ("initiator", Jout.Int initiator); ("targets", Jout.Int targets);
+      ("requests", Jout.Int requests); ("span_pages", Jout.Int span_pages);
+      ("urgent", Jout.Bool urgent); ("cycles", Jout.Int cycles) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in

@@ -22,7 +22,7 @@ let fault_resolution_name = function
   | Pagein -> "pagein"
   | Fault_error -> "error"
 
-type flush_kind = Fl_page | Fl_asid | Fl_all
+type flush_kind = Fl_page | Fl_range | Fl_asid | Fl_all
 
 type event =
   | Fault_begin of { va : int; write : bool }
@@ -38,8 +38,10 @@ type event =
   | Object_shadow of { depth : int }
   | Task_switch of { task : string }
   | Disk_io of { write : bool; bytes : int; cycles : int }
+  | Shootdown_batch of { initiator : int; targets : int; requests : int;
+                         span_pages : int; urgent : bool; cycles : int }
 
-let kind_count = 12
+let kind_count = 13
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -54,6 +56,7 @@ let kind_index = function
   | Object_shadow _ -> 9
   | Task_switch _ -> 10
   | Disk_io _ -> 11
+  | Shootdown_batch _ -> 12
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -68,6 +71,7 @@ let kind_name_of_index = function
   | 9 -> "object_shadow"
   | 10 -> "task_switch"
   | 11 -> "disk_io"
+  | 12 -> "shootdown_batch"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -123,6 +127,7 @@ let record t ~ts ~cpu ev =
   | Pagein { cycles; _ } -> Hist.add t.pagein_latency cycles
   | Pageout { inactive_depth; _ } -> Hist.add t.pageout_depth inactive_depth
   | Shootdown { cycles; _ } -> Hist.add t.shootdown_latency cycles
+  | Shootdown_batch { cycles; _ } -> Hist.add t.shootdown_latency cycles
   | Disk_io { cycles; _ } -> Hist.add t.disk_latency cycles
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
   | Object_shadow _ | Task_switch _ -> ()

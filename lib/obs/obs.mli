@@ -24,7 +24,7 @@ type fault_resolution =
 val fault_resolutions : fault_resolution list
 val fault_resolution_name : fault_resolution -> string
 
-type flush_kind = Fl_page | Fl_asid | Fl_all
+type flush_kind = Fl_page | Fl_range | Fl_asid | Fl_all
 
 type event =
   | Fault_begin of { va : int; write : bool }
@@ -48,6 +48,11 @@ type event =
           length. *)
   | Task_switch of { task : string }
   | Disk_io of { write : bool; bytes : int; cycles : int }
+  | Shootdown_batch of { initiator : int; targets : int; requests : int;
+                         span_pages : int; urgent : bool; cycles : int }
+      (** One batched TLB-consistency exchange: [requests] flush requests
+          delivered with a single IPI round; [span_pages] is the total
+          number of pages the coalesced page/range requests cover. *)
 
 val kind_count : int
 val kind_index : event -> int

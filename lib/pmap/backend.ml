@@ -7,6 +7,19 @@
 
 open Mach_hw
 
+(* Accumulator for flush batching.  While a batch is open (depth > 0),
+   page and asid shootdowns are collected here instead of being issued
+   one exchange at a time; the outermost [end_batch] turns the lot into
+   a single [Machine.shootdown_batch] — one IPI round per target CPU for
+   the whole operation. *)
+type batch = {
+  mutable depth : int;
+  page_vpns : (int, int list ref) Hashtbl.t;  (* asid -> vpns collected *)
+  whole_asids : (int, unit) Hashtbl.t;        (* asids flushed wholesale *)
+  b_targets : bool array;                     (* union of presences *)
+  mutable b_urgent : bool;                    (* OR of urgency at collect *)
+}
+
 type ctx = {
   machine : Machine.t;
   pv : Pv.t;
@@ -16,6 +29,11 @@ type ctx = {
       (* Set by the domain around pageout-style operations: all shootdowns
          become time-critical (case 1 of Section 5.2) regardless of the
          machine's configured strategy. *)
+  mutable batching : bool;
+      (* When false, open batches accumulate nothing and every shootdown
+         goes out as its own exchange; the Section 5.2 benchmark uses this
+         to measure the unbatched baseline. *)
+  batch : batch;
 }
 
 (* Which CPUs a pmap is active on now, and which may still cache its
@@ -25,7 +43,12 @@ type presence = { active : bool array; ran_on : bool array }
 let create machine =
   let frames = Phys_mem.frame_count (Machine.phys machine) in
   { machine; pv = Pv.create ~frames; next_asid = 1; cur_cpu = 0;
-    urgent_mode = false }
+    urgent_mode = false; batching = true;
+    batch =
+      { depth = 0; page_vpns = Hashtbl.create 8;
+        whole_asids = Hashtbl.create 8;
+        b_targets = Array.make (Machine.cpu_count machine) false;
+        b_urgent = false } }
 
 let arch ctx = Machine.arch ctx.machine
 let page_size ctx = (arch ctx).Arch.hw_page_size
@@ -52,11 +75,99 @@ let shoot ctx p req ~urgent =
   Machine.shootdown ctx.machine ~initiator:ctx.cur_cpu
     ~targets:(shoot_targets p) req ~urgent:(urgent || ctx.urgent_mode)
 
+(* --- Flush batching --------------------------------------------------- *)
+
+(* Above this many pages, a batched range operation flushes the whole
+   address space rather than shooting page by page. *)
+let flush_whole_space_threshold = 8
+
+let set_batching ctx on = ctx.batching <- on
+let batching ctx = ctx.batching
+
+let accumulating ctx = ctx.batching && ctx.batch.depth > 0
+
+let begin_batch ctx = ctx.batch.depth <- ctx.batch.depth + 1
+
+let add_targets b p =
+  Array.iteri (fun i on -> if on then b.b_targets.(i) <- true) p.ran_on
+
+(* Turn one asid's collected pages into requests: dedupe, sort, coalesce
+   adjacent pages into ranges; past the threshold flush the whole
+   space. *)
+let requests_of_asid ~asid vpns acc =
+  let vpns = List.sort_uniq compare vpns in
+  if List.length vpns > flush_whole_space_threshold then
+    Machine.Flush_asid asid :: acc
+  else
+    let emit lo hi acc =
+      if hi = lo + 1 then Machine.Flush_page { asid; vpn = lo } :: acc
+      else Machine.Flush_range { asid; lo_vpn = lo; hi_vpn = hi } :: acc
+    in
+    let rec go lo hi acc = function
+      | [] -> emit lo hi acc
+      | v :: rest ->
+        if v = hi then go lo (hi + 1) acc rest
+        else go v (v + 1) (emit lo hi acc) rest
+    in
+    match vpns with
+    | [] -> acc
+    | v :: rest -> go v (v + 1) acc rest
+
+let flush_batch ctx =
+  let b = ctx.batch in
+  let reqs =
+    Hashtbl.fold
+      (fun asid vpns acc ->
+         if Hashtbl.mem b.whole_asids asid then acc
+         else requests_of_asid ~asid !vpns acc)
+      b.page_vpns
+      (Hashtbl.fold
+         (fun asid () acc -> Machine.Flush_asid asid :: acc)
+         b.whole_asids [])
+  in
+  let targets = ref [] in
+  for i = Array.length b.b_targets - 1 downto 0 do
+    if b.b_targets.(i) then targets := i :: !targets
+  done;
+  let urgent = b.b_urgent in
+  Hashtbl.reset b.page_vpns;
+  Hashtbl.reset b.whole_asids;
+  Array.fill b.b_targets 0 (Array.length b.b_targets) false;
+  b.b_urgent <- false;
+  if reqs <> [] then
+    Machine.shootdown_batch ctx.machine ~initiator:ctx.cur_cpu
+      ~targets:!targets reqs ~urgent
+
+let end_batch ctx =
+  let b = ctx.batch in
+  if b.depth <= 0 then invalid_arg "Backend.end_batch: no open batch";
+  b.depth <- b.depth - 1;
+  if b.depth = 0 then flush_batch ctx
+
+(* Run [f ()] inside a batch, closing it even on exceptions. *)
+let batched ctx f =
+  begin_batch ctx;
+  Fun.protect ~finally:(fun () -> end_batch ctx) f
+
 let shoot_page ctx p ~asid ~vpn =
-  shoot ctx p (Machine.Flush_page { asid; vpn }) ~urgent:false
+  if accumulating ctx then begin
+    let b = ctx.batch in
+    (match Hashtbl.find_opt b.page_vpns asid with
+     | Some l -> l := vpn :: !l
+     | None -> Hashtbl.add b.page_vpns asid (ref [ vpn ]));
+    add_targets b p;
+    if ctx.urgent_mode then b.b_urgent <- true
+  end
+  else shoot ctx p (Machine.Flush_page { asid; vpn }) ~urgent:false
 
 let shoot_asid ctx p ~asid =
-  shoot ctx p (Machine.Flush_asid asid) ~urgent:false
+  if accumulating ctx then begin
+    let b = ctx.batch in
+    Hashtbl.replace b.whole_asids asid ();
+    add_targets b p;
+    if ctx.urgent_mode then b.b_urgent <- true
+  end
+  else shoot ctx p (Machine.Flush_asid asid) ~urgent:false
 
 let activate ctx p tr ~cpu =
   p.active.(cpu) <- true;
@@ -76,10 +187,6 @@ let pv_remove ctx ~pfn ~asid ~vpn =
 
 (* Charge for zeroing or copying [bytes] of memory. *)
 let move_cost ctx bytes = ((bytes + 15) / 16) * (cost ctx).Arch.move_16b
-
-(* Above this many pages, range operations flush the whole address space
-   rather than shooting page by page. *)
-let flush_whole_space_threshold = 8
 
 (* What each architecture module hands the domain: a pmap constructor plus
    an accounting of hardware structures shared by all pmaps (the RT PC's

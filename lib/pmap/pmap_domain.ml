@@ -90,20 +90,32 @@ let for_all_mappings t ~pfn f =
        | None -> assert false)
     (Pv.mappings t.ctx.Backend.pv ~pfn)
 
+let begin_batch t = Backend.begin_batch t.ctx
+let end_batch t = Backend.end_batch t.ctx
+let batched t f = Backend.batched t.ctx f
+let set_batching t on = Backend.set_batching t.ctx on
+let batching t = Backend.batching t.ctx
+
+(* The batch wraps every per-mapping removal, so a page mapped into many
+   address spaces costs one consistency exchange rather than one per
+   mapping.  Urgency is captured per accumulated flush, so restoring
+   [urgent_mode] before the batch flushes is safe. *)
 let remove_all t ~pfn ~urgent =
   let saved = t.ctx.Backend.urgent_mode in
   t.ctx.Backend.urgent_mode <- urgent;
   Fun.protect
     ~finally:(fun () -> t.ctx.Backend.urgent_mode <- saved)
     (fun () ->
-       for_all_mappings t ~pfn (fun p va ->
-           p.Pmap.remove ~start_va:va ~end_va:(va + page_size t)))
+       batched t (fun () ->
+           for_all_mappings t ~pfn (fun p va ->
+               p.Pmap.remove ~start_va:va ~end_va:(va + page_size t))))
 
 let copy_on_write t ~pfn =
   let read_only_mask = Prot.remove_write Prot.all in
-  for_all_mappings t ~pfn (fun p va ->
-      p.Pmap.protect ~start_va:va ~end_va:(va + page_size t)
-        ~prot:read_only_mask)
+  batched t (fun () ->
+      for_all_mappings t ~pfn (fun p va ->
+          p.Pmap.protect ~start_va:va ~end_va:(va + page_size t)
+            ~prot:read_only_mask))
 
 let is_modified t ~pfn = Pv.is_modified t.ctx.Backend.pv ~pfn
 let is_referenced t ~pfn = Pv.is_referenced t.ctx.Backend.pv ~pfn

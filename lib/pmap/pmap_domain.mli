@@ -39,6 +39,29 @@ val set_current_cpu : t -> int -> unit
 val current_cpu : t -> int
 (** The CPU recorded by {!set_current_cpu} (initially 0). *)
 
+(** {1 Flush batching}
+
+    Machine-independent code can bracket a burst of pmap mutations so all
+    their TLB shootdowns are delivered as one batched exchange (a single
+    IPI round per target CPU) when the outermost {!end_batch} runs.
+    Batches nest; urgency and strategy semantics are unchanged — only the
+    number of exchanges shrinks, never the time at which consistency is
+    restored. *)
+
+val begin_batch : t -> unit
+val end_batch : t -> unit
+(** Raises [Invalid_argument] without a matching {!begin_batch}. *)
+
+val batched : t -> (unit -> 'a) -> 'a
+(** [batched t f] runs [f] inside a batch, closing it on exceptions. *)
+
+val set_batching : t -> bool -> unit
+(** [set_batching t false] disables accumulation: open batches collect
+    nothing and every shootdown is its own exchange.  Benchmarks use this
+    to measure the unbatched baseline.  Default: enabled. *)
+
+val batching : t -> bool
+
 (** {1 Page-level operations (Table 3-3)} *)
 
 val remove_all : t -> pfn:int -> urgent:bool -> unit

@@ -101,19 +101,21 @@ let make_domain (ctx : Backend.ctx) =
 
     let remove ~start_va ~end_va =
       let lo, hi = range_bounds ~start_va ~end_va in
-      List.iter (fun (_, pfn) -> evict pfn) (in_range lo hi)
+      Backend.batched ctx (fun () ->
+          List.iter (fun (_, pfn) -> evict pfn) (in_range lo hi))
     in
 
     let protect ~start_va ~end_va ~prot =
       stats.Pmap.protect_ops <- stats.Pmap.protect_ops + 1;
       let lo, hi = range_bounds ~start_va ~end_va in
-      List.iter
-        (fun (vpn, pfn) ->
-           let s = ipt.(pfn) in
-           s.s_prot <- Prot.inter s.s_prot prot;
-           Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
-           Backend.shoot_page ctx presence ~asid ~vpn)
-        (in_range lo hi)
+      Backend.batched ctx (fun () ->
+          List.iter
+            (fun (vpn, pfn) ->
+               let s = ipt.(pfn) in
+               s.s_prot <- Prot.inter s.s_prot prot;
+               Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
+               Backend.shoot_page ctx presence ~asid ~vpn)
+            (in_range lo hi))
     in
 
     let extract va = Hashtbl.find_opt own_vpns (va / page) in
@@ -136,14 +138,14 @@ let make_domain (ctx : Backend.ctx) =
              if ipt.(pfn).s_wired then acc else pfn :: acc)
           own_vpns []
       in
-      List.iter evict victims;
+      Backend.batched ctx (fun () -> List.iter evict victims);
       stats.Pmap.cache_drops <-
         stats.Pmap.cache_drops + List.length victims
     in
 
     let destroy () =
       let victims = Hashtbl.fold (fun _ pfn acc -> pfn :: acc) own_vpns [] in
-      List.iter evict victims;
+      Backend.batched ctx (fun () -> List.iter evict victims);
       Hashtbl.remove owners asid
     in
 

@@ -144,22 +144,24 @@ let make_domain (ctx : Backend.ctx) =
 
     let remove ~start_va ~end_va =
       let lo, hi = range_bounds ~start_va ~end_va in
-      List.iter (fun (vpn, m) -> drop vpn m) (in_range lo hi)
+      Backend.batched ctx (fun () ->
+          List.iter (fun (vpn, m) -> drop vpn m) (in_range lo hi))
     in
 
     let protect ~start_va ~end_va ~prot =
       stats.Pmap.protect_ops <- stats.Pmap.protect_ops + 1;
       let lo, hi = range_bounds ~start_va ~end_va in
-      List.iter
-        (fun (vpn, m) ->
-           match me.o_context with
-           | None -> ()
-           | Some c ->
-             Hashtbl.replace c.c_table vpn
-               { m with m_prot = Prot.inter m.m_prot prot };
-             Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
-             Backend.shoot_page ctx presence ~asid ~vpn)
-        (in_range lo hi)
+      Backend.batched ctx (fun () ->
+          List.iter
+            (fun (vpn, m) ->
+               match me.o_context with
+               | None -> ()
+               | Some c ->
+                 Hashtbl.replace c.c_table vpn
+                   { m with m_prot = Prot.inter m.m_prot prot };
+                 Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
+                 Backend.shoot_page ctx presence ~asid ~vpn)
+            (in_range lo hi))
     in
 
     let extract va =
@@ -191,7 +193,8 @@ let make_domain (ctx : Backend.ctx) =
       let victims =
         List.filter (fun (_, m) -> not m.m_wired) (in_range 0 max_int)
       in
-      List.iter (fun (vpn, m) -> drop vpn m) victims;
+      Backend.batched ctx (fun () ->
+          List.iter (fun (vpn, m) -> drop vpn m) victims);
       stats.Pmap.cache_drops <-
         stats.Pmap.cache_drops + List.length victims
     in

@@ -34,7 +34,12 @@ let make_domain (ctx : Backend.ctx) =
        | Some _ -> ()
        | None -> Backend.pv_insert ctx ~pfn ~asid ~vpn);
       Hashtbl.replace soft vpn m;
-      if had_mapping then Backend.shoot_page ctx presence ~asid ~vpn;
+      (* The flush must land before the refill below, so bypass any open
+         batch (whose flush would otherwise wipe the fresh entries at
+         [end_batch] and fault the page straight back). *)
+      if had_mapping then
+        Backend.shoot ctx presence (Machine.Flush_page { asid; vpn })
+          ~urgent:false;
       fill_active_tlbs vpn m;
       Backend.charge ctx (Backend.cost ctx).Arch.pte_write;
       stats.Pmap.enters <- stats.Pmap.enters + 1
@@ -60,19 +65,28 @@ let make_domain (ctx : Backend.ctx) =
 
     let remove ~start_va ~end_va =
       let lo, hi = range_bounds ~start_va ~end_va in
-      List.iter (fun (vpn, m) -> drop vpn m) (in_range lo hi)
+      Backend.batched ctx (fun () ->
+          List.iter (fun (vpn, m) -> drop vpn m) (in_range lo hi))
     in
 
     let protect ~start_va ~end_va ~prot =
       stats.Pmap.protect_ops <- stats.Pmap.protect_ops + 1;
       let lo, hi = range_bounds ~start_va ~end_va in
-      List.iter
-        (fun (vpn, m) ->
-           let m = { m with m_prot = Prot.inter m.m_prot prot } in
-           Hashtbl.replace soft vpn m;
-           Backend.shoot_page ctx presence ~asid ~vpn;
-           fill_active_tlbs vpn m)
-        (in_range lo hi)
+      let updated =
+        List.map
+          (fun (vpn, m) ->
+             let m = { m with m_prot = Prot.inter m.m_prot prot } in
+             Hashtbl.replace soft vpn m;
+             (vpn, m))
+          (in_range lo hi)
+      in
+      Backend.batched ctx (fun () ->
+          List.iter
+            (fun (vpn, _) -> Backend.shoot_page ctx presence ~asid ~vpn)
+            updated);
+      (* Refill only after the batched flush has landed; refilling inside
+         the batch would hand [end_batch] fresh entries to wipe. *)
+      List.iter (fun (vpn, m) -> fill_active_tlbs vpn m) updated
     in
 
     let extract va =
@@ -85,13 +99,15 @@ let make_domain (ctx : Backend.ctx) =
       let victims =
         List.filter (fun (_, m) -> not m.m_wired) (in_range 0 max_int)
       in
-      List.iter (fun (vpn, m) -> drop vpn m) victims;
+      Backend.batched ctx (fun () ->
+          List.iter (fun (vpn, m) -> drop vpn m) victims);
       stats.Pmap.cache_drops <-
         stats.Pmap.cache_drops + List.length victims
     in
 
     let destroy () =
-      List.iter (fun (vpn, m) -> drop vpn m) (in_range 0 max_int);
+      Backend.batched ctx (fun () ->
+          List.iter (fun (vpn, m) -> drop vpn m) (in_range 0 max_int));
       Hashtbl.reset soft
     in
 

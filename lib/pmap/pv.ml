@@ -14,13 +14,23 @@ let create ~frames =
     referenced = Bytes.make frames '\000';
     modified = Bytes.make frames '\000' }
 
+(* Structural invariant checks cost an O(n) membership scan per insert;
+   with every page of a large region entered one at a time that turns the
+   pmap paths quadratic, so they are compiled out of normal builds. *)
+let debug_checks = false
+
 let insert t ~pfn m =
-  assert (not (List.mem m t.lists.(pfn)));
+  if debug_checks then assert (not (List.mem m t.lists.(pfn)));
   t.lists.(pfn) <- m :: t.lists.(pfn)
 
 let remove t ~pfn m =
-  assert (List.mem m t.lists.(pfn));
-  t.lists.(pfn) <- List.filter (fun m' -> m' <> m) t.lists.(pfn)
+  (* One traversal dropping the first occurrence; a missing mapping still
+     asserts, without a separate membership scan. *)
+  let rec drop = function
+    | [] -> assert false
+    | m' :: rest -> if m' = m then rest else m' :: drop rest
+  in
+  t.lists.(pfn) <- drop t.lists.(pfn)
 
 let mappings t ~pfn = t.lists.(pfn)
 

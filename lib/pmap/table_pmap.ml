@@ -132,20 +132,16 @@ let make (ctx : Backend.ctx) ~kind ~va_limit ~top_bytes
     List.iter visit idxs
   in
 
+  (* The batch accumulator coalesces the per-page shootdowns into one
+     exchange (and promotes to a whole-space flush past the threshold);
+     with batching off each page goes out as its own shootdown. *)
   let range_op ~start_va ~end_va f =
     let lo = start_va / page in
     let hi = (end_va + page - 1) / page in
-    let touched = ref [] in
-    iter_valid_in_range lo hi (fun vpn pte ->
-        f vpn pte;
-        touched := vpn :: !touched);
-    let n = List.length !touched in
-    if n > Backend.flush_whole_space_threshold then
-      Backend.shoot_asid ctx presence ~asid
-    else
-      List.iter
-        (fun vpn -> Backend.shoot_page ctx presence ~asid ~vpn)
-        !touched
+    Backend.batched ctx (fun () ->
+        iter_valid_in_range lo hi (fun vpn pte ->
+            f vpn pte;
+            Backend.shoot_page ctx presence ~asid ~vpn))
   in
 
   let remove ~start_va ~end_va =

@@ -1,0 +1,393 @@
+(* Flush batching tests: Machine.shootdown_batch semantics, the pmap
+   layer's batch accumulator and request coalescing, and end-to-end IPI
+   counts for multi-page vm_protect/vm_deallocate.  The contract under
+   test: batching shrinks the number of consistency exchanges (one IPI
+   round per target CPU per operation), never the moment at which
+   consistency is restored. *)
+
+open Mach_hw
+open Mach_core
+open Mach_pmap
+module Obs = Mach_obs.Obs
+
+let kb = 1024
+
+(* ---- Machine.shootdown_batch ------------------------------------------ *)
+
+let make_translator ~asid table =
+  { Translator.asid;
+    lookup =
+      (fun vpn ->
+         match Hashtbl.find_opt table vpn with
+         | Some (pfn, prot) -> Translator.Mapped { pfn; prot }
+         | None -> Translator.Missing);
+    walk_cost = 20 }
+
+(* A 4-CPU machine with pages 0..3 mapped and every CPU's TLB warm on all
+   of them. *)
+let batch_setup strategy =
+  let m =
+    Machine.create ~arch:Arch.uvax2 ~memory_frames:64 ~cpus:4
+      ~shootdown:strategy ()
+  in
+  let table = Hashtbl.create 8 in
+  for vpn = 0 to 3 do
+    Hashtbl.replace table vpn (10 + vpn, Prot.read_write)
+  done;
+  let tr = make_translator ~asid:1 table in
+  let ps = Arch.uvax2.Arch.hw_page_size in
+  for cpu = 0 to 3 do
+    Machine.set_translator m ~cpu (Some tr);
+    for vpn = 0 to 3 do
+      ignore (Machine.read_byte m ~cpu ~va:(vpn * ps))
+    done
+  done;
+  (m, table)
+
+let reqs_0_to_3 =
+  [ Machine.Flush_range { asid = 1; lo_vpn = 0; hi_vpn = 3 };
+    Machine.Flush_page { asid = 1; vpn = 3 } ]
+
+let cached m ~cpu ~vpn =
+  List.exists
+    (fun (e : Tlb.entry) -> e.Tlb.asid = 1 && e.Tlb.vpn = vpn)
+    (Machine.tlb_contents m ~cpu)
+
+let test_batch_one_ipi_per_target () =
+  let m, _table = batch_setup Machine.Immediate_ipi in
+  Machine.shootdown_batch m ~initiator:0 ~targets:[ 0; 1; 2; 3 ]
+    reqs_0_to_3 ~urgent:false;
+  (* 3 remote targets, 2 requests: the IPI count follows targets, not
+     requests or pages. *)
+  Alcotest.(check int) "one IPI per remote target" 3
+    (Machine.stats m).Machine.ipis;
+  for cpu = 0 to 3 do
+    for vpn = 0 to 3 do
+      Alcotest.(check bool)
+        (Printf.sprintf "cpu%d vpn%d flushed" cpu vpn)
+        false (cached m ~cpu ~vpn)
+    done
+  done
+
+let test_batch_empty_and_singleton () =
+  let m, _table = batch_setup Machine.Immediate_ipi in
+  Machine.shootdown_batch m ~initiator:0 ~targets:[ 0; 1; 2; 3 ] []
+    ~urgent:false;
+  Alcotest.(check int) "empty batch is a no-op" 0
+    (Machine.stats m).Machine.shootdowns;
+  Machine.shootdown_batch m ~initiator:0 ~targets:[ 0; 1 ]
+    [ Machine.Flush_page { asid = 1; vpn = 0 } ]
+    ~urgent:false;
+  (* A singleton behaves exactly like Machine.shootdown. *)
+  Alcotest.(check int) "one shootdown" 1 (Machine.stats m).Machine.shootdowns;
+  Alcotest.(check int) "one IPI" 1 (Machine.stats m).Machine.ipis;
+  Alcotest.(check bool) "cpu1 vpn0 flushed" false (cached m ~cpu:1 ~vpn:0);
+  Alcotest.(check bool) "cpu1 vpn1 kept" true (cached m ~cpu:1 ~vpn:1)
+
+let test_batch_deferred_waits () =
+  let m, _table = batch_setup Machine.Deferred_timer in
+  let before = Machine.cycles m ~cpu:0 in
+  Machine.shootdown_batch m ~initiator:0 ~targets:[ 0; 1; 2; 3 ]
+    reqs_0_to_3 ~urgent:false;
+  Alcotest.(check int) "no IPIs" 0 (Machine.stats m).Machine.ipis;
+  Alcotest.(check bool) "initiator waited out the tick" true
+    (Machine.cycles m ~cpu:0 - before > 1000);
+  (* Consistency restored at the tick: nothing pending, flushes landed. *)
+  Alcotest.(check int) "nothing pending" 0 (Machine.pending_flushes m ~cpu:1);
+  Alcotest.(check int) "deferred flushes counted" 6
+    (Machine.stats m).Machine.deferred_flushes;
+  Alcotest.(check bool) "cpu2 vpn1 flushed" false (cached m ~cpu:2 ~vpn:1)
+
+let test_batch_lazy_queues () =
+  let m, _table = batch_setup Machine.Lazy_local in
+  Machine.shootdown_batch m ~initiator:0 ~targets:[ 0; 1; 2; 3 ]
+    reqs_0_to_3 ~urgent:false;
+  Alcotest.(check int) "no IPIs" 0 (Machine.stats m).Machine.ipis;
+  (* Initiator flushed immediately, remotes only queued. *)
+  Alcotest.(check bool) "initiator flushed" false (cached m ~cpu:0 ~vpn:1);
+  Alcotest.(check bool) "remote still cached" true (cached m ~cpu:1 ~vpn:1);
+  Alcotest.(check int) "both requests pending" 2
+    (Machine.pending_flushes m ~cpu:1);
+  (* A hit inside the batched range counts as a stale use. *)
+  let ps = Arch.uvax2.Arch.hw_page_size in
+  ignore (Machine.read_byte m ~cpu:1 ~va:ps);
+  Alcotest.(check int) "stale use counted" 1
+    (Machine.stats m).Machine.stale_tlb_uses;
+  Machine.tick m;
+  Alcotest.(check bool) "drained at tick" false (cached m ~cpu:1 ~vpn:1)
+
+let test_batch_urgent_overrides_lazy () =
+  let m, _table = batch_setup Machine.Lazy_local in
+  Machine.shootdown_batch m ~initiator:0 ~targets:[ 0; 1; 2; 3 ]
+    reqs_0_to_3 ~urgent:true;
+  Alcotest.(check int) "IPIs despite lazy strategy" 3
+    (Machine.stats m).Machine.ipis;
+  Alcotest.(check int) "nothing pending" 0 (Machine.pending_flushes m ~cpu:1)
+
+let test_flush_range_is_half_open () =
+  let m, _table = batch_setup Machine.Immediate_ipi in
+  Machine.flush_local m ~cpu:1
+    (Machine.Flush_range { asid = 1; lo_vpn = 1; hi_vpn = 3 });
+  Alcotest.(check bool) "below kept" true (cached m ~cpu:1 ~vpn:0);
+  Alcotest.(check bool) "lo dropped" false (cached m ~cpu:1 ~vpn:1);
+  Alcotest.(check bool) "mid dropped" false (cached m ~cpu:1 ~vpn:2);
+  Alcotest.(check bool) "hi kept (half-open)" true (cached m ~cpu:1 ~vpn:3)
+
+(* ---- the pmap layer's accumulator -------------------------------------- *)
+
+(* Scattered pages below the promotion threshold coalesce into
+   range/page requests delivered as one batched exchange. *)
+let test_accumulator_coalesces () =
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:256 ~cpus:2 () in
+  let domain = Pmap_domain.create machine in
+  let tr = Obs.create () in
+  Obs.set_enabled tr true;
+  Machine.set_tracer machine tr;
+  let p = Pmap_domain.create_pmap domain in
+  let ps = Arch.uvax2.Arch.hw_page_size in
+  p.Pmap.activate ~cpu:0;
+  p.Pmap.activate ~cpu:1;
+  List.iter
+    (fun vpn ->
+       p.Pmap.enter ~va:(vpn * ps) ~pfn:(20 + vpn) ~prot:Prot.read_write
+         ~wired:false)
+    [ 0; 1; 2; 10 ];
+  Machine.reset_clocks machine;
+  Pmap_domain.batched domain (fun () ->
+      p.Pmap.remove ~start_va:0 ~end_va:(3 * ps);
+      p.Pmap.remove ~start_va:(10 * ps) ~end_va:(11 * ps));
+  (* One batched exchange carrying [0,3) as a range plus page 10: one IPI
+     to the one remote CPU, and a Shootdown_batch event with 2 requests
+     spanning 4 pages. *)
+  Alcotest.(check int) "one IPI" 1 (Machine.stats machine).Machine.ipis;
+  Alcotest.(check int) "one batched exchange" 1
+    (Obs.count tr
+       (Obs.Shootdown_batch
+          { initiator = 0; targets = 0; requests = 0; span_pages = 0;
+            urgent = false; cycles = 0 }));
+  let requests = ref 0 and span = ref 0 in
+  Mach_obs.Ring.iter
+    (fun r ->
+       match r.Obs.ev with
+       | Obs.Shootdown_batch { requests = rq; span_pages; _ } ->
+         requests := rq;
+         span := span_pages
+       | _ -> ())
+    (Obs.ring tr);
+  let requests, span = (!requests, !span) in
+  Alcotest.(check int) "two coalesced requests" 2 requests;
+  Alcotest.(check int) "four pages spanned" 4 span;
+  Alcotest.(check (option int)) "all removed" None (p.Pmap.extract 0)
+
+(* Past the threshold the accumulator promotes to a whole-space flush:
+   still one exchange, delivered as a plain (singleton) shootdown. *)
+let test_accumulator_promotes () =
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:256 ~cpus:2 () in
+  let domain = Pmap_domain.create machine in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = Arch.uvax2.Arch.hw_page_size in
+  p.Pmap.activate ~cpu:0;
+  p.Pmap.activate ~cpu:1;
+  for vpn = 0 to 15 do
+    p.Pmap.enter ~va:(vpn * ps) ~pfn:(20 + vpn) ~prot:Prot.read_write
+      ~wired:false
+  done;
+  Machine.reset_clocks machine;
+  p.Pmap.remove ~start_va:0 ~end_va:(16 * ps);
+  Alcotest.(check int) "one IPI for 16 pages" 1
+    (Machine.stats machine).Machine.ipis;
+  Alcotest.(check int) "one shootdown" 1
+    (Machine.stats machine).Machine.shootdowns
+
+(* ---- end-to-end: vm_protect / vm_deallocate --------------------------- *)
+
+let boot ?(arch = Arch.uvax2) ?(cpus = 4) () =
+  let machine =
+    Machine.create ~arch ~memory_frames:2048 ~cpus
+      ~shootdown:Machine.Immediate_ipi ()
+  in
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  (machine, kernel, Kernel.sys kernel)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Kr.to_string e)
+
+(* A 64 KB region mapped and TLB-warm on all four CPUs. *)
+let warm_region (machine, kernel, sys) =
+  let t = Kernel.create_task kernel () in
+  for cpu = 0 to Machine.cpu_count machine - 1 do
+    Kernel.run_task kernel ~cpu t
+  done;
+  let size = 64 * kb in
+  let addr = ok (Vm_user.allocate sys t ~size ~anywhere:true ()) in
+  let ps = Kernel.page_size kernel in
+  for cpu = 0 to Machine.cpu_count machine - 1 do
+    let rec sweep va =
+      if va < addr + size then begin
+        Machine.touch machine ~cpu ~va ~write:true;
+        sweep (va + ps)
+      end
+    in
+    sweep addr
+  done;
+  Machine.reset_clocks machine;
+  (t, addr, size)
+
+let test_protect_ipis_scale_with_targets () =
+  let machine, kernel, sys = boot () in
+  let t, addr, size = warm_region (machine, kernel, sys) in
+  Mach_pmap.Pmap_domain.set_current_cpu kernel.Kernel.domain 0;
+  ok
+    (Vm_user.protect sys t ~addr ~size ~set_max:false ~prot:Prot.read_only);
+  (* 16 kernel pages revoked, 3 remote CPUs: one IPI per target CPU, not
+     per page. *)
+  Alcotest.(check int) "IPIs = target CPUs" 3
+    (Machine.stats machine).Machine.ipis;
+  Alcotest.(check int) "no stale uses under Immediate_ipi" 0
+    (Machine.stats machine).Machine.stale_tlb_uses;
+  (* The revocation really landed everywhere. *)
+  for cpu = 0 to 3 do
+    try
+      Machine.write_byte machine ~cpu ~va:addr 'X';
+      Alcotest.fail "stale writable TLB entry survived"
+    with Machine.Memory_violation _ -> ()
+  done
+
+let test_deallocate_ipis_scale_with_targets () =
+  let machine, kernel, sys = boot () in
+  let t, addr, size = warm_region (machine, kernel, sys) in
+  Mach_pmap.Pmap_domain.set_current_cpu kernel.Kernel.domain 0;
+  ok (Vm_user.deallocate sys t ~addr ~size);
+  Alcotest.(check bool) "IPIs bounded by target CPUs"
+    true
+    ((Machine.stats machine).Machine.ipis <= 3);
+  Alcotest.(check int) "no stale uses under Immediate_ipi" 0
+    (Machine.stats machine).Machine.stale_tlb_uses;
+  for cpu = 0 to 3 do
+    try
+      ignore (Machine.read_byte machine ~cpu ~va:addr);
+      Alcotest.fail "deallocated page still readable"
+    with Machine.Memory_violation _ -> ()
+  done
+
+(* ---- qcheck: TLBs agree with page tables across all backends ----------- *)
+
+let archs =
+  [ Arch.uvax2; Arch.rt_pc; Arch.sun3_160; Arch.ns32082; Arch.rp3_tlb ]
+
+type op =
+  | Enter of int * int (* vpn, pfn *)
+  | Remove of int * int (* lo_vpn, pages *)
+  | Protect of int * int (* lo_vpn, pages *)
+  | Touch of int * int (* cpu, vpn *)
+  | Batching of bool
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map2 (fun v p -> Enter (v, p)) (int_range 0 31) (int_range 1 63);
+        map2 (fun v n -> Remove (v, n)) (int_range 0 31) (int_range 1 12);
+        map2 (fun v n -> Protect (v, n)) (int_range 0 31) (int_range 1 12);
+        map2 (fun c v -> Touch (c, v)) (int_range 0 1) (int_range 0 31);
+        map (fun b -> Batching b) bool ])
+
+(* Under Immediate_ipi there is never a pending invalidation, so at any
+   point every cached TLB entry must agree with the page tables — batched
+   or not.  The model map drives fault-time re-entry so TLB-only machines
+   can make progress. *)
+let mixed_ops_agree arch ops =
+  let machine =
+    Machine.create ~arch ~memory_frames:256 ~cpus:2
+      ~shootdown:Machine.Immediate_ipi ()
+  in
+  let domain = Pmap_domain.create machine in
+  let p = Pmap_domain.create_pmap domain in
+  let ps = arch.Arch.hw_page_size in
+  let model : (int, int * Prot.t) Hashtbl.t = Hashtbl.create 32 in
+  Machine.set_fault_handler machine (fun ~cpu:_ f ->
+      let vpn = f.Machine.fault_va / ps in
+      match Hashtbl.find_opt model vpn with
+      | Some (pfn, prot) ->
+        p.Pmap.enter ~va:(vpn * ps) ~pfn ~prot ~wired:false
+      | None ->
+        raise
+          (Machine.Memory_violation
+             { va = f.Machine.fault_va; write = f.Machine.fault_write;
+               reason = "unmapped" }))
+  ;
+  p.Pmap.activate ~cpu:0;
+  p.Pmap.activate ~cpu:1;
+  let apply = function
+    | Enter (vpn, pfn) ->
+      Hashtbl.replace model vpn (pfn, Prot.read_write);
+      p.Pmap.enter ~va:(vpn * ps) ~pfn ~prot:Prot.read_write ~wired:false
+    | Remove (lo, n) ->
+      for vpn = lo to lo + n - 1 do
+        Hashtbl.remove model vpn
+      done;
+      p.Pmap.remove ~start_va:(lo * ps) ~end_va:((lo + n) * ps)
+    | Protect (lo, n) ->
+      for vpn = lo to lo + n - 1 do
+        match Hashtbl.find_opt model vpn with
+        | Some (pfn, prot) ->
+          Hashtbl.replace model vpn (pfn, Prot.inter prot Prot.read_only)
+        | None -> ()
+      done;
+      p.Pmap.protect ~start_va:(lo * ps) ~end_va:((lo + n) * ps)
+        ~prot:Prot.read_only
+    | Touch (cpu, vpn) ->
+      (try ignore (Machine.read_byte machine ~cpu ~va:(vpn * ps))
+       with Machine.Memory_violation _ -> ())
+    | Batching on -> Pmap_domain.set_batching domain on
+  in
+  List.iter apply ops;
+  let agreed = ref true in
+  for cpu = 0 to 1 do
+    List.iter
+      (fun (e : Tlb.entry) ->
+         if e.Tlb.asid = p.Pmap.asid then
+           match p.Pmap.extract (e.Tlb.vpn * ps) with
+           | Some pfn when pfn = e.Tlb.pfn -> ()
+           | _ -> agreed := false)
+      (Machine.tlb_contents machine ~cpu)
+  done;
+  !agreed && (Machine.stats machine).Machine.stale_tlb_uses = 0
+
+let mixed_ops_qcheck arch =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "TLBs agree with page tables after mixed ops [%s]"
+         arch.Arch.name)
+    ~count:60
+    QCheck2.Gen.(list_size (int_range 10 50) op_gen)
+    (fun ops -> mixed_ops_agree arch ops)
+
+let () =
+  Alcotest.run "batch"
+    [ ( "machine",
+        [ Alcotest.test_case "one IPI per target" `Quick
+            test_batch_one_ipi_per_target;
+          Alcotest.test_case "empty and singleton batches" `Quick
+            test_batch_empty_and_singleton;
+          Alcotest.test_case "deferred batch waits out the tick" `Quick
+            test_batch_deferred_waits;
+          Alcotest.test_case "lazy batch queues all requests" `Quick
+            test_batch_lazy_queues;
+          Alcotest.test_case "urgent overrides lazy" `Quick
+            test_batch_urgent_overrides_lazy;
+          Alcotest.test_case "range flush is half-open" `Quick
+            test_flush_range_is_half_open ] );
+      ( "accumulator",
+        [ Alcotest.test_case "coalesces adjacent pages" `Quick
+            test_accumulator_coalesces;
+          Alcotest.test_case "promotes past the threshold" `Quick
+            test_accumulator_promotes ] );
+      ( "end_to_end",
+        [ Alcotest.test_case "vm_protect: IPIs follow targets" `Quick
+            test_protect_ipis_scale_with_targets;
+          Alcotest.test_case "vm_deallocate: IPIs follow targets" `Quick
+            test_deallocate_ipis_scale_with_targets ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          (List.map mixed_ops_qcheck archs) ) ]

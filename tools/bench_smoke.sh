@@ -1,0 +1,77 @@
+#!/bin/sh
+# Smoke-check the Section 5.2 shootdown bench: run it against a scratch
+# JSON file, make sure every expected cell is present, and fail if the
+# batched IPI counts regress above their recorded baselines (or the
+# unbatched ones mysteriously shrink below them, which would mean the
+# A/B comparison no longer measures anything).
+set -eu
+
+cd "$(dirname "$0")/.."
+out=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+
+dune exec bench/main.exe -- -e shootdown -json "$out" >/dev/null
+
+fail=0
+
+# The bench writes compact JSON: "name":"...","measured_ms":<value>,
+cell() {
+    sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$out"
+}
+
+require_cell() {
+    v=$(cell "$1")
+    if [ -z "$v" ]; then
+        echo "bench-smoke: FAIL missing cell $1" >&2
+        fail=1
+    fi
+}
+
+# Baselines: one IPI round per target CPU per operation (2 ops x 30
+# rounds x 3 remote CPUs = 180) when batched; one per page (256 pages x
+# 180 = 46080) when not.
+check_max() { # name max
+    v=$(cell "$1")
+    if [ -z "$v" ]; then
+        echo "bench-smoke: FAIL missing cell $1" >&2
+        fail=1
+    elif ! awk "BEGIN { exit !($v <= $2) }"; then
+        echo "bench-smoke: FAIL $1 = $v regressed above baseline $2" >&2
+        fail=1
+    fi
+}
+
+check_min() { # name min
+    v=$(cell "$1")
+    if [ -z "$v" ]; then
+        echo "bench-smoke: FAIL missing cell $1" >&2
+        fail=1
+    elif ! awk "BEGIN { exit !($v >= $2) }"; then
+        echo "bench-smoke: FAIL $1 = $v below expected floor $2" >&2
+        fail=1
+    fi
+}
+
+for strategy in immediate deferred lazy; do
+    for mode in unbatched batched; do
+        for metric in ipis deferred_flushes stale_tlb_uses elapsed_ms; do
+            require_cell "shootdown/$strategy/$mode/$metric"
+        done
+    done
+done
+
+# Batched IPI/deferred-flush counts must stay at the one-round-per-target
+# baseline; unbatched ones must stay per-page.
+check_max shootdown/immediate/batched/ipis 180
+check_min shootdown/immediate/unbatched/ipis 46080
+check_max shootdown/deferred/batched/deferred_flushes 180
+check_max shootdown/lazy/batched/deferred_flushes 180
+
+# Immediacy means no stale windows, batched or not.
+check_max shootdown/immediate/batched/stale_tlb_uses 0
+check_max shootdown/immediate/unbatched/stale_tlb_uses 0
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "bench-smoke: OK (24 shootdown cells present, IPI counts at baseline)"
