@@ -4,7 +4,7 @@ all:
 	dune build
 
 check:
-	dune build && dune runtest
+	dune build && dune runtest && sh tools/bench_smoke.sh
 
 test:
 	dune runtest

@@ -1,0 +1,138 @@
+open Types
+open Mach_pmap
+module Obs = Mach_obs.Obs
+
+(* Dirty test over every hardware frame of a machine page.  Local copy of
+   Vm_pageout.is_modified: this module sits below Vm_pageout in the
+   dependency order. *)
+let is_modified (sys : Vm_sys.t) p =
+  let m = Resident.multiple sys.Vm_sys.resident in
+  let rec loop i =
+    i < m && (Pmap_domain.is_modified sys.Vm_sys.domain ~pfn:(p.pfn + i)
+              || loop (i + 1))
+  in
+  loop 0
+
+let pager_dead o = o.obj_health.ph_dead
+
+(* Declare the object's pager dead and rescue every dirty resident page
+   to a fresh default pager before any of them can be lost.  The rescue
+   pager is deliberately NOT passed through [pager_decorator]: it is the
+   kernel's last line of defence and must be reliable. *)
+let declare_dead (sys : Vm_sys.t) o pager =
+  let stats = sys.Vm_sys.stats in
+  o.obj_health.ph_dead <- true;
+  stats.Vm_sys.pager_deaths <- stats.Vm_sys.pager_deaths + 1;
+  let rescue = Swap_pager.make sys ~name:(pager.pgr_name ^ "+rescue") in
+  o.obj_rescue <- Some rescue;
+  let rescued = ref 0 in
+  List.iter
+    (fun p ->
+       if (not p.pg_busy) && is_modified sys p then
+         match
+           rescue.pgr_write ~offset:p.pg_offset
+             ~data:(Page_io.contents sys p)
+         with
+         | Write_completed ->
+           incr rescued;
+           stats.Vm_sys.rescued_pages <- stats.Vm_sys.rescued_pages + 1
+         | Write_error -> ())
+    (Resident.object_pages o);
+  if Obs.enabled (Vm_sys.tracer sys) then
+    Vm_sys.emit sys
+      (Obs.Pager_dead { pager = pager.pgr_name; rescued = !rescued })
+
+(* Run [attempt] with bounded retry and exponential backoff; account an
+   exhausted budget against the object's health, possibly killing the
+   pager.  [None] means the budget ran out. *)
+let with_retries (sys : Vm_sys.t) o ~offset attempt =
+  let stats = sys.Vm_sys.stats in
+  let h = o.obj_health in
+  let rec go n =
+    match attempt () with
+    | `Done v ->
+      h.ph_consecutive <- 0;
+      Some v
+    | `Failed ->
+      if n < sys.Vm_sys.pager_retry_limit then begin
+        stats.Vm_sys.pager_retries <- stats.Vm_sys.pager_retries + 1;
+        let backoff = sys.Vm_sys.pager_backoff_cycles * (1 lsl n) in
+        if Obs.enabled (Vm_sys.tracer sys) then
+          Vm_sys.emit sys
+            (Obs.Pager_retry { offset; attempt = n + 1; backoff });
+        Vm_sys.charge sys backoff;
+        go (n + 1)
+      end
+      else begin
+        stats.Vm_sys.pager_failures <- stats.Vm_sys.pager_failures + 1;
+        h.ph_failures <- h.ph_failures + 1;
+        h.ph_consecutive <- h.ph_consecutive + 1;
+        if (not h.ph_dead)
+           && h.ph_consecutive >= sys.Vm_sys.pager_death_threshold
+        then
+          (match o.obj_pager with
+           | Some pg -> declare_dead sys o pg
+           | None -> ());
+        None
+      end
+  in
+  go 0
+
+(* A dead pager's object answers from the rescue pager; pages the rescue
+   pager never received follow the degrade policy. *)
+let degraded_request o ~offset ~length =
+  let fallback () =
+    match o.obj_degrade with
+    | Degrade_zero_fill -> `Absent
+    | Degrade_error -> `Error
+  in
+  match o.obj_rescue with
+  | None -> fallback ()
+  | Some r ->
+    (match r.pgr_request ~offset ~length with
+     | Data_provided d -> `Data d
+     | Data_unavailable | Data_error -> fallback ())
+
+let request sys o ~offset ~length =
+  match o.obj_pager with
+  | None -> `Absent
+  | Some pager ->
+    if o.obj_health.ph_dead then degraded_request o ~offset ~length
+    else begin
+      match
+        with_retries sys o ~offset (fun () ->
+            match pager.pgr_request ~offset ~length with
+            | Data_provided d -> `Done (`Data d)
+            | Data_unavailable -> `Done `Absent
+            | Data_error -> `Failed)
+      with
+      | Some reply -> reply
+      | None -> `Error
+    end
+
+let write sys o ~offset ~data =
+  match o.obj_pager with
+  | None -> false
+  | Some pager ->
+    if o.obj_health.ph_dead then
+      (match o.obj_rescue with
+       | None -> false
+       | Some r ->
+         (match r.pgr_write ~offset ~data with
+          | Write_completed -> true
+          | Write_error -> false))
+    else begin
+      match
+        with_retries sys o ~offset (fun () ->
+            match pager.pgr_write ~offset ~data with
+            | Write_completed -> `Done ()
+            | Write_error -> `Failed)
+      with
+      | Some () -> true
+      | None ->
+        (* If the exhausted budget just killed the pager, [declare_dead]
+           already rescued this page along with the rest; returning
+           [false] still makes the caller keep it dirty, so the rescue
+           copy is refreshed by the next pageout pass. *)
+        false
+    end

@@ -1,0 +1,37 @@
+(** Fault-tolerant access to a memory object's pager.
+
+    All pager traffic from the machine-independent layer goes through
+    this module, which wraps the raw [pgr_request]/[pgr_write] calls in
+    the kernel's failure policy:
+
+    - transient failures ([Data_error]/[Write_error]) are retried up to
+      [Vm_sys.pager_retry_limit] times with exponential backoff charged
+      in simulated cycles (base [pager_backoff_cycles]), each retry
+      emitting [Obs.Pager_retry];
+    - a request that exhausts its budget counts against the object's
+      {!Types.pager_health}; after [pager_death_threshold] consecutive
+      exhausted budgets the pager is declared {e dead}
+      ([Obs.Pager_dead]): every dirty resident page of the object is
+      immediately written to a freshly created rescue pager (a
+      {!Swap_pager}, i.e. the default pager) so no data can be lost;
+    - once dead, requests are answered from the rescue pager, and pages
+      it does not hold follow the object's {!Types.degrade_policy} —
+      zero fill, or [KERN_MEMORY_ERROR] to the faulting task. *)
+
+val request :
+  Vm_sys.t -> Types.obj -> offset:int -> length:int ->
+  [ `Data of Bytes.t | `Absent | `Error ]
+(** [request sys obj ~offset ~length] asks the object's pager for data,
+    applying retry/backoff/death policy.  [`Absent] means "no pager has
+    this page" (descend the shadow chain or zero fill); [`Error] means
+    the faulting task must see [KERN_MEMORY_ERROR].  Objects without a
+    pager answer [`Absent]. *)
+
+val write : Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t -> bool
+(** [write sys obj ~offset ~data] writes a page back to the object's
+    pager (or its rescue pager once dead) with the same policy.
+    [false] means the write ultimately failed and the caller must keep
+    the page dirty. *)
+
+val pager_dead : Types.obj -> bool
+(** Whether the object's pager has been declared dead. *)

@@ -35,8 +35,7 @@ let clean_request sys o ~offset ~length =
            first so the cleaned copy is coherent. *)
         each_frame sys p (fun pfn ->
             Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn);
-        Vm_pageout.clean_page sys p;
-        incr written
+        if Vm_pageout.clean_page sys p then incr written
       end);
   !written
 

@@ -25,7 +25,8 @@ let make (sys : Vm_sys.t) ~name =
       (fun ~offset ~data ->
          Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:true
            ~bytes:(Bytes.length data);
-         Hashtbl.replace store offset (Bytes.copy data));
+         Hashtbl.replace store offset (Bytes.copy data);
+         Write_completed);
     pgr_should_cache = ref false;
   }
 

@@ -51,7 +51,28 @@ and obj = {
       (* pager_readonly: the pager never accepts writes, so the kernel
          must interpose a shadow on any write attempt *)
   mutable obj_dead : bool;              (* terminated; must hold no pages *)
+  obj_health : pager_health;            (* failure record for obj_pager *)
+  mutable obj_rescue : pager option;
+      (* default-pager stand-in created when obj_pager is declared dead;
+         holds rescued dirty pages and takes over paging duty *)
+  mutable obj_degrade : degrade_policy;
+      (* what a fault sees when the pager is dead and the rescue pager
+         has no copy of the page *)
 }
+
+(* The kernel's machine-independent record of how a pager has been
+   behaving.  A pager that exhausts its retry budget [ph_consecutive]
+   times in a row is declared dead (Pager_guard). *)
+and pager_health = {
+  mutable ph_failures : int;      (* request/write attempts that exhausted
+                                     the retry budget, in total *)
+  mutable ph_consecutive : int;   (* ... consecutively; reset on success *)
+  mutable ph_dead : bool;
+}
+
+and degrade_policy =
+  | Degrade_zero_fill   (* unrescued pages read as zeros; writes stick *)
+  | Degrade_error       (* faults fail with KERN_MEMORY_ERROR *)
 
 (* A pager instance manages one memory object (it is addressed through
    that object's paging_object port in real Mach).  The closures carry the
@@ -62,7 +83,7 @@ and pager = {
   pgr_name : string;
   pgr_request : offset:int -> length:int -> pager_reply;
       (* pager_data_request: the kernel wants [length] bytes at [offset] *)
-  pgr_write : offset:int -> data:Bytes.t -> unit;
+  pgr_write : offset:int -> data:Bytes.t -> pager_write_reply;
       (* pager_data_write: the kernel cleans a dirty page *)
   pgr_should_cache : bool ref;
       (* pager_cache: retain the object after its last unmap *)
@@ -71,6 +92,14 @@ and pager = {
 and pager_reply =
   | Data_provided of Bytes.t   (* pager_data_provided *)
   | Data_unavailable           (* pager_data_unavailable: zero fill *)
+  | Data_error                 (* pager_error: the request failed (I/O
+                                  error, timeout, crashed pager); the
+                                  kernel may retry *)
+
+and pager_write_reply =
+  | Write_completed
+  | Write_error                (* the page was NOT cleaned; the kernel
+                                  must keep it dirty *)
 
 and backing =
   | No_backing     (* allocated but never touched; object made at fault *)
@@ -108,6 +137,8 @@ let next_pager_id = ref 0
 let fresh_obj_id () = incr next_obj_id; !next_obj_id
 let fresh_map_id () = incr next_map_id; !next_map_id
 let fresh_pager_id () = incr next_pager_id; !next_pager_id
+
+let fresh_health () = { ph_failures = 0; ph_consecutive = 0; ph_dead = false }
 
 let entry_size e = e.e_end - e.e_start
 

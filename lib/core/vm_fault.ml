@@ -51,6 +51,7 @@ let fault sys map ~va ~write =
       let t1 = Machine.cycles sys.Vm_sys.machine ~cpu in
       let resolution =
         match result with
+        | Error Kr.Memory_error -> Obs.Memory_error
         | Error _ -> Obs.Fault_error
         | Ok _ -> if !paged_in then Obs.Pagein else !resolution
       in
@@ -137,45 +138,45 @@ let fault sys map ~va ~write =
        failing that the object's *own* pager is asked (a shadow that has
        paged out to the default pager must answer from there, never from
        the object it shadows); only when the pager has nothing — or there
-       is no pager — does the search descend. *)
+       is no pager — does the search descend.  Pager traffic goes through
+       {!Pager_guard}: transient failures are retried with backoff, and a
+       pager that exhausts its budget surfaces KERN_MEMORY_ERROR here. *)
     let rec search obj off =
       match Vm_object.lookup_resident sys obj ~offset:off with
       | Some p -> `Found (obj, p)
       | None ->
-        let from_pager =
-          match obj.obj_pager with
-          | None -> None
-          | Some pager ->
-            let tp =
-              if traced then Machine.cycles sys.Vm_sys.machine ~cpu else 0
-            in
-            (match pager.pgr_request ~offset:off ~length:ps with
-             | Data_provided data ->
-               paged_in := true;
-               if traced then begin
-                 let t1 = Machine.cycles sys.Vm_sys.machine ~cpu in
-                 Obs.record tr ~ts:t1 ~cpu
-                   (Obs.Pagein
-                      { offset = off; bytes = ps; cycles = t1 - tp })
-               end;
-               Some data
-             | Data_unavailable -> None)
+        let tp =
+          if traced then Machine.cycles sys.Vm_sys.machine ~cpu else 0
         in
-        (match from_pager with
-         | Some data ->
+        (match Pager_guard.request sys obj ~offset:off ~length:ps with
+         | `Data data ->
+           paged_in := true;
+           if traced then begin
+             let t1 = Machine.cycles sys.Vm_sys.machine ~cpu in
+             Obs.record tr ~ts:t1 ~cpu
+               (Obs.Pagein { offset = off; bytes = ps; cycles = t1 - tp })
+           end;
            let p = new_page_in sys obj ~offset:off in
            p.pg_busy <- true;
            fill_page_bytes sys p data;
            p.pg_busy <- false;
            stats.Vm_sys.pager_reads <- stats.Vm_sys.pager_reads + 1;
            `Found (obj, p)
-         | None ->
+         | `Error -> `Failed
+         | `Absent ->
            (match obj.obj_shadow with
             | Some next -> search next (off + obj.obj_shadow_offset)
             | None -> `Bottom))
     in
     conclude
       (match search first_obj offset with
+       | `Failed ->
+         (* The backing pager failed for good (retry budget exhausted, or
+            a dead pager with the error degrade policy).  The paper's
+            contract holds: machine-independent state is intact, the
+            task just cannot have this page. *)
+         stats.Vm_sys.memory_errors <- stats.Vm_sys.memory_errors + 1;
+         Error Kr.Memory_error
        | `Found (owner, p) when owner == first_obj ->
          stats.Vm_sys.fast_reloads <- stats.Vm_sys.fast_reloads + 1;
          resolution := Obs.Fast_reload;

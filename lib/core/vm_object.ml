@@ -15,6 +15,9 @@ let make_obj ~size ~pager ~temporary ~can_persist =
     obj_cached = false;
     obj_readonly = false;
     obj_dead = false;
+    obj_health = fresh_health ();
+    obj_rescue = None;
+    obj_degrade = Degrade_zero_fill;
   }
 
 let create_anonymous (_sys : Vm_sys.t) ~size =

@@ -44,29 +44,41 @@ let deactivate_some (sys : Vm_sys.t) ~count =
   loop count
 
 (* Write a dirty page to its object's pager, attaching a default pager to
-   anonymous objects on their first pageout. *)
+   anonymous objects on their first pageout.  Returns whether the page
+   was actually cleaned; on [false] the page is still dirty and the
+   caller must not free it. *)
 let clean_page (sys : Vm_sys.t) p =
   match p.pg_obj with
-  | None -> ()
+  | None -> true
   | Some o ->
-    let pager =
-      match o.obj_pager with
-      | Some pg -> pg
-      | None ->
-        let pg = Swap_pager.make sys ~name:"default-pager" in
-        o.obj_pager <- Some pg;
-        pg
-    in
-    pager.pgr_write ~offset:p.pg_offset ~data:(page_bytes sys p);
-    clear_modified sys p;
-    sys.Vm_sys.stats.Vm_sys.pageouts <-
-      sys.Vm_sys.stats.Vm_sys.pageouts + 1;
-    if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
-      Vm_sys.emit sys
-        (Mach_obs.Obs.Pageout
-           { offset = p.pg_offset; bytes = sys.Vm_sys.page_size;
-             inactive_depth =
-               Resident.inactive_count sys.Vm_sys.resident })
+    (match o.obj_pager with
+     | Some _ -> ()
+     | None ->
+       let pg = Swap_pager.make sys ~name:"default-pager" in
+       let pg =
+         match sys.Vm_sys.pager_decorator with
+         | Some wrap -> wrap pg
+         | None -> pg
+       in
+       o.obj_pager <- Some pg);
+    if Pager_guard.write sys o ~offset:p.pg_offset ~data:(page_bytes sys p)
+    then begin
+      clear_modified sys p;
+      sys.Vm_sys.stats.Vm_sys.pageouts <-
+        sys.Vm_sys.stats.Vm_sys.pageouts + 1;
+      if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
+        Vm_sys.emit sys
+          (Mach_obs.Obs.Pageout
+             { offset = p.pg_offset; bytes = sys.Vm_sys.page_size;
+               inactive_depth =
+                 Resident.inactive_count sys.Vm_sys.resident });
+      true
+    end
+    else begin
+      sys.Vm_sys.stats.Vm_sys.pageout_failures <-
+        sys.Vm_sys.stats.Vm_sys.pageout_failures + 1;
+      false
+    end
 
 let run (sys : Vm_sys.t) ~wanted =
   let res = sys.Vm_sys.resident in
@@ -102,12 +114,20 @@ let run (sys : Vm_sys.t) ~wanted =
         each_frame sys p (fun pfn ->
             Pmap_domain.remove_all sys.Vm_sys.domain ~pfn ~urgent:false);
         Machine.tick sys.Vm_sys.machine;
-        if is_modified sys p then clean_page sys p;
-        each_frame sys p (fun pfn ->
-            Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn;
-            Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn);
-        Resident.free_page res p;
-        incr freed
+        if is_modified sys p && not (clean_page sys p) then
+          (* The pageout write failed after its retry budget: the data
+             exists nowhere but this frame, so it must stay dirty and
+             resident.  Requeue it at the back of the active queue — the
+             backoff — so it ages through both queues again before the
+             next write attempt. *)
+          Resident.enqueue res p Q_active
+        else begin
+          each_frame sys p (fun pfn ->
+              Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn;
+              Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn);
+          Resident.free_page res p;
+          incr freed
+        end
       end;
       true
   do

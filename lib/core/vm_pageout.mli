@@ -19,10 +19,13 @@ val install : Vm_sys.t -> unit
 val run : Vm_sys.t -> wanted:int -> unit
 (** [run sys ~wanted] tries to free [wanted] pages now. *)
 
-val clean_page : Vm_sys.t -> Types.page -> unit
+val clean_page : Vm_sys.t -> Types.page -> bool
 (** [clean_page sys p] writes [p] to its object's pager (attaching a
-    default pager to anonymous objects) and clears its modify bits; used
-    by the daemon and by [pager_clean_request]. *)
+    default pager to anonymous objects, decorated by
+    [Vm_sys.pager_decorator]) and clears its modify bits; used by the
+    daemon and by [pager_clean_request].  [false] means the write failed
+    after its retry budget ({!Pager_guard}): the page is still dirty and
+    the caller must keep it resident. *)
 
 val deactivate_some : Vm_sys.t -> count:int -> unit
 (** [deactivate_some sys ~count] moves up to [count] pages from the active

@@ -14,6 +14,12 @@ type stats = {
   mutable cache_misses : int;
   mutable fast_reloads : int;
   mutable rmw_bug_upgrades : int;
+  mutable pager_retries : int;
+  mutable pager_failures : int;
+  mutable pager_deaths : int;
+  mutable rescued_pages : int;
+  mutable pageout_failures : int;
+  mutable memory_errors : int;
 }
 
 type t = {
@@ -29,6 +35,10 @@ type t = {
   mutable pager_objects : (int, Types.obj) Hashtbl.t;
   mutable reclaim : (t -> wanted:int -> unit) option;
   mutable free_target : int;
+  mutable pager_retry_limit : int;
+  mutable pager_backoff_cycles : int;
+  mutable pager_death_threshold : int;
+  mutable pager_decorator : (Types.pager -> Types.pager) option;
   stats : stats;
 }
 
@@ -38,7 +48,9 @@ let fresh_stats () =
   { faults = 0; zero_fills = 0; cow_copies = 0; pager_reads = 0;
     pageouts = 0; reactivations = 0; shadows_created = 0; collapses = 0;
     cache_hits = 0; cache_misses = 0; fast_reloads = 0;
-    rmw_bug_upgrades = 0 }
+    rmw_bug_upgrades = 0; pager_retries = 0; pager_failures = 0;
+    pager_deaths = 0; rescued_pages = 0; pageout_failures = 0;
+    memory_errors = 0 }
 
 let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
   let arch = Machine.arch machine in
@@ -65,6 +77,10 @@ let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
     pager_objects = Hashtbl.create 64;
     reclaim = None;
     free_target = max 4 (total / 16);
+    pager_retry_limit = 3;
+    pager_backoff_cycles = 500;
+    pager_death_threshold = 3;
+    pager_decorator = None;
     stats = fresh_stats ();
   }
 

@@ -22,6 +22,19 @@ type stats = {
   mutable rmw_bug_upgrades : int;  (** protection faults reported as reads
                                        by the NS32082 bug and upgraded to
                                        writes by the kernel workaround *)
+  mutable pager_retries : int;     (** pager request/write attempts retried
+                                       after a transient failure *)
+  mutable pager_failures : int;    (** attempts that exhausted the retry
+                                       budget *)
+  mutable pager_deaths : int;      (** pagers declared dead after
+                                       [pager_death_threshold] consecutive
+                                       exhausted budgets *)
+  mutable rescued_pages : int;     (** dirty resident pages written to a
+                                       rescue (default) pager at death *)
+  mutable pageout_failures : int;  (** pageout writes that failed; the page
+                                       stayed dirty and was requeued *)
+  mutable memory_errors : int;     (** faults concluded with
+                                       [KERN_MEMORY_ERROR] *)
 }
 
 type t = {
@@ -47,6 +60,17 @@ type t = {
       (** pageout hook, installed by {!Vm_pageout}; called when the free
           list runs low *)
   mutable free_target : int;       (** keep at least this many pages free *)
+  mutable pager_retry_limit : int;
+      (** transient pager failures retried per request before giving up *)
+  mutable pager_backoff_cycles : int;
+      (** base of the exponential backoff charged between retries *)
+  mutable pager_death_threshold : int;
+      (** consecutive exhausted retry budgets before a pager is declared
+          dead and its object degrades ({!Pager_guard}) *)
+  mutable pager_decorator : (Types.pager -> Types.pager) option;
+      (** interposition hook applied when the kernel itself creates a
+          pager (the pageout daemon's default pager); [machsim --chaos]
+          installs a fault-injecting wrapper here *)
   stats : stats;
 }
 

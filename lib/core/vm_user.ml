@@ -15,6 +15,11 @@ type statistics = {
   vs_reactivations : int;
   vs_object_cache_hits : int;
   vs_object_cache_misses : int;
+  vs_pager_retries : int;
+  vs_pager_deaths : int;
+  vs_rescued_pages : int;
+  vs_pageout_failures : int;
+  vs_memory_errors : int;
 }
 
 let syscall (sys : Vm_sys.t) = Vm_sys.charge sys (Vm_sys.cost sys).Arch.syscall
@@ -148,4 +153,9 @@ let statistics (sys : Vm_sys.t) =
     vs_reactivations = s.Vm_sys.reactivations;
     vs_object_cache_hits = s.Vm_sys.cache_hits;
     vs_object_cache_misses = s.Vm_sys.cache_misses;
+    vs_pager_retries = s.Vm_sys.pager_retries;
+    vs_pager_deaths = s.Vm_sys.pager_deaths;
+    vs_rescued_pages = s.Vm_sys.rescued_pages;
+    vs_pageout_failures = s.Vm_sys.pageout_failures;
+    vs_memory_errors = s.Vm_sys.memory_errors;
   }

@@ -19,8 +19,17 @@ type statistics = {
   vs_reactivations : int;
   vs_object_cache_hits : int;
   vs_object_cache_misses : int;
+  vs_pager_retries : int;
+  vs_pager_deaths : int;
+  vs_rescued_pages : int;
+  vs_pageout_failures : int;
+  vs_memory_errors : int;
 }
-(** What [vm_statistics] reports. *)
+(** What [vm_statistics] reports.  The last five are the failure
+    counters: pager retries after transient errors, pagers declared
+    dead, dirty pages rescued to the default pager at death, pageout
+    writes that failed (page kept dirty), and faults that concluded
+    [KERN_MEMORY_ERROR]. *)
 
 val allocate :
   Vm_sys.t -> Task.t -> ?at:int -> size:int -> anywhere:bool -> unit ->

@@ -23,6 +23,8 @@ type stats = {
   mutable stale_tlb_uses : int;
   mutable disk_ops : int;
   mutable disk_bytes : int;
+  mutable disk_errors : int;
+  mutable disk_retries : int;
   mutable tlb_hit_count : int;
   mutable tlb_miss_count : int;
 }
@@ -50,6 +52,7 @@ type t = {
 let fresh_stats () =
   { faults = 0; ipis = 0; shootdowns = 0; deferred_flushes = 0;
     stale_tlb_uses = 0; disk_ops = 0; disk_bytes = 0;
+    disk_errors = 0; disk_retries = 0;
     tlb_hit_count = 0; tlb_miss_count = 0 }
 
 let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
@@ -108,6 +111,7 @@ let reset_clocks t =
   let s = t.stats in
   s.faults <- 0; s.ipis <- 0; s.shootdowns <- 0; s.deferred_flushes <- 0;
   s.stale_tlb_uses <- 0; s.disk_ops <- 0; s.disk_bytes <- 0;
+  s.disk_errors <- 0; s.disk_retries <- 0;
   s.tlb_hit_count <- 0; s.tlb_miss_count <- 0
 
 let charge_disk t ~cpu ~write ~bytes =

@@ -61,6 +61,9 @@ type stats = {
                                       invalidation (Lazy_local windows) *)
   mutable disk_ops : int;
   mutable disk_bytes : int;
+  mutable disk_errors : int;  (** simulated disk transfers that failed
+                                  (fault injection) *)
+  mutable disk_retries : int; (** failed transfers retried by the driver *)
   mutable tlb_hit_count : int;    (** translations served from a TLB entry *)
   mutable tlb_miss_count : int;   (** translations that walked the
                                       hardware map (or had no TLB) *)

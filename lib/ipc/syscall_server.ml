@@ -36,9 +36,16 @@ let kr_of_code = function
   | 1 -> Error Kr.Invalid_address
   | 2 -> Error Kr.No_space
   | 3 -> Error Kr.Protection_failure
+  | 4 -> Error Kr.Invalid_argument
   | 5 -> Error Kr.Resource_shortage
   | 6 -> Error Kr.Memory_error
-  | _ -> Error Kr.Invalid_argument
+  | code ->
+    (* A code this decoder does not know is a protocol skew, not a value
+       a correct peer can send; flag it rather than silently folding it
+       into a known error. *)
+    Logs.warn (fun m ->
+        m "syscall_server: unknown kern_return code %d in reply" code);
+    Error Kr.Invalid_argument
 
 let kr_of_reply (m : Ipc.message) =
   match m.Ipc.msg_ints with
@@ -158,7 +165,10 @@ let serve sys task (m : Ipc.message) =
           s.Vm_user.vs_pages_free; s.Vm_user.vs_pages_active;
           s.Vm_user.vs_pages_inactive; s.Vm_user.vs_faults;
           s.Vm_user.vs_zero_fills; s.Vm_user.vs_cow_copies;
-          s.Vm_user.vs_pager_reads; s.Vm_user.vs_pageouts ]
+          s.Vm_user.vs_pager_reads; s.Vm_user.vs_pageouts;
+          s.Vm_user.vs_pager_retries; s.Vm_user.vs_pager_deaths;
+          s.Vm_user.vs_rescued_pages; s.Vm_user.vs_pageout_failures;
+          s.Vm_user.vs_memory_errors ]
   | "task_fork", [] ->
     (match Hashtbl.find_opt kernels task.Task.task_id with
      | Some kernel ->

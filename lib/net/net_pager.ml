@@ -27,10 +27,18 @@ let remote_size srv ~name = Simfs.file_size srv.srv_fs ~name
 let server_read srv ~name ~offset ~len =
   Vnode_pager.read_through_object srv.srv_sys srv.srv_fs ~name ~offset ~len
 
+let emit_timeout (sys : Vm_sys.t) ~offset ~attempts =
+  if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
+    Vm_sys.emit sys (Mach_obs.Obs.Pager_timeout { offset; attempts })
+
 let make_pager link ~node (client_sys : Vm_sys.t) srv ~name =
   let id = fresh_pager_id () in
   let client_cpu () = Vm_sys.current_cpu client_sys in
   let server_cpu = 0 in
+  (* All exchanges run under Netlink's timeout/retry/backoff envelope;
+     a request the network loses [rpc_attempts] times in a row becomes
+     the protocol's error reply and Pager_guard takes it from there. *)
+  let rpc_attempts = 4 in
   {
     pgr_id = id;
     pgr_name = Printf.sprintf "net:%d:%s" srv.srv_node name;
@@ -40,21 +48,34 @@ let make_pager link ~node (client_sys : Vm_sys.t) srv ~name =
          if offset >= size then Data_unavailable
          else begin
            let len = min length (size - offset) in
-           let data =
-             Netlink.rpc link ~from_node:node ~from_cpu:(client_cpu ())
-               ~to_node:srv.srv_node ~to_cpu:server_cpu ~request_bytes:64
-               ~reply_bytes:len
+           match
+             Netlink.rpc_retry ~attempts:rpc_attempts link ~from_node:node
+               ~from_cpu:(client_cpu ()) ~to_node:srv.srv_node
+               ~to_cpu:server_cpu ~request_bytes:64 ~reply_bytes:len
                (fun () -> server_read srv ~name ~offset ~len)
-           in
-           Data_provided data
+           with
+           | data -> Data_provided data
+           | exception Netlink.Timeout ->
+             emit_timeout client_sys ~offset ~attempts:rpc_attempts;
+             Data_error
          end);
     pgr_write =
       (fun ~offset ~data ->
-         Netlink.rpc link ~from_node:node ~from_cpu:(client_cpu ())
-           ~to_node:srv.srv_node ~to_cpu:server_cpu
-           ~request_bytes:(64 + Bytes.length data) ~reply_bytes:32
-           (fun () ->
-              Simfs.write srv.srv_fs ~cpu:server_cpu ~name ~offset ~data));
+         match
+           Netlink.rpc_retry ~attempts:rpc_attempts link ~from_node:node
+             ~from_cpu:(client_cpu ()) ~to_node:srv.srv_node
+             ~to_cpu:server_cpu ~request_bytes:(64 + Bytes.length data)
+             ~reply_bytes:32
+             (fun () ->
+                Simfs.write srv.srv_fs ~cpu:server_cpu ~name ~offset ~data)
+         with
+         | () -> Write_completed
+         | exception Netlink.Timeout ->
+           emit_timeout client_sys ~offset ~attempts:rpc_attempts;
+           Write_error
+         | exception Simdisk.Io_error _ ->
+           (* The server's own disk failed the write. *)
+           Write_error);
     pgr_should_cache = ref true;
   }
 
@@ -69,20 +90,14 @@ let import link ~node client_sys srv ~name =
     p
 
 let map_remote link ~node client_sys task srv ~name ?(copy = false) () =
-  match import link ~node client_sys srv ~name with
-  | exception Not_found -> Error Kr.Invalid_argument
-  | pager ->
-    let size = remote_size srv ~name in
-    (match
-       Vm_user.allocate_with_pager client_sys task ~pager ~offset:0 ~size
-         ~anywhere:true ~copy ()
-     with
-     | Ok addr -> Ok (addr, size)
-     | Error _ as e -> e)
+  Pager_map.map_object client_sys task
+    ~resolve:(fun () ->
+      (import link ~node client_sys srv ~name, remote_size srv ~name))
+    ~copy ()
 
 let fetch_whole link ~node client_sys srv ~name =
   let size = remote_size srv ~name in
-  Netlink.rpc link ~from_node:node
+  Netlink.rpc_retry link ~from_node:node
     ~from_cpu:(Vm_sys.current_cpu client_sys) ~to_node:srv.srv_node
     ~to_cpu:0 ~request_bytes:64 ~reply_bytes:size
     (fun () -> server_read srv ~name ~offset:0 ~len:size)

@@ -1,19 +1,31 @@
 open Mach_hw
+module Fail = Mach_fail.Fail
+
+exception Timeout
 
 type t = {
   machines : Machine.t array;
   latency_us : int;
   mbit_per_s : int;
+  timeout_us : int;
   mutable messages : int;
   mutable bytes_moved : int;
+  mutable drops : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable fail : Fail.t option;
 }
 
-let create ?(latency_us = 1000) ?(mbit_per_s = 10) machines =
+let create ?(latency_us = 1000) ?(mbit_per_s = 10) ?(timeout_us = 100_000)
+    machines =
   if machines = [] then invalid_arg "Netlink.create: no machines";
-  { machines = Array.of_list machines; latency_us; mbit_per_s;
-    messages = 0; bytes_moved = 0 }
+  { machines = Array.of_list machines; latency_us; mbit_per_s; timeout_us;
+    messages = 0; bytes_moved = 0; drops = 0; timeouts = 0; retries = 0;
+    fail = None }
 
 let node_count t = Array.length t.machines
+
+let set_injector t inj = t.fail <- inj
 
 (* Cycles a transfer of [bytes] costs on [machine]: latency plus wire
    time, both expressed through that machine's clock rate. *)
@@ -25,9 +37,34 @@ let transfer_cycles t machine bytes =
   let wire_us = bytes * 8 / t.mbit_per_s in
   latency + (wire_us * per_ms / 1000)
 
+let timeout_cycles t machine =
+  let arch = Machine.arch machine in
+  t.timeout_us * arch.Arch.cycles_per_ms / 1000
+
 let rpc t ~from_node ~from_cpu ~to_node ~to_cpu ~request_bytes ~reply_bytes f =
   let src = t.machines.(from_node) in
   let dst = t.machines.(to_node) in
+  (match t.fail with
+   | None -> ()
+   | Some inj ->
+     (match Fail.decide inj ~site:"net.rpc" with
+      | Fail.Pass -> ()
+      | Fail.Delay c ->
+        (* Congestion: both ends see the exchange stretched. *)
+        Machine.charge src ~cpu:from_cpu c;
+        Machine.charge dst ~cpu:to_cpu c
+      | Fail.Fail | Fail.Drop | Fail.Short _ | Fail.Garbage ->
+        (* The request (or a mangled packet the checksum rejects) never
+           reaches the server: the caller pays for the send plus its
+           full timeout window, the server computes nothing. *)
+        t.messages <- t.messages + 1;
+        t.bytes_moved <- t.bytes_moved + request_bytes;
+        t.drops <- t.drops + 1;
+        t.timeouts <- t.timeouts + 1;
+        Machine.charge src ~cpu:from_cpu
+          (transfer_cycles t src request_bytes + timeout_cycles t src);
+        raise Timeout))
+  ;
   t.messages <- t.messages + 2;
   t.bytes_moved <- t.bytes_moved + request_bytes + reply_bytes;
   (* Request travels; server computes; reply travels.  The remote service
@@ -47,10 +84,40 @@ let rpc t ~from_node ~from_cpu ~to_node ~to_cpu ~request_bytes ~reply_bytes f =
   Machine.charge src ~cpu:from_cpu mirrored;
   result
 
+(* Retry envelope: re-send a timed-out exchange with exponential backoff
+   charged to the caller, in the style of every datagram RPC stack since
+   Courier.  Exhausting [attempts] re-raises {!Timeout}. *)
+let rpc_retry ?(attempts = 4) t ~from_node ~from_cpu ~to_node ~to_cpu
+    ~request_bytes ~reply_bytes f =
+  let src = t.machines.(from_node) in
+  let base = timeout_cycles t src / 4 in
+  let rec go n =
+    match
+      rpc t ~from_node ~from_cpu ~to_node ~to_cpu ~request_bytes
+        ~reply_bytes f
+    with
+    | result -> result
+    | exception Timeout ->
+      if n + 1 >= attempts then raise Timeout
+      else begin
+        t.retries <- t.retries + 1;
+        Machine.charge src ~cpu:from_cpu (base * (1 lsl n));
+        go (n + 1)
+      end
+  in
+  go 0
+
 let messages t = t.messages
 
 let bytes_moved t = t.bytes_moved
 
+let drops t = t.drops
+let timeouts t = t.timeouts
+let retries t = t.retries
+
 let reset_counters t =
   t.messages <- 0;
-  t.bytes_moved <- 0
+  t.bytes_moved <- 0;
+  t.drops <- 0;
+  t.timeouts <- 0;
+  t.retries <- 0

@@ -11,12 +11,26 @@
 type t
 (** A link between two or more machines. *)
 
+exception Timeout
+(** An exchange got no reply: the (injected) network dropped it and the
+    caller waited out its timeout window. *)
+
 val create :
-  ?latency_us:int -> ?mbit_per_s:int -> Mach_hw.Machine.t list -> t
+  ?latency_us:int -> ?mbit_per_s:int -> ?timeout_us:int ->
+  Mach_hw.Machine.t list -> t
 (** [create machines] links the machines.  Defaults model mid-1980s
-    Ethernet: 1000 us latency per exchange, 10 Mbit/s. *)
+    Ethernet: 1000 us latency per exchange, 10 Mbit/s, and a 100 ms
+    no-reply timeout. *)
 
 val node_count : t -> int
+
+val set_injector : t -> Mach_fail.Fail.t option -> unit
+(** [set_injector t (Some inj)] makes every {!rpc} consult [inj] at site
+    ["net.rpc"]: [Delay] charges extra cycles at both ends (congestion);
+    any failure decision loses the request — the caller is charged the
+    send plus the full timeout window and {!Timeout} is raised; the
+    server side never runs.  A [Between]-windowed [Drop] rule models a
+    transient partition. *)
 
 val rpc :
   t -> from_node:int -> from_cpu:int -> to_node:int -> to_cpu:int ->
@@ -27,10 +41,28 @@ val rpc :
     also absorbs the remote service time so elapsed time composes the way
     a blocking RPC does. *)
 
+val rpc_retry :
+  ?attempts:int ->
+  t -> from_node:int -> from_cpu:int -> to_node:int -> to_cpu:int ->
+  request_bytes:int -> reply_bytes:int -> (unit -> 'a) -> 'a
+(** [rpc_retry t ... f] is {!rpc} wrapped in a timeout/retry/backoff
+    envelope: a {!Timeout} is retried (up to [attempts] total tries,
+    default 4) after an exponential backoff charged to the caller;
+    exhaustion re-raises {!Timeout}. *)
+
 val messages : t -> int
 (** Exchanges performed so far. *)
 
 val bytes_moved : t -> int
 (** Total payload bytes carried (both directions). *)
+
+val drops : t -> int
+(** Requests lost to injection. *)
+
+val timeouts : t -> int
+(** Timeout windows waited out by callers. *)
+
+val retries : t -> int
+(** Exchanges re-sent by {!rpc_retry}. *)
 
 val reset_counters : t -> unit

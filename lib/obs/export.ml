@@ -45,6 +45,15 @@ let args_of_event (ev : Obs.event) =
     [ ("initiator", Jout.Int initiator); ("targets", Jout.Int targets);
       ("requests", Jout.Int requests); ("span_pages", Jout.Int span_pages);
       ("urgent", Jout.Bool urgent); ("cycles", Jout.Int cycles) ]
+  | Obs.Pager_retry { offset; attempt; backoff } ->
+    [ ("offset", Jout.Int offset); ("attempt", Jout.Int attempt);
+      ("backoff", Jout.Int backoff) ]
+  | Obs.Pager_timeout { offset; attempts } ->
+    [ ("offset", Jout.Int offset); ("attempts", Jout.Int attempts) ]
+  | Obs.Pager_dead { pager; rescued } ->
+    [ ("pager", Jout.Str pager); ("rescued", Jout.Int rescued) ]
+  | Obs.Io_error { write; bytes } ->
+    [ ("write", Jout.Bool write); ("bytes", Jout.Int bytes) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in

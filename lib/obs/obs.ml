@@ -4,9 +4,10 @@ type fault_resolution =
   | Cow_copy
   | Pagein
   | Fault_error
+  | Memory_error
 
 let fault_resolutions =
-  [ Fast_reload; Zero_fill; Cow_copy; Pagein; Fault_error ]
+  [ Fast_reload; Zero_fill; Cow_copy; Pagein; Fault_error; Memory_error ]
 
 let resolution_index = function
   | Fast_reload -> 0
@@ -14,6 +15,7 @@ let resolution_index = function
   | Cow_copy -> 2
   | Pagein -> 3
   | Fault_error -> 4
+  | Memory_error -> 5
 
 let fault_resolution_name = function
   | Fast_reload -> "fast_reload"
@@ -21,6 +23,7 @@ let fault_resolution_name = function
   | Cow_copy -> "cow_copy"
   | Pagein -> "pagein"
   | Fault_error -> "error"
+  | Memory_error -> "memory_error"
 
 type flush_kind = Fl_page | Fl_range | Fl_asid | Fl_all
 
@@ -40,8 +43,12 @@ type event =
   | Disk_io of { write : bool; bytes : int; cycles : int }
   | Shootdown_batch of { initiator : int; targets : int; requests : int;
                          span_pages : int; urgent : bool; cycles : int }
+  | Pager_retry of { offset : int; attempt : int; backoff : int }
+  | Pager_timeout of { offset : int; attempts : int }
+  | Pager_dead of { pager : string; rescued : int }
+  | Io_error of { write : bool; bytes : int }
 
-let kind_count = 13
+let kind_count = 17
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -57,6 +64,10 @@ let kind_index = function
   | Task_switch _ -> 10
   | Disk_io _ -> 11
   | Shootdown_batch _ -> 12
+  | Pager_retry _ -> 13
+  | Pager_timeout _ -> 14
+  | Pager_dead _ -> 15
+  | Io_error _ -> 16
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -72,6 +83,10 @@ let kind_name_of_index = function
   | 10 -> "task_switch"
   | 11 -> "disk_io"
   | 12 -> "shootdown_batch"
+  | 13 -> "pager_retry"
+  | 14 -> "pager_timeout"
+  | 15 -> "pager_dead"
+  | 16 -> "io_error"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -130,7 +145,8 @@ let record t ~ts ~cpu ev =
   | Shootdown_batch { cycles; _ } -> Hist.add t.shootdown_latency cycles
   | Disk_io { cycles; _ } -> Hist.add t.disk_latency cycles
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
-  | Object_shadow _ | Task_switch _ -> ()
+  | Object_shadow _ | Task_switch _
+  | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _ -> ()
 
 let ring t = t.ring
 

@@ -20,6 +20,9 @@ type fault_resolution =
   | Cow_copy     (** write fault copied a page up a shadow chain *)
   | Pagein       (** a pager supplied the data (disk, swap, network) *)
   | Fault_error  (** the fault was rejected (bad address/protection) *)
+  | Memory_error (** the backing pager failed for good: the retry budget
+                     was exhausted (or the object is degraded with the
+                     error policy) and the task sees [KERN_MEMORY_ERROR] *)
 
 val fault_resolutions : fault_resolution list
 val fault_resolution_name : fault_resolution -> string
@@ -53,6 +56,18 @@ type event =
       (** One batched TLB-consistency exchange: [requests] flush requests
           delivered with a single IPI round; [span_pages] is the total
           number of pages the coalesced page/range requests cover. *)
+  | Pager_retry of { offset : int; attempt : int; backoff : int }
+      (** A pager request or write failed transiently; the kernel will
+          retry after charging [backoff] cycles ([attempt] is 1-based). *)
+  | Pager_timeout of { offset : int; attempts : int }
+      (** A pager (or the network under it) never replied within the
+          deadline; [attempts] RPC attempts were made. *)
+  | Pager_dead of { pager : string; rescued : int }
+      (** A pager crossed the consecutive-failure threshold and was
+          declared dead; [rescued] dirty resident pages were written to
+          the rescue (default) pager so no data is lost. *)
+  | Io_error of { write : bool; bytes : int }
+      (** A simulated disk transfer failed. *)
 
 val kind_count : int
 val kind_index : event -> int

@@ -7,26 +7,29 @@ type handler = Ipc.message -> Ipc.message option
 let counters : (int, int ref) Hashtbl.t = Hashtbl.create 16
 
 (* Run the pager task on its queued messages until one reply lands on
-   [reply_port]. *)
+   [reply_port].  [None] is the no-reply case — the pager dropped the
+   request or span its queue past the kernel's deadline — which the
+   caller must treat as a pager failure, never a crash: an external
+   pager is untrusted code. *)
 let dispatch_until_reply sys ~object_port ~reply_port ~handler =
   let guard = ref 0 in
   let rec loop () =
     match Ipc.receive sys reply_port with
-    | Some reply -> reply
+    | Some reply -> Some reply
     | None ->
       incr guard;
-      if !guard > 64 then
-        failwith "external pager did not reply to a kernel request";
-      (match Ipc.receive sys object_port with
-       | None -> failwith "external pager request queue empty"
-       | Some req ->
-         (match handler req with
-          | Some reply ->
-            (match req.Ipc.msg_reply_to with
-             | Some p -> Ipc.send sys p reply
-             | None -> ())
-          | None -> ()));
-      loop ()
+      if !guard > 64 then None
+      else
+        (match Ipc.receive sys object_port with
+         | None -> None
+         | Some req ->
+           (match handler req with
+            | Some reply ->
+              (match req.Ipc.msg_reply_to with
+               | Some p -> Ipc.send sys p reply
+               | None -> ())
+            | None -> ());
+           loop ())
   in
   loop ()
 
@@ -40,12 +43,22 @@ let make sys ~name ?(should_cache = false) ~handler () =
     Ipc.send sys object_port
       (Ipc.message "pager_data_request" ~ints:[ offset; length ]
          ~reply_to:reply_port);
-    let reply = dispatch_until_reply sys ~object_port ~reply_port ~handler in
-    incr served;
-    match reply.Ipc.msg_tag, reply.Ipc.msg_items with
-    | "pager_data_provided", Ipc.Inline data :: _ -> Data_provided data
-    | "pager_data_unavailable", _ -> Data_unavailable
-    | tag, _ -> failwith ("external pager sent unexpected reply: " ^ tag)
+    match dispatch_until_reply sys ~object_port ~reply_port ~handler with
+    | None ->
+      (* No reply within the deadline: report the timeout and fail the
+         request so Pager_guard can retry or degrade. *)
+      if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
+        Vm_sys.emit sys
+          (Mach_obs.Obs.Pager_timeout { offset; attempts = 1 });
+      Data_error
+    | Some reply ->
+      incr served;
+      (match reply.Ipc.msg_tag, reply.Ipc.msg_items with
+       | "pager_data_provided", Ipc.Inline data :: _ -> Data_provided data
+       | "pager_data_unavailable", _ -> Data_unavailable
+       (* pager_error, or any protocol violation from a hostile pager:
+          an error reply, never a kernel crash. *)
+       | _, _ -> Data_error)
   in
   (* pager_init (Table 3-1): tell the new pager about its object and
      request port before any data traffic. *)
@@ -58,10 +71,16 @@ let make sys ~name ?(should_cache = false) ~handler () =
     Ipc.send sys object_port
       (Ipc.message "pager_data_write" ~ints:[ offset ]
          ~items:[ Ipc.Inline data ]);
-    (* Writes need no reply; let the pager absorb its queue. *)
+    (* Writes need no reply; let the pager absorb its queue.  A handler
+       that raises is a crashed pager: the kernel keeps the page dirty. *)
     match Ipc.receive sys object_port with
-    | Some req -> ignore (handler req)
-    | None -> ()
+    | Some req ->
+      (match handler req with
+       | Some { Ipc.msg_tag = ("pager_error" | "pager_write_error"); _ } ->
+         Write_error
+       | Some _ | None -> Write_completed
+       | exception _ -> Write_error)
+    | None -> Write_completed
   in
   {
     pgr_id = id;

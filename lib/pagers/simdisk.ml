@@ -1,4 +1,7 @@
 open Mach_hw
+module Fail = Mach_fail.Fail
+
+exception Io_error of { write : bool; block : int }
 
 type t = {
   machine : Machine.t;
@@ -6,15 +9,63 @@ type t = {
   blocks : (int, Bytes.t) Hashtbl.t;
   mutable reads : int;
   mutable writes : int;
+  mutable errors : int;
+  mutable retries : int;
+  mutable fail : Fail.t option;
 }
+
+(* Internal bounded retry: a transient injected error costs a wasted
+   transfer and a retry; only [max_attempts] consecutive failures
+   surface as {!Io_error} to the caller. *)
+let max_attempts = 3
 
 let create machine ~block_size =
   if block_size <= 0 then invalid_arg "Simdisk.create";
-  { machine; block_size; blocks = Hashtbl.create 256; reads = 0; writes = 0 }
+  { machine; block_size; blocks = Hashtbl.create 256; reads = 0; writes = 0;
+    errors = 0; retries = 0; fail = None }
 
 let block_size t = t.block_size
 
+let set_injector t inj = t.fail <- inj
+
+let emit_error t ~cpu ~write =
+  let tr = Machine.tracer t.machine in
+  if Mach_obs.Obs.enabled tr then
+    Mach_obs.Obs.record tr ~ts:(Machine.cycles t.machine ~cpu) ~cpu
+      (Mach_obs.Obs.Io_error { write; bytes = t.block_size })
+
+(* Consult the injector before a transfer.  Each attempt (including the
+   failed ones) pays the full disk cost — the platter really did spin.
+   Raises {!Io_error} when the retry budget is exhausted. *)
+let admit t ~cpu ~write ~block =
+  match t.fail with
+  | None -> ()
+  | Some inj ->
+    let site = if write then "disk.write" else "disk.read" in
+    let stats = Machine.stats t.machine in
+    let rec attempt n =
+      match Fail.decide inj ~site with
+      | Fail.Pass -> ()
+      | Fail.Delay c -> Machine.charge t.machine ~cpu c
+      | Fail.Fail | Fail.Drop | Fail.Short _ | Fail.Garbage ->
+        (* A disk has no short reads or garbage replies to offer; any
+           non-pass, non-delay decision is a failed transfer. *)
+        t.errors <- t.errors + 1;
+        stats.Machine.disk_errors <- stats.Machine.disk_errors + 1;
+        emit_error t ~cpu ~write;
+        if n + 1 < max_attempts then begin
+          t.retries <- t.retries + 1;
+          stats.Machine.disk_retries <- stats.Machine.disk_retries + 1;
+          (* the wasted transfer *)
+          Machine.charge_disk t.machine ~cpu ~write ~bytes:t.block_size;
+          attempt (n + 1)
+        end
+        else raise (Io_error { write; block })
+    in
+    attempt 0
+
 let read t ~cpu ~block =
+  admit t ~cpu ~write:false ~block;
   t.reads <- t.reads + 1;
   Machine.charge_disk t.machine ~cpu ~write:false ~bytes:t.block_size;
   match Hashtbl.find_opt t.blocks block with
@@ -23,6 +74,7 @@ let read t ~cpu ~block =
 
 let write t ~cpu ~block data =
   if Bytes.length data > t.block_size then invalid_arg "Simdisk.write";
+  admit t ~cpu ~write:true ~block;
   t.writes <- t.writes + 1;
   Machine.charge_disk t.machine ~cpu ~write:true ~bytes:t.block_size;
   let b = Bytes.make t.block_size '\000' in
@@ -37,7 +89,11 @@ let install t ~block data =
 
 let reads t = t.reads
 let writes t = t.writes
+let errors t = t.errors
+let retries t = t.retries
 
 let reset_counters t =
   t.reads <- 0;
-  t.writes <- 0
+  t.writes <- 0;
+  t.errors <- 0;
+  t.retries <- 0

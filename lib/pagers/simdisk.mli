@@ -8,8 +8,21 @@
 
 type t
 
+exception Io_error of { write : bool; block : int }
+(** A transfer failed even after the driver's internal retries; only
+    possible when a fault injector is attached. *)
+
 val create : Mach_hw.Machine.t -> block_size:int -> t
 (** [create machine ~block_size] is an empty disk. *)
+
+val set_injector : t -> Mach_fail.Fail.t option -> unit
+(** [set_injector t (Some inj)] makes every transfer consult [inj] at
+    site ["disk.read"]/["disk.write"]: [Delay] charges extra cycles and
+    proceeds; any failure decision costs a wasted (charged) transfer and
+    an internal retry, up to 3 attempts, then raises {!Io_error}.
+    Failed and retried transfers are counted in {!errors}/{!retries} and
+    mirrored into [Machine.stats] ([disk_errors]/[disk_retries]); with
+    no injector attached a transfer performs no extra work at all. *)
 
 val block_size : t -> int
 
@@ -30,5 +43,11 @@ val reads : t -> int
 
 val writes : t -> int
 (** Completed write operations. *)
+
+val errors : t -> int
+(** Injected transfer failures (each failed attempt counts). *)
+
+val retries : t -> int
+(** Failed transfers retried internally. *)
 
 val reset_counters : t -> unit

@@ -17,21 +17,32 @@ let make (sys : Vm_sys.t) fs ~name =
          | exception Not_found -> Data_unavailable
          | size ->
            if offset >= size then Data_unavailable
-           else
-             Data_provided
-               (Simfs.read fs ~cpu:(cpu ()) ~name ~offset
-                  ~len:(min length (size - offset))));
+           else (
+             (* An injected disk failure below Simfs surfaces as the
+                protocol's error reply; the kernel's Pager_guard decides
+                whether to retry. *)
+             match
+               Simfs.read fs ~cpu:(cpu ()) ~name ~offset
+                 ~len:(min length (size - offset))
+             with
+             | data -> Data_provided data
+             | exception Simdisk.Io_error _ -> Data_error));
     pgr_write =
       (fun ~offset ~data ->
          (* The inode pager never grows the file: a mapped page's tail
             beyond end of file is zero-fill memory, not file contents. *)
          match Simfs.file_size fs ~name with
-         | exception Not_found -> ()
+         | exception Not_found -> Write_completed
          | size ->
-           if offset < size then
+           if offset >= size then Write_completed
+           else
              let len = min (Bytes.length data) (size - offset) in
-             Simfs.write fs ~cpu:(cpu ()) ~name ~offset
-               ~data:(Bytes.sub data 0 len));
+             (match
+                Simfs.write fs ~cpu:(cpu ()) ~name ~offset
+                  ~data:(Bytes.sub data 0 len)
+              with
+              | () -> Write_completed
+              | exception Simdisk.Io_error _ -> Write_error));
     pgr_should_cache = ref true;
   }
 
@@ -46,17 +57,10 @@ let for_file sys fs ~name =
     p
 
 let map_file sys fs task ~name ?at ?(copy = false) () =
-  match for_file sys fs ~name with
-  | exception Not_found -> Error Kr.Invalid_argument
-  | pager ->
-    let size = Simfs.file_size fs ~name in
-    let anywhere = at = None in
-    (match
-       Vm_user.allocate_with_pager sys task ~pager ~offset:0 ?at ~size
-         ~anywhere ~copy ()
-     with
-     | Ok addr -> Ok (addr, size)
-     | Error _ as e -> e)
+  Pager_map.map_object sys task
+    ~resolve:(fun () ->
+      (for_file sys fs ~name, Simfs.file_size fs ~name))
+    ?at ~copy ()
 
 (* A read() through the file's memory object: hit resident pages for the
    price of a copy; fill missing pages from the pager and leave them
@@ -79,9 +83,12 @@ let read_through_object sys fs ~name ~offset ~len =
         | None ->
           let p = Vm_sys.grab_page sys in
           Resident.insert sys.Vm_sys.resident p ~obj ~offset:page_off;
-          (match pager.pgr_request ~offset:page_off ~length:ps with
-           | Data_provided data -> Page_io.fill sys p data
-           | Data_unavailable -> Page_io.zero sys p);
+          (* Pager_guard retries transient disk errors with backoff; a
+             pager that fails for good degrades this read() to zeros
+             rather than crashing the server path. *)
+          (match Pager_guard.request sys obj ~offset:page_off ~length:ps with
+           | `Data data -> Page_io.fill sys p data
+           | `Absent | `Error -> Page_io.zero sys p);
           sys.Vm_sys.stats.Vm_sys.pager_reads <-
             sys.Vm_sys.stats.Vm_sys.pager_reads + 1;
           Resident.enqueue sys.Vm_sys.resident p Q_active;

@@ -1,0 +1,341 @@
+(* Fault-injection tests: determinism of seeded plans (lib/fail), kernel
+   invariants under arbitrary injected pager/disk faults, and graceful
+   degradation — bounded retry with KERN_MEMORY_ERROR, pager death, and
+   dirty-page rescue through the default pager. *)
+
+open Mach_hw
+open Mach_core
+open Mach_pmap
+open Mach_pagers
+module Fail = Mach_fail.Fail
+
+(* ---- seeded plans ------------------------------------------------------ *)
+
+(* A two-site workload with probabilistic rules at both sites — the shape
+   machsim --chaos exercises. *)
+let exercise seed =
+  let inj = Fail.create ~seed in
+  Fail.attach inj ~site:"disk.read"
+    [ Fail.With_probability (0.2, Fail.Fail);
+      Fail.With_probability (0.15, Fail.Delay 750) ];
+  Fail.attach inj ~site:"pager.request"
+    [ Fail.After (5, Fail.With_probability (0.3, Fail.Drop));
+      Fail.With_probability (0.1, Fail.Garbage) ];
+  let decisions =
+    List.init 300 (fun i ->
+        let site = if i mod 3 = 0 then "pager.request" else "disk.read" in
+        Fail.decide inj ~site)
+  in
+  (decisions, Fail.trace inj, Fail.fingerprint inj)
+
+let test_same_seed_replays () =
+  let d1, t1, f1 = exercise 0xfeed in
+  let d2, t2, f2 = exercise 0xfeed in
+  Alcotest.(check bool) "decision sequences identical" true (d1 = d2);
+  Alcotest.(check bool) "traces identical" true (t1 = t2);
+  Alcotest.(check string) "fingerprints identical" f1 f2;
+  Alcotest.(check bool) "plan actually fired" true (t1 <> [])
+
+let test_seed_changes_sequence () =
+  let _, _, f1 = exercise 1 in
+  let _, _, f2 = exercise 2 in
+  Alcotest.(check bool) "different seeds, different fingerprints" true
+    (f1 <> f2)
+
+let test_sites_are_independent () =
+  (* Interleaving decisions at another site must not perturb this one. *)
+  let plan = [ Fail.With_probability (0.3, Fail.Fail) ] in
+  let solo =
+    let inj = Fail.create ~seed:99 in
+    Fail.attach inj ~site:"disk.read" plan;
+    List.init 100 (fun _ -> Fail.decide inj ~site:"disk.read")
+  in
+  let interleaved =
+    let inj = Fail.create ~seed:99 in
+    Fail.attach inj ~site:"disk.read" plan;
+    Fail.attach inj ~site:"net.rpc" [ Fail.With_probability (0.5, Fail.Drop) ];
+    List.init 100 (fun _ ->
+        ignore (Fail.decide inj ~site:"net.rpc");
+        Fail.decide inj ~site:"disk.read")
+  in
+  Alcotest.(check bool) "disk.read stream unchanged" true (solo = interleaved)
+
+let test_windowed_rules () =
+  let inj = Fail.create ~seed:7 in
+  Fail.attach inj ~site:"a" [ Fail.Fail_n_then_recover (3, Fail.Fail) ];
+  Fail.attach inj ~site:"b" [ Fail.After (2, Fail.Always Fail.Drop) ];
+  Fail.attach inj ~site:"c" [ Fail.Between (1, 2, Fail.Always Fail.Fail) ];
+  let take site n = List.init n (fun _ -> Fail.decide inj ~site) in
+  Alcotest.(check bool) "fail 3 then recover" true
+    (take "a" 5 = [ Fail.Fail; Fail.Fail; Fail.Fail; Fail.Pass; Fail.Pass ]);
+  Alcotest.(check bool) "after 2" true
+    (take "b" 4 = [ Fail.Pass; Fail.Pass; Fail.Drop; Fail.Drop ]);
+  Alcotest.(check bool) "between 1 and 2 inclusive" true
+    (take "c" 4 = [ Fail.Pass; Fail.Fail; Fail.Fail; Fail.Pass ])
+
+let test_scramble () =
+  let b = Bytes.of_string "paging hierarchy" in
+  let s = Fail.scramble b in
+  Alcotest.(check bool) "never the identity" true (Bytes.compare b s <> 0);
+  Alcotest.(check string) "original untouched" "paging hierarchy"
+    (Bytes.to_string b);
+  Alcotest.(check bool) "involution" true (Fail.scramble s = b)
+
+let test_profiles_and_spec () =
+  List.iter
+    (fun n ->
+       match Fail.profile n with
+       | Some (_ :: _) -> ()
+       | Some [] | None -> Alcotest.fail ("empty or missing profile " ^ n))
+    Fail.profile_names;
+  (match Fail.parse_spec "42" with
+   | Ok (42, "flaky") -> ()
+   | _ -> Alcotest.fail "bare seed should default to flaky");
+  (match Fail.parse_spec "7:pagerdeath" with
+   | Ok (7, "pagerdeath") -> ()
+   | _ -> Alcotest.fail "SEED:PROFILE should parse");
+  (match Fail.parse_spec "nope" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad seed must be rejected");
+  match Fail.parse_spec "1:zzz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown profile must be rejected"
+
+(* ---- kernel helpers ----------------------------------------------------- *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Kr.to_string e)
+
+let boot ?(frames = 1024) () =
+  (* uVAX II, 512 B hardware pages, multiple 8 => 4 KB system pages. *)
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:frames () in
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  (machine, kernel, Kernel.sys kernel)
+
+let new_task kernel =
+  let t = Kernel.create_task kernel () in
+  Kernel.run_task kernel ~cpu:0 t;
+  t
+
+(* An external pager over a plain hash store: reliable by itself, so every
+   misbehaviour in these tests comes from the injector wrapped around it. *)
+let store_pager () =
+  let store : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+  {
+    Types.pgr_id = Types.fresh_pager_id ();
+    pgr_name = "store";
+    pgr_request =
+      (fun ~offset ~length ->
+         match Hashtbl.find_opt store offset with
+         | Some d ->
+           Types.Data_provided (Bytes.sub d 0 (min length (Bytes.length d)))
+         | None -> Types.Data_unavailable);
+    pgr_write =
+      (fun ~offset ~data ->
+         Hashtbl.replace store offset (Bytes.copy data);
+         Types.Write_completed);
+    pgr_should_cache = ref false;
+  }
+
+(* ---- qcheck: invariants survive arbitrary injected faults --------------- *)
+
+let pages = 16
+
+type op =
+  | Write_page of bool * int (* in the file region?, page index *)
+  | Read_page of bool * int
+  | Deactivate of int
+  | Pageout of int
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map2 (fun f i -> Write_page (f, i)) bool (int_range 0 (pages - 1));
+        map2 (fun f i -> Read_page (f, i)) bool (int_range 0 (pages - 1));
+        map (fun n -> Deactivate n) (int_range 1 24);
+        map (fun n -> Pageout n) (int_range 1 24) ])
+
+(* Whatever the injectors do to the pager stack and the disk, the
+   authoritative machine-independent state must stay consistent: the
+   kernel's invariant checker stays clean, every cached TLB entry agrees
+   with the pmap, and no stale TLB entry is ever used.  Faults the task
+   cannot survive surface as Memory_violation, never as corruption. *)
+let chaos_invariants (seed, ops) =
+  let machine, kernel, sys = boot () in
+  let ps = Kernel.page_size kernel in
+  let inj = Fail.create ~seed in
+  Fail.attach inj ~site:"pager.request"
+    [ Fail.With_probability (0.15, Fail.Fail);
+      Fail.With_probability (0.1, Fail.Drop);
+      Fail.With_probability (0.05, Fail.Short 9);
+      Fail.With_probability (0.05, Fail.Garbage);
+      Fail.With_probability (0.05, Fail.Delay 2_000) ];
+  Fail.attach inj ~site:"pager.write"
+    [ Fail.With_probability (0.4, Fail.Fail) ];
+  Fail.attach inj ~site:"disk.read"
+    [ Fail.With_probability (0.15, Fail.Fail);
+      Fail.With_probability (0.1, Fail.Delay 1_000) ];
+  Fail.attach inj ~site:"disk.write"
+    [ Fail.With_probability (0.15, Fail.Fail) ];
+  (* Kernel-created default pagers get wrapped too. *)
+  sys.Vm_sys.pager_decorator <- Some (Chaos_pager.wrap sys inj);
+  let fs = Simfs.create machine () in
+  Simdisk.set_injector (Simfs.disk fs) (Some inj);
+  Simfs.install_file fs ~name:"/data" ~data:(Bytes.make (pages * ps) 'f');
+  let t = new_task kernel in
+  let pager = store_pager () in
+  let a_pager =
+    fst (ok (Chaos_pager.map_wrapped sys t inj ~pager ~size:(pages * ps) ()))
+  in
+  let a_file = fst (ok (Vnode_pager.map_file sys fs t ~name:"/data" ())) in
+  let apply op =
+    try
+      match op with
+      | Write_page (file, i) ->
+        let base = if file then a_file else a_pager in
+        Machine.write_byte machine ~cpu:0 ~va:(base + (i * ps)) 'w'
+      | Read_page (file, i) ->
+        let base = if file then a_file else a_pager in
+        ignore (Machine.read_byte machine ~cpu:0 ~va:(base + (i * ps)))
+      | Deactivate n -> Vm_pageout.deactivate_some sys ~count:n
+      | Pageout n -> Vm_pageout.run sys ~wanted:n
+    with
+    | Machine.Memory_violation _ -> ()
+    | Vm_sys.Out_of_memory -> ()
+  in
+  List.iter apply ops;
+  let errs = Vm_debug.check_all sys ~maps:[ Task.map t ] in
+  let pmap = Task.pmap t in
+  let hw = Arch.uvax2.Arch.hw_page_size in
+  let agreed = ref true in
+  List.iter
+    (fun (e : Tlb.entry) ->
+       if e.Tlb.asid = pmap.Pmap.asid then
+         match pmap.Pmap.extract (e.Tlb.vpn * hw) with
+         | Some pfn when pfn = e.Tlb.pfn -> ()
+         | _ -> agreed := false)
+    (Machine.tlb_contents machine ~cpu:0);
+  errs = [] && !agreed
+  && (Machine.stats machine).Machine.stale_tlb_uses = 0
+
+let chaos_qcheck =
+  QCheck2.Test.make
+    ~name:"page tables and TLBs agree with resident state under chaos"
+    ~count:40
+    QCheck2.Gen.(
+      pair (int_range 0 1_000_000) (list_size (int_range 20 80) op_gen))
+    chaos_invariants
+
+(* ---- graceful degradation ----------------------------------------------- *)
+
+let test_bounded_retries_then_error () =
+  let _machine, kernel, sys = boot () in
+  let ps = Kernel.page_size kernel in
+  let t = new_task kernel in
+  let inj = Fail.create ~seed:5 in
+  Fail.attach inj ~site:"pager.request" [ Fail.Always Fail.Fail ];
+  let pager = store_pager () in
+  let addr =
+    fst (ok (Chaos_pager.map_wrapped sys t inj ~pager ~size:(4 * ps) ()))
+  in
+  (* Make degradation visible: errors, not zero fill. *)
+  (match Vm_map.resolve_object_at sys (Task.map t) ~va:addr with
+   | Some (o, _) -> o.Types.obj_degrade <- Types.Degrade_error
+   | None -> Alcotest.fail "no object behind the mapping");
+  let read () = Vm_user.read sys t ~addr ~size:8 in
+  let stats = sys.Vm_sys.stats in
+  (match read () with
+   | Error Kr.Memory_error -> ()
+   | Ok _ | Error _ -> Alcotest.fail "expected KERN_MEMORY_ERROR");
+  Alcotest.(check int) "exactly the retry budget was spent"
+    sys.Vm_sys.pager_retry_limit stats.Vm_sys.pager_retries;
+  (* Two more exhausted budgets reach the death threshold. *)
+  ignore (read ());
+  ignore (read ());
+  Alcotest.(check int) "pager declared dead" 1 stats.Vm_sys.pager_deaths;
+  let retries_at_death = stats.Vm_sys.pager_retries in
+  (* A dead pager is no longer consulted: the degrade policy answers
+     immediately and the retry counter stops moving. *)
+  (match read () with
+   | Error Kr.Memory_error -> ()
+   | Ok _ | Error _ -> Alcotest.fail "Degrade_error must keep failing");
+  Alcotest.(check int) "no retries after death" retries_at_death
+    stats.Vm_sys.pager_retries;
+  Alcotest.(check bool) "every failed fault was counted" true
+    (stats.Vm_sys.memory_errors >= 4)
+
+let test_pager_death_rescues_dirty_pages () =
+  (* 256 frames => 16 system pages of memory; a 12-page dirty region. *)
+  let machine, kernel, sys = boot ~frames:256 () in
+  let ps = Kernel.page_size kernel in
+  let n = 12 in
+  let t = new_task kernel in
+  let inj = Fail.create ~seed:11 in
+  (* Reads pass; every write to the external pager fails, so pageout burns
+     its retry budget until the pager dies mid-workload. *)
+  Fail.attach inj ~site:"pager.write" [ Fail.Always Fail.Fail ];
+  let pager = store_pager () in
+  let addr =
+    fst (ok (Chaos_pager.map_wrapped sys t inj ~pager ~size:(n * ps) ()))
+  in
+  for i = 0 to n - 1 do
+    Machine.write machine ~cpu:0 ~va:(addr + (i * ps))
+      (Bytes.of_string (Printf.sprintf "page-%02d" i))
+  done;
+  let stats = sys.Vm_sys.stats in
+  let rounds = ref 0 in
+  while stats.Vm_sys.pager_deaths = 0 && !rounds < 16 do
+    incr rounds;
+    Vm_pageout.deactivate_some sys ~count:64;
+    Vm_pageout.run sys ~wanted:64
+  done;
+  Alcotest.(check int) "pager died" 1 stats.Vm_sys.pager_deaths;
+  Alcotest.(check bool) "failed pageouts kept pages dirty" true
+    (stats.Vm_sys.pageout_failures > 0);
+  Alcotest.(check bool) "dirty pages were rescued" true
+    (stats.Vm_sys.rescued_pages > 0);
+  (match Vm_map.resolve_object_at sys (Task.map t) ~va:addr with
+   | Some (o, _) ->
+     (match o.Types.obj_rescue with
+      | Some r ->
+        Alcotest.(check bool) "rescue (default) pager holds the data" true
+          (Swap_pager.stored_bytes r > 0)
+      | None -> Alcotest.fail "expected a rescue pager")
+   | None -> Alcotest.fail "no object behind the mapping");
+  (* Evict everything through the now-dead pager — writes land on the
+     rescue pager — then fault it all back in. *)
+  for _ = 1 to 2 do
+    Vm_pageout.deactivate_some sys ~count:64;
+    Vm_pageout.run sys ~wanted:64
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "page %d intact" i)
+      (Printf.sprintf "page-%02d" i)
+      (Bytes.to_string
+         (Machine.read machine ~cpu:0 ~va:(addr + (i * ps)) ~len:7))
+  done;
+  Alcotest.(check int) "task never saw a memory error" 0
+    stats.Vm_sys.memory_errors
+
+let () =
+  Alcotest.run "fail"
+    [ ( "plans",
+        [ Alcotest.test_case "same seed replays identically" `Quick
+            test_same_seed_replays;
+          Alcotest.test_case "seed changes the sequence" `Quick
+            test_seed_changes_sequence;
+          Alcotest.test_case "site streams are independent" `Quick
+            test_sites_are_independent;
+          Alcotest.test_case "windowed rules" `Quick test_windowed_rules;
+          Alcotest.test_case "scramble is a non-identity involution" `Quick
+            test_scramble;
+          Alcotest.test_case "profiles and --chaos spec parsing" `Quick
+            test_profiles_and_spec ] );
+      ("properties", [ QCheck_alcotest.to_alcotest chaos_qcheck ]);
+      ( "degradation",
+        [ Alcotest.test_case "bounded retries then KERN_MEMORY_ERROR" `Quick
+            test_bounded_retries_then_error;
+          Alcotest.test_case "pager death rescues dirty pages" `Quick
+            test_pager_death_rescues_dirty_pages ] ) ]

@@ -249,7 +249,16 @@ let test_msg_regions_and_statistics () =
      Alcotest.(check int) "7 ints per region" (7 * n) (List.length rest)
    | _ -> Alcotest.fail "bad reply");
   let reply = call_ok sys port (Ipc.message "vm_statistics") in
-  Alcotest.(check int) "11 fields" 11 (List.length reply.Ipc.msg_ints)
+  Alcotest.(check int) "16 fields" 16 (List.length reply.Ipc.msg_ints);
+  (* kr, then 10 paging fields, then the 5 failure counters — all zero on
+     a freshly booted kernel with a healthy pager. *)
+  let failure_counters =
+    match reply.Ipc.msg_ints with
+    | _kr :: rest -> List.filteri (fun i _ -> i >= 10) rest
+    | [] -> []
+  in
+  Alcotest.(check (list int))
+    "no failures on a healthy kernel" [ 0; 0; 0; 0; 0 ] failure_counters
 
 let test_msg_errors_travel_back () =
   let _, kernel, sys = boot () in

@@ -28,7 +28,9 @@ let counting_pager sys ~name =
              Types.Data_provided (Bytes.sub b 0 (min length (Bytes.length b)))
            | None -> Types.Data_unavailable);
       pgr_write =
-        (fun ~offset ~data -> Hashtbl.replace store offset (Bytes.copy data));
+        (fun ~offset ~data ->
+           Hashtbl.replace store offset (Bytes.copy data);
+           Types.Write_completed);
       pgr_should_cache = ref true;
     }
   in

@@ -180,7 +180,7 @@ let test_cached_object_pages_reclaimable () =
         (fun ~offset:_ ~length ->
            incr counting;
            Types.Data_provided (Bytes.make length 'C'));
-      pgr_write = (fun ~offset:_ ~data:_ -> ());
+      pgr_write = (fun ~offset:_ ~data:_ -> Types.Write_completed);
       pgr_should_cache = ref true;
     }
   in

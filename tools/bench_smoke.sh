@@ -4,11 +4,23 @@
 # batched IPI counts regress above their recorded baselines (or the
 # unbatched ones mysteriously shrink below them, which would mean the
 # A/B comparison no longer measures anything).
+#
+# Also smoke-checks the fault-injection subsystem:
+#   - the chaos bench (seeded pager failure under memory pressure) must
+#     end with a dead pager, rescued pages, zero corruption, zero
+#     task-visible errors, and a bounded retry count;
+#   - machsim --chaos must replay the identical failure sequence twice;
+#   - with injection disabled the shootdown elapsed_ms cells (fully
+#     deterministic simulated time) must match the committed
+#     BENCH_vm.json exactly — the injection hooks cost nothing when off.
 set -eu
 
 cd "$(dirname "$0")/.."
 out=$(mktemp /tmp/bench_smoke.XXXXXX.json)
-trap 'rm -f "$out"' EXIT
+chaos_out=$(mktemp /tmp/bench_smoke_chaos.XXXXXX.json)
+run_a=$(mktemp /tmp/bench_smoke_run_a.XXXXXX)
+run_b=$(mktemp /tmp/bench_smoke_run_b.XXXXXX)
+trap 'rm -f "$out" "$chaos_out" "$run_a" "$run_b"' EXIT
 
 dune exec bench/main.exe -- -e shootdown -json "$out" >/dev/null
 
@@ -71,7 +83,70 @@ check_max shootdown/lazy/batched/deferred_flushes 180
 check_max shootdown/immediate/batched/stale_tlb_uses 0
 check_max shootdown/immediate/unbatched/stale_tlb_uses 0
 
+# ---- zero-overhead guard -------------------------------------------------
+# Injection disabled is the default; simulated elapsed time is fully
+# deterministic, so the scratch run's Section 5.2 timing cells must match
+# the committed BENCH_vm.json bit-for-bit.  A drift here means the fault
+# hooks charge cycles even when no injector is attached.
+baseline_cell() {
+    sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" BENCH_vm.json
+}
+
+for strategy in immediate deferred lazy; do
+    for mode in unbatched batched; do
+        name="shootdown/$strategy/$mode/elapsed_ms"
+        now=$(cell "$name")
+        base=$(baseline_cell "$name")
+        if [ -z "$base" ]; then
+            echo "bench-smoke: FAIL no committed baseline for $name" >&2
+            fail=1
+        elif ! awk "BEGIN { d = $now - $base; if (d < 0) d = -d; exit !(d <= 0.005) }"; then
+            echo "bench-smoke: FAIL $name = $now drifted from committed $base (fault hooks must be free when disabled)" >&2
+            fail=1
+        fi
+    done
+done
+
+# ---- chaos smoke ---------------------------------------------------------
+dune exec bench/main.exe -- -e chaos -json "$chaos_out" >/dev/null
+
+chaos_cell() {
+    sed -n "s/.*\"name\":\"chaos\\/$1\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$chaos_out"
+}
+
+chaos_check() { # metric test value
+    v=$(chaos_cell "$1")
+    if [ -z "$v" ]; then
+        echo "bench-smoke: FAIL missing cell chaos/$1" >&2
+        fail=1
+    elif ! awk "BEGIN { exit !($v $2 $3) }"; then
+        echo "bench-smoke: FAIL chaos/$1 = $v, expected $2 $3" >&2
+        fail=1
+    fi
+}
+
+chaos_check corrupt_pages == 0
+chaos_check memory_errors == 0
+chaos_check pager_deaths ">=" 1
+chaos_check rescued_pages ">=" 1
+chaos_check pageout_failures ">=" 1
+chaos_check pager_retries ">=" 1
+chaos_check pager_retries "<=" 64   # bounded, not unbounded re-requesting
+
+# ---- machsim --chaos replay identity -------------------------------------
+dune exec bin/machsim.exe -- compile --chaos 42:flaky >"$run_a" 2>&1
+dune exec bin/machsim.exe -- compile --chaos 42:flaky >"$run_b" 2>&1
+if ! cmp -s "$run_a" "$run_b"; then
+    echo "bench-smoke: FAIL machsim --chaos 42:flaky is not replay-identical" >&2
+    diff "$run_a" "$run_b" >&2 || true
+    fail=1
+fi
+if ! grep -q '^chaos: seed=42 profile=flaky' "$run_a"; then
+    echo "bench-smoke: FAIL machsim --chaos did not print its chaos summary" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells present, IPI counts at baseline)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guard clean, chaos run deterministic with 0 corrupt pages)"
