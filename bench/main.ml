@@ -971,6 +971,160 @@ let chaos () =
   Printf.printf "chaos fingerprint: %s\n" (Fail.fingerprint inj)
 
 (* ------------------------------------------------------------------ *)
+(* Clustered paging: read-ahead window ablation                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-clustering read(): the exact loop read_through_object ran
+   before clustered pagein existed — one guarded single-page request per
+   miss, no window bookkeeping.  Recorded as the `legacy` reference cell:
+   with [cluster_max = 1] the clustered path must cost exactly this
+   (bench_smoke.sh asserts the two elapsed times are identical). *)
+let legacy_read sys fs ~name ~offset ~len =
+  Vm_sys.charge sys (Vm_sys.cost sys).Arch.syscall;
+  let pager = Mach_pagers.Vnode_pager.for_file sys fs ~name in
+  let size = Mach_pagers.Simfs.file_size fs ~name in
+  let obj = Vm_object.create_with_pager sys pager ~size in
+  let len = if offset >= size then 0 else min len (size - offset) in
+  let ps = sys.Vm_sys.page_size in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = offset + pos in
+      let page_off = abs - (abs mod ps) in
+      let chunk = min (ps - (abs mod ps)) (len - pos) in
+      let page =
+        match Vm_object.lookup_resident sys obj ~offset:page_off with
+        | Some p -> p
+        | None ->
+          let p = Vm_sys.grab_page sys in
+          Resident.insert sys.Vm_sys.resident p ~obj ~offset:page_off;
+          (match
+             Pager_guard.request sys obj ~offset:page_off ~length:ps
+           with
+           | `Data data -> Page_io.fill sys p data
+           | `Absent | `Error -> Page_io.zero sys p);
+          sys.Vm_sys.stats.Vm_sys.pager_reads <-
+            sys.Vm_sys.stats.Vm_sys.pager_reads + 1;
+          Resident.enqueue sys.Vm_sys.resident p Q_active;
+          p
+      in
+      ignore (Page_io.copy_out sys page ~off:(abs mod ps) ~len:chunk);
+      loop (pos + chunk)
+    end
+  in
+  loop 0;
+  Vm_object.deallocate sys obj
+
+let cluster () =
+  let windows = [ 1; 2; 4; 8; 16; 32 ] in
+  let seq_size = 2 * mb in
+  let rand_reads = 256 in
+  let wb_size = mb in
+  (* Sequential streaming read of a 2 MB file at window [w]: fresh boot,
+     cold cache.  Returns (elapsed, disk reqs, prefetch issued/hits). *)
+  let seq_read w =
+    let _, kernel, _, os = boot_mach ~mem:(16 * mb) Arch.vax8200 in
+    let sys = Kernel.sys kernel in
+    sys.Vm_sys.cluster_max <- w;
+    os.Os_iface.install_file ~name:"/seq" ~data:(Bytes.make seq_size 'S');
+    os.Os_iface.reset ();
+    ignore (os.Os_iface.read_file ~cpu:0 ~name:"/seq" ~offset:0 ~len:seq_size);
+    let ms = os.Os_iface.elapsed_ms () in
+    let s = sys.Vm_sys.stats in
+    (ms, s.Vm_sys.pager_reads, s.Vm_sys.prefetch_issued,
+     s.Vm_sys.prefetch_hits)
+  in
+  (* Page-granular 4 KB reads at seeded-random offsets: the window must
+     stay collapsed, so elapsed is flat across [w] and read-ahead issues
+     (nearly) nothing. *)
+  let rand_read w =
+    let _, kernel, _, os = boot_mach ~mem:(16 * mb) Arch.vax8200 in
+    let sys = Kernel.sys kernel in
+    sys.Vm_sys.cluster_max <- w;
+    os.Os_iface.install_file ~name:"/rand" ~data:(Bytes.make seq_size 'R');
+    let ps = sys.Vm_sys.page_size in
+    let st = Random.State.make [| 0x5eed |] in
+    os.Os_iface.reset ();
+    for _ = 1 to rand_reads do
+      let pg = Random.State.int st (seq_size / ps) in
+      ignore
+        (os.Os_iface.read_file ~cpu:0 ~name:"/rand" ~offset:(pg * ps) ~len:ps)
+    done;
+    (os.Os_iface.elapsed_ms (), sys.Vm_sys.stats.Vm_sys.prefetch_issued)
+  in
+  (* Writeback: dirty 1 MB of anonymous memory, then force the pageout
+     daemon to push it all to the default pager.  Contiguous dirty pages
+     coalesce into clustered writes of up to [w] pages. *)
+  let writeback w =
+    let machine, kernel, _, _ = boot_mach ~mem:(16 * mb) Arch.vax8200 in
+    let sys = Kernel.sys kernel in
+    sys.Vm_sys.cluster_max <- w;
+    let task = Kernel.create_task kernel ~name:"wb" () in
+    Kernel.run_task kernel ~cpu:0 task;
+    let addr =
+      match Vm_user.allocate sys task ~size:wb_size ~anywhere:true () with
+      | Ok a -> a
+      | Error e -> failwith (Kr.to_string e)
+    in
+    let ps = sys.Vm_sys.page_size in
+    let npages = wb_size / ps in
+    for i = 0 to npages - 1 do
+      Machine.touch machine ~cpu:0 ~va:(addr + (i * ps)) ~write:true
+    done;
+    Machine.reset_clocks machine;
+    for _ = 1 to 4 do
+      Vm_pageout.deactivate_some sys ~count:npages;
+      Vm_pageout.run sys ~wanted:npages
+    done;
+    ( Machine.elapsed_ms machine,
+      sys.Vm_sys.stats.Vm_sys.clustered_pageouts )
+  in
+  let t =
+    Tablefmt.create
+      ~title:
+        "Clustered paging: 2M sequential read, 256 random 4K reads and 1M\n\
+         anonymous writeback at each read-ahead window (cluster_max)"
+      ~columns:
+        [ "window"; "seq read"; "pager reqs"; "prefetch"; "rand read";
+          "writeback"; "clustered writes" ]
+  in
+  let cell name ms =
+    record_cell ~name:(Printf.sprintf "cluster/%s" name) ~measured_ms:ms
+      ~paper_mach_ms:None ~paper_unix_ms:None
+  in
+  List.iter
+    (fun w ->
+       let seq_ms, reqs, issued, hits = seq_read w in
+       let rand_ms, rand_issued = rand_read w in
+       let wb_ms, cw = writeback w in
+       cell (Printf.sprintf "seq_read_2M/w%d" w) seq_ms;
+       cell (Printf.sprintf "rand_read_256x4K/w%d" w) rand_ms;
+       cell (Printf.sprintf "writeback_1M/w%d" w) wb_ms;
+       if w = 8 then begin
+         cell "prefetch_issued/w8" (float_of_int issued);
+         cell "prefetch_hits/w8" (float_of_int hits);
+         cell "rand_prefetch_issued/w8" (float_of_int rand_issued);
+         cell "clustered_pageouts/w8" (float_of_int cw)
+       end;
+       Tablefmt.row t
+         [ string_of_int w; fmt_ms seq_ms; string_of_int reqs;
+           Printf.sprintf "%d/%d" hits issued; fmt_ms rand_ms; fmt_ms wb_ms;
+           string_of_int cw ])
+    windows;
+  (* The zero-overhead reference: the pre-clustering per-page loop on a
+     fresh boot must cost exactly what the clustered path costs at w=1. *)
+  let machine, kernel, fs, os = boot_mach ~mem:(16 * mb) Arch.vax8200 in
+  let sys = Kernel.sys kernel in
+  sys.Vm_sys.cluster_max <- 1;
+  os.Os_iface.install_file ~name:"/seq" ~data:(Bytes.make seq_size 'S');
+  os.Os_iface.reset ();
+  legacy_read sys fs ~name:"/seq" ~offset:0 ~len:seq_size;
+  let legacy_ms = Machine.elapsed_ms machine in
+  cell "seq_read_2M/legacy" legacy_ms;
+  Tablefmt.row t
+    [ "legacy"; fmt_ms legacy_ms; "-"; "-"; "-"; "-"; "-" ];
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall-clock of the simulator itself)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1035,7 +1189,8 @@ let experiments =
     ("fork_prewarm", fork_prewarm);
     ("mixed", mixed);
     ("net_memory", net_memory);
-    ("chaos", chaos) ]
+    ("chaos", chaos);
+    ("cluster", cluster) ]
 
 let usage () =
   print_endline "usage: main.exe [-e EXPERIMENT] [-json PATH] | raw";

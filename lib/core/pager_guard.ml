@@ -110,6 +110,50 @@ let request sys o ~offset ~length =
       | None -> `Error
     end
 
+(* One-shot clustered read: no retries, no backoff, no health damage.
+   Clustering is opportunistic — if anything goes wrong the caller falls
+   back to the single-page [request] path, which owns the retry/backoff/
+   death policy.  A [`Data] reply may be shorter than [length] (a
+   truncated cluster); [`Absent] means the pager holds nothing at
+   [offset] itself (see the contract on [pgr_request]). *)
+let request_range (sys : Vm_sys.t) o ~offset ~length =
+  ignore sys;
+  match o.obj_pager with
+  | None -> `Absent
+  | Some pager ->
+    if o.obj_health.ph_dead then degraded_request o ~offset ~length
+    else begin
+      match pager.pgr_request ~offset ~length with
+      | Data_provided d ->
+        o.obj_health.ph_consecutive <- 0;
+        `Data d
+      | Data_unavailable -> `Absent
+      | Data_error -> `Error
+    end
+
+(* One-shot clustered write, same policy: a failure is reported without
+   retries or health damage and the caller degrades to single-page
+   [write] calls. *)
+let write_range (sys : Vm_sys.t) o ~offset ~data =
+  ignore sys;
+  match o.obj_pager with
+  | None -> false
+  | Some pager ->
+    if o.obj_health.ph_dead then
+      (match o.obj_rescue with
+       | None -> false
+       | Some r ->
+         (match r.pgr_write ~offset ~data with
+          | Write_completed -> true
+          | Write_error -> false))
+    else begin
+      match pager.pgr_write ~offset ~data with
+      | Write_completed ->
+        o.obj_health.ph_consecutive <- 0;
+        true
+      | Write_error -> false
+    end
+
 let write sys o ~offset ~data =
   match o.obj_pager with
   | None -> false

@@ -27,6 +27,22 @@ val request :
     the faulting task must see [KERN_MEMORY_ERROR].  Objects without a
     pager answer [`Absent]. *)
 
+val request_range :
+  Vm_sys.t -> Types.obj -> offset:int -> length:int ->
+  [ `Data of Bytes.t | `Absent | `Error ]
+(** [request_range] is the clustered-pagein variant of {!request}: one
+    attempt, no retries, no health damage.  The reply may hold fewer
+    bytes than [length] (a truncated cluster).  On [`Error] — or a reply
+    shorter than one page — the caller must fall back to the single-page
+    {!request} path, which owns the retry/backoff/death policy.
+    [`Absent] means the pager holds nothing at [offset] itself, so the
+    caller may descend/zero-fill the demand page directly. *)
+
+val write_range : Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t -> bool
+(** [write_range] is the clustered-pageout variant of {!write}: one
+    attempt, no retries, no health damage.  [false] means nothing was
+    written and the caller must degrade to per-page {!write} calls. *)
+
 val write : Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t -> bool
 (** [write sys obj ~offset ~data] writes a page back to the object's
     pager (or its rescue pager once dead) with the same policy.

@@ -3,14 +3,29 @@ open Types
 open Mach_pmap
 
 (* Visit the resident pages of [o] with offsets in [offset, offset+length),
-   page aligned. *)
+   page aligned, in ascending offset order when probing.  Small ranges
+   probe the resident hash per page offset — O(range) — and only ranges
+   wider than the object's resident population fall back to walking the
+   page list, so a clean/flush/lock request for a few pages of a huge
+   object no longer visits every resident page. *)
 let pages_in_range (sys : Vm_sys.t) o ~offset ~length f =
   let ps = sys.Vm_sys.page_size in
   let lo = offset - (offset mod ps) in
   let hi = offset + length in
-  List.iter
-    (fun p -> if p.pg_offset >= lo && p.pg_offset < hi then f p)
-    (Resident.object_pages o)
+  let span = (hi - lo + ps - 1) / ps in
+  if span <= Mach_util.Dlist.length o.obj_pages then begin
+    let off = ref lo in
+    while !off < hi do
+      (match Resident.lookup sys.Vm_sys.resident ~obj:o ~offset:!off with
+       | Some p -> f p
+       | None -> ());
+      off := !off + ps
+    done
+  end
+  else
+    List.iter
+      (fun p -> if p.pg_offset >= lo && p.pg_offset < hi then f p)
+      (Resident.object_pages o)
 
 let each_frame (sys : Vm_sys.t) p f =
   let m = Resident.multiple sys.Vm_sys.resident in
@@ -28,15 +43,47 @@ let is_dirty sys p =
   loop 0
 
 let clean_request sys o ~offset ~length =
-  let written = ref 0 in
+  let ps = sys.Vm_sys.page_size in
+  let dirty = ref [] in
   pages_in_range sys o ~offset ~length (fun p ->
-      if is_dirty sys p then begin
-        (* Writing back races with writers: take write permission away
-           first so the cleaned copy is coherent. *)
-        each_frame sys p (fun pfn ->
-            Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn);
-        if Vm_pageout.clean_page sys p then incr written
-      end);
+      if is_dirty sys p then dirty := p :: !dirty);
+  let dirty =
+    List.sort (fun a b -> compare a.pg_offset b.pg_offset) !dirty
+  in
+  let written = ref 0 in
+  let clean_one p =
+    (* Writing back races with writers: take write permission away
+       first so the cleaned copy is coherent. *)
+    each_frame sys p (fun pfn ->
+        Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn);
+    if Vm_pageout.clean_page sys p then incr written
+  in
+  (* Coalesce contiguous dirty pages into clustered writes (capped at
+     [cluster_max]); a failed clustered write degrades to per-page
+     cleaning, which owns the retry/failure accounting. *)
+  let flush_run run =
+    match List.rev run with
+    | [] -> ()
+    | [ p ] -> clean_one p
+    | pages ->
+      if Vm_pageout.write_cluster sys o pages then
+        written := !written + List.length pages
+      else List.iter clean_one pages
+  in
+  let rec group run = function
+    | [] -> flush_run run
+    | p :: rest ->
+      (match run with
+       | q :: _
+         when p.pg_offset = q.pg_offset + ps
+              && List.length run < sys.Vm_sys.cluster_max ->
+         group (p :: run) rest
+       | [] -> group [ p ] rest
+       | _ ->
+         flush_run run;
+         group [ p ] rest)
+  in
+  group [] dirty;
   !written
 
 let flush_request sys o ~offset ~length =

@@ -46,6 +46,7 @@ let create ~phys ~multiple ?(frame_limit = max_int) () =
           pg_offset = 0;
           pg_wire_count = 0;
           pg_busy = false;
+          pg_prefetched = false;
           pg_queue = Q_free;
           pg_queue_node = None;
           pg_obj_node = None;
@@ -118,6 +119,7 @@ let remove_from_object t p =
 let free_page t p =
   remove_from_object t p;
   p.pg_busy <- false;
+  p.pg_prefetched <- false;
   p.pg_wire_count <- 0;
   set_queue t p Q_free
 

@@ -10,22 +10,48 @@ let make (sys : Vm_sys.t) ~name =
   Hashtbl.add stores id store;
   let machine = sys.Vm_sys.machine in
   let cpu () = Vm_sys.current_cpu sys in
+  let ps = sys.Vm_sys.page_size in
   {
     pgr_id = id;
     pgr_name = name;
     pgr_request =
       (fun ~offset ~length ->
+         (* Gather contiguous chunks from [offset] up; one disk charge
+            covers the whole gathered range, so a clustered request pays
+            the seek once.  No chunk at [offset] itself means the pager
+            holds nothing there (the range contract). *)
          match Hashtbl.find_opt store offset with
-         | Some data ->
+         | None -> Data_unavailable
+         | Some _ ->
+           let parts = ref [] and got = ref 0 in
+           let rec gather () =
+             if !got < length then
+               match Hashtbl.find_opt store (offset + !got) with
+               | None -> ()
+               | Some d ->
+                 let take = min (Bytes.length d) (length - !got) in
+                 parts := Bytes.sub d 0 take :: !parts;
+                 got := !got + take;
+                 if take = Bytes.length d then gather ()
+           in
+           gather ();
            Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:false
-             ~bytes:length;
-           Data_provided (Bytes.sub data 0 (min length (Bytes.length data)))
-         | None -> Data_unavailable);
+             ~bytes:!got;
+           Data_provided (Bytes.concat Bytes.empty (List.rev !parts)));
     pgr_write =
       (fun ~offset ~data ->
+         (* One disk charge for the whole (possibly clustered) write,
+            stored in page-size chunks so later single-page requests
+            find their piece. *)
          Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:true
            ~bytes:(Bytes.length data);
-         Hashtbl.replace store offset (Bytes.copy data);
+         let len = Bytes.length data in
+         let pos = ref 0 in
+         while !pos < len do
+           let take = min ps (len - !pos) in
+           Hashtbl.replace store (offset + !pos) (Bytes.sub data !pos take);
+           pos := !pos + take
+         done;
          Write_completed);
     pgr_should_cache = ref false;
   }

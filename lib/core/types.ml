@@ -29,6 +29,9 @@ type page = {
   mutable pg_offset : int;              (* byte offset within the object *)
   mutable pg_wire_count : int;
   mutable pg_busy : bool;               (* being filled or written back *)
+  mutable pg_prefetched : bool;
+      (* brought in by read-ahead, not yet referenced by a fault; cleared
+         on first use (a prefetch hit) or reclaim (a wasted prefetch) *)
   mutable pg_queue : pageq;
   mutable pg_queue_node : page Dlist.node option;
   mutable pg_obj_node : page Dlist.node option;
@@ -58,6 +61,12 @@ and obj = {
   mutable obj_degrade : degrade_policy;
       (* what a fault sees when the pager is dead and the rescue pager
          has no copy of the page *)
+  mutable obj_ra_next : int;
+      (* adaptive read-ahead: the offset one byte past the last cluster we
+         paged in; a miss exactly here is sequential access *)
+  mutable obj_ra_window : int;
+      (* current read-ahead window in pages: ramps 1->2->4->...->
+         [cluster_max] while access stays sequential, resets on random *)
 }
 
 (* The kernel's machine-independent record of how a pager has been
@@ -82,9 +91,20 @@ and pager = {
   pgr_id : int;
   pgr_name : string;
   pgr_request : offset:int -> length:int -> pager_reply;
-      (* pager_data_request: the kernel wants [length] bytes at [offset] *)
+      (* pager_data_request: the kernel wants [length] bytes at [offset].
+         [length] may span several pages (a cluster); the pager may answer
+         with fewer bytes than asked (a truncated cluster) and the kernel
+         will fall back to single-page requests for the remainder.
+         [Data_unavailable] for a range means the pager holds no data at
+         [offset] itself, so the kernel may zero-fill / descend for the
+         demand page without re-asking page by page. *)
   pgr_write : offset:int -> data:Bytes.t -> pager_write_reply;
-      (* pager_data_write: the kernel cleans a dirty page *)
+      (* pager_data_write: the kernel cleans dirty pages; [data] may span
+         several contiguous pages (a clustered pageout).  A pager that
+         stores blobs keyed by offset must split the data at page
+         boundaries or later single-page requests will miss it.
+         [Write_error] means NO page of the range was cleaned; the kernel
+         falls back to single-page writes. *)
   pgr_should_cache : bool ref;
       (* pager_cache: retain the object after its last unmap *)
 }

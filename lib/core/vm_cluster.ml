@@ -1,0 +1,142 @@
+(* Clustered pagein with per-object adaptive read-ahead.
+
+   Faults and file reads funnel their pager misses through {!pagein},
+   which asks the object's pager for a multi-page cluster when the
+   access pattern looks sequential.  The window lives on the object
+   ([obj_ra_next]/[obj_ra_window]): it ramps 1 -> 2 -> 4 -> ... ->
+   [Vm_sys.cluster_max] while each miss lands exactly where the previous
+   cluster ended, and collapses back to one page on a random access.
+
+   Clustering is strictly opportunistic.  The range request is one-shot
+   ({!Pager_guard.request_range}); on error or a reply shorter than one
+   page we fall back to the single-page path, which owns the full
+   retry/backoff/death policy.  Prefetched pages are filled from the
+   same reply, marked [pg_prefetched] and enqueued on the *inactive*
+   queue, so a wrong guess is the first thing the pageout daemon
+   reclaims. *)
+
+open Types
+module Obs = Mach_obs.Obs
+
+(* Pages to request at [offset], demand page included: ramp/reset the
+   object's window, then clip to [limit] (the map entry's window, in
+   this object's offset space), to the object size, to the first
+   already-resident page and to the free list's headroom (prefetch must
+   never trigger reclaim). *)
+let plan (sys : Vm_sys.t) obj ~offset ~limit =
+  let ps = sys.Vm_sys.page_size in
+  let w =
+    if obj.obj_ra_next = offset then
+      min sys.Vm_sys.cluster_max (obj.obj_ra_window * 2)
+    else 1
+  in
+  obj.obj_ra_window <- w;
+  let bound = min limit obj.obj_size in
+  let avail = bound - offset in
+  if avail <= ps then 1
+  else begin
+    let n = min w ((avail + ps - 1) / ps) in
+    let i = ref 1 in
+    while
+      !i < n
+      && Resident.lookup sys.Vm_sys.resident ~obj
+           ~offset:(offset + (!i * ps))
+         = None
+    do
+      incr i
+    done;
+    let n = !i in
+    let headroom =
+      Resident.free_count sys.Vm_sys.resident - sys.Vm_sys.free_target
+    in
+    max 1 (min n (1 + max 0 headroom))
+  end
+
+(* The classical one-page pagein, exactly the pre-clustering fault path:
+   guarded request with retries, then allocate/fill.  Returns the bytes
+   a Pagein trace event should report. *)
+let single (sys : Vm_sys.t) obj ~offset =
+  let ps = sys.Vm_sys.page_size in
+  match Pager_guard.request sys obj ~offset ~length:ps with
+  | `Data data ->
+    let p = Vm_sys.grab_page sys in
+    Resident.insert sys.Vm_sys.resident p ~obj ~offset;
+    p.pg_busy <- true;
+    Page_io.fill sys p data;
+    p.pg_busy <- false;
+    sys.Vm_sys.stats.Vm_sys.pager_reads <-
+      sys.Vm_sys.stats.Vm_sys.pager_reads + 1;
+    `Data (p, ps)
+  | `Absent -> `Absent
+  | `Error -> `Error
+
+let pagein (sys : Vm_sys.t) obj ~offset ~limit =
+  let ps = sys.Vm_sys.page_size in
+  let stats = sys.Vm_sys.stats in
+  if sys.Vm_sys.cluster_max <= 1 then single sys obj ~offset
+  else begin
+    let n = plan sys obj ~offset ~limit in
+    if n = 1 then begin
+      match single sys obj ~offset with
+      | `Data _ as r ->
+        (* Remember where this read ended so the next miss can be
+           recognised as sequential. *)
+        obj.obj_ra_next <- offset + ps;
+        r
+      | r -> r
+    end
+    else begin
+      match Pager_guard.request_range sys obj ~offset ~length:(n * ps) with
+      | `Data data when Bytes.length data >= ps ->
+        let got = min n (Bytes.length data / ps) in
+        obj.obj_ra_next <- offset + (got * ps);
+        stats.Vm_sys.pager_reads <- stats.Vm_sys.pager_reads + 1;
+        let demand = Vm_sys.grab_page sys in
+        Resident.insert sys.Vm_sys.resident demand ~obj ~offset;
+        demand.pg_busy <- true;
+        Page_io.fill sys demand (Bytes.sub data 0 ps);
+        demand.pg_busy <- false;
+        let issued = ref 0 in
+        for i = 1 to got - 1 do
+          let off = offset + (i * ps) in
+          (* [plan] skipped resident pages, but the demand-page grab may
+             have run the reclaimer in between; re-check and never steal
+             from the free target. *)
+          if Resident.lookup sys.Vm_sys.resident ~obj ~offset:off = None
+          then
+            match Resident.alloc sys.Vm_sys.resident with
+            | None -> ()
+            | Some p ->
+              Resident.insert sys.Vm_sys.resident p ~obj ~offset:off;
+              p.pg_busy <- true;
+              Page_io.fill sys p (Bytes.sub data (i * ps) ps);
+              p.pg_busy <- false;
+              p.pg_prefetched <- true;
+              Resident.enqueue sys.Vm_sys.resident p Q_inactive;
+              incr issued
+        done;
+        if !issued > 0 then begin
+          stats.Vm_sys.prefetch_issued <-
+            stats.Vm_sys.prefetch_issued + !issued;
+          Vm_sys.emit sys
+            (Obs.Prefetch
+               { offset; pages = !issued; window = obj.obj_ra_window })
+        end;
+        `Data (demand, got * ps)
+      | `Data _ (* truncated below one page *) | `Error ->
+        (* Degrade to the single-page path, which owns retry/death. *)
+        single sys obj ~offset
+      | `Absent -> `Absent
+    end
+  end
+
+(* A resident-page hit on a prefetched page: the guess paid off.  Count
+   it and promote the page from the inactive to the active queue. *)
+let note_hit (sys : Vm_sys.t) p =
+  if p.pg_prefetched then begin
+    p.pg_prefetched <- false;
+    sys.Vm_sys.stats.Vm_sys.prefetch_hits <-
+      sys.Vm_sys.stats.Vm_sys.prefetch_hits + 1;
+    if p.pg_wire_count = 0 && p.pg_queue = Q_inactive then
+      Resident.enqueue sys.Vm_sys.resident p Q_active
+  end

@@ -1,0 +1,30 @@
+(** Clustered pagein with per-object adaptive read-ahead.
+
+    The machine-independent half of the Table 7-1 fix: when a fault (or
+    a file read through {!Vnode_pager.read_through_object}) misses on a
+    pager-backed page, ask the pager for a whole cluster and keep the
+    extra pages resident as prefetch.  The window ramps
+    1→2→4→…→[Vm_sys.cluster_max] while access stays sequential and
+    resets on random access; prefetched pages go on the {e inactive}
+    queue so wrong guesses are reclaimed first.
+
+    Clustering never weakens the failure policy: the range request is
+    one-shot, and any error or truncated reply falls back to the
+    classical single-page {!Pager_guard.request} path. *)
+
+val pagein :
+  Vm_sys.t -> Types.obj -> offset:int -> limit:int ->
+  [ `Data of Types.page * int | `Absent | `Error ]
+(** [pagein sys obj ~offset ~limit] services a pager miss at [offset]
+    (page aligned).  [limit] bounds the cluster in this object's offset
+    space (the map entry's window; pass [max_int] for none — object
+    size always applies).  [`Data (p, bytes)] returns the resident,
+    filled demand page and the total bytes the pager supplied (for the
+    Pagein trace event); prefetched pages beyond the demand page are
+    inserted into the object directly.  [`Absent] and [`Error] mean
+    what they mean for {!Pager_guard.request}. *)
+
+val note_hit : Vm_sys.t -> Types.page -> unit
+(** Tell the read-ahead machinery a resident-page lookup hit [p]; if
+    the page was prefetched this counts a prefetch hit and promotes it
+    to the active queue. *)

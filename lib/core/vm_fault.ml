@@ -7,8 +7,6 @@ let zero_mach_page = Page_io.zero
 
 let copy_mach_page sys ~src ~dst = Page_io.copy sys ~src ~dst
 
-let fill_page_bytes = Page_io.fill
-
 (* Enter every hardware frame of [p] at [page_va] in [pmap].  Batched so
    that on architectures whose pages are smaller than the machine page a
    re-enter's flushes go out as one exchange. *)
@@ -139,37 +137,41 @@ let fault sys map ~va ~write =
        paged out to the default pager must answer from there, never from
        the object it shadows); only when the pager has nothing — or there
        is no pager — does the search descend.  Pager traffic goes through
-       {!Pager_guard}: transient failures are retried with backoff, and a
-       pager that exhausts its budget surfaces KERN_MEMORY_ERROR here. *)
-    let rec search obj off =
+       {!Vm_cluster}/{!Pager_guard}: sequential misses pull in a whole
+       read-ahead cluster, transient failures are retried with backoff,
+       and a pager that exhausts its budget surfaces KERN_MEMORY_ERROR
+       here.  [lim] is the end of the map entry's window in the current
+       object's offset space: the cluster may not spill past what this
+       entry actually maps. *)
+    let rec search obj off lim =
       match Vm_object.lookup_resident sys obj ~offset:off with
-      | Some p -> `Found (obj, p)
+      | Some p ->
+        Vm_cluster.note_hit sys p;
+        `Found (obj, p)
       | None ->
         let tp =
           if traced then Machine.cycles sys.Vm_sys.machine ~cpu else 0
         in
-        (match Pager_guard.request sys obj ~offset:off ~length:ps with
-         | `Data data ->
+        (match Vm_cluster.pagein sys obj ~offset:off ~limit:lim with
+         | `Data (p, bytes) ->
            paged_in := true;
            if traced then begin
              let t1 = Machine.cycles sys.Vm_sys.machine ~cpu in
              Obs.record tr ~ts:t1 ~cpu
-               (Obs.Pagein { offset = off; bytes = ps; cycles = t1 - tp })
+               (Obs.Pagein { offset = off; bytes; cycles = t1 - tp })
            end;
-           let p = new_page_in sys obj ~offset:off in
-           p.pg_busy <- true;
-           fill_page_bytes sys p data;
-           p.pg_busy <- false;
-           stats.Vm_sys.pager_reads <- stats.Vm_sys.pager_reads + 1;
            `Found (obj, p)
          | `Error -> `Failed
          | `Absent ->
            (match obj.obj_shadow with
-            | Some next -> search next (off + obj.obj_shadow_offset)
+            | Some next ->
+              search next
+                (off + obj.obj_shadow_offset)
+                (lim + obj.obj_shadow_offset)
             | None -> `Bottom))
     in
     conclude
-      (match search first_obj offset with
+      (match search first_obj offset (entry.e_offset + entry_size entry) with
        | `Failed ->
          (* The backing pager failed for good (retry budget exhausted, or
             a dead pager with the error degrade policy).  The paper's

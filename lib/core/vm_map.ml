@@ -65,15 +65,29 @@ let find m ~va =
   | None -> None
   | Some node -> Some (Dlist.value node)
 
-(* First entry whose end lies beyond [va] (i.e. containing or after). *)
+(* Steps taken by [first_node_beyond] scans; test instrumentation for
+   the hint fast path. *)
+let beyond_steps = ref 0
+
+(* First entry whose end lies beyond [va] (i.e. containing or after).
+   Mirrors the [find_node] fast path: when the last-fault hint sits
+   at-or-before [va] the scan starts there instead of at the list head,
+   so range operations near the hint are O(distance), not O(map). *)
 let first_node_beyond m ~va =
   let rec loop = function
     | None -> None
     | Some node ->
+      incr beyond_steps;
       if (Dlist.value node).e_end > va then Some node
       else loop (Dlist.next node)
   in
-  loop (Dlist.first m.map_entries)
+  let start =
+    match m.map_hint with
+    | Some node when Dlist.linked node && (Dlist.value node).e_start <= va ->
+      Some node
+    | Some _ | None -> Dlist.first m.map_entries
+  in
+  loop start
 
 (* ---- backing reference management ------------------------------------ *)
 

@@ -18,6 +18,8 @@ let make_obj ~size ~pager ~temporary ~can_persist =
     obj_health = fresh_health ();
     obj_rescue = None;
     obj_degrade = Degrade_zero_fill;
+    obj_ra_next = min_int;
+    obj_ra_window = 1;
   }
 
 let create_anonymous (_sys : Vm_sys.t) ~size =
@@ -29,6 +31,9 @@ let lookup_resident (sys : Vm_sys.t) o ~offset =
 let free_page (sys : Vm_sys.t) p =
   (* No pmap may retain a mapping to a frame about to be recycled; this is
      a time-critical invalidation (case 1 of Section 5.2). *)
+  if p.pg_prefetched then
+    sys.Vm_sys.stats.Vm_sys.prefetch_wasted <-
+      sys.Vm_sys.stats.Vm_sys.prefetch_wasted + 1;
   Pmap_domain.remove_all sys.Vm_sys.domain ~pfn:p.pfn ~urgent:true;
   Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn:p.pfn;
   Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn:p.pfn;

@@ -43,6 +43,20 @@ let deactivate_some (sys : Vm_sys.t) ~count =
   in
   loop count
 
+(* Anonymous objects get their default pager on first pageout, decorated
+   by [pager_decorator] (the chaos hook). *)
+let ensure_pager (sys : Vm_sys.t) o =
+  match o.obj_pager with
+  | Some _ -> ()
+  | None ->
+    let pg = Swap_pager.make sys ~name:"default-pager" in
+    let pg =
+      match sys.Vm_sys.pager_decorator with
+      | Some wrap -> wrap pg
+      | None -> pg
+    in
+    o.obj_pager <- Some pg
+
 (* Write a dirty page to its object's pager, attaching a default pager to
    anonymous objects on their first pageout.  Returns whether the page
    was actually cleaned; on [false] the page is still dirty and the
@@ -51,16 +65,7 @@ let clean_page (sys : Vm_sys.t) p =
   match p.pg_obj with
   | None -> true
   | Some o ->
-    (match o.obj_pager with
-     | Some _ -> ()
-     | None ->
-       let pg = Swap_pager.make sys ~name:"default-pager" in
-       let pg =
-         match sys.Vm_sys.pager_decorator with
-         | Some wrap -> wrap pg
-         | None -> pg
-       in
-       o.obj_pager <- Some pg);
+    ensure_pager sys o;
     if Pager_guard.write sys o ~offset:p.pg_offset ~data:(page_bytes sys p)
     then begin
       clear_modified sys p;
@@ -78,6 +83,74 @@ let clean_page (sys : Vm_sys.t) p =
       sys.Vm_sys.stats.Vm_sys.pageout_failures <-
         sys.Vm_sys.stats.Vm_sys.pageout_failures + 1;
       false
+    end
+
+(* One-shot clustered write of [pages] — contiguous, ascending, same
+   object, length >= 2.  Write permission is revoked on every page first
+   so the written copy is coherent and later writes re-fault and
+   re-dirty.  On success the whole run is marked clean; on [false]
+   nothing was written and the caller must degrade to per-page
+   {!clean_page} calls (which own the retry/failure accounting). *)
+let write_cluster (sys : Vm_sys.t) o pages =
+  ensure_pager sys o;
+  let n = List.length pages in
+  let start = (List.hd pages).pg_offset in
+  List.iter
+    (fun q ->
+       each_frame sys q (fun pfn ->
+           Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn))
+    pages;
+  let data = Bytes.concat Bytes.empty (List.map (page_bytes sys) pages) in
+  if Pager_guard.write_range sys o ~offset:start ~data then begin
+    List.iter (clear_modified sys) pages;
+    sys.Vm_sys.stats.Vm_sys.pageouts <-
+      sys.Vm_sys.stats.Vm_sys.pageouts + n;
+    sys.Vm_sys.stats.Vm_sys.clustered_pageouts <-
+      sys.Vm_sys.stats.Vm_sys.clustered_pageouts + 1;
+    if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then begin
+      Vm_sys.emit sys
+        (Mach_obs.Obs.Cluster_pageout { offset = start; pages = n });
+      Vm_sys.emit sys
+        (Mach_obs.Obs.Pageout
+           { offset = start; bytes = n * sys.Vm_sys.page_size;
+             inactive_depth = Resident.inactive_count sys.Vm_sys.resident })
+    end;
+    true
+  end
+  else false
+
+(* Clean [p] together with its contiguous dirty neighbours: grow the run
+   left and right over resident, unwired, non-busy modified pages of the
+   same object, up to [cluster_max], and issue one clustered write.  The
+   neighbours stay on their queues — now clean, they are freed without
+   I/O when the daemon reaches them.  Degrades to {!clean_page} when
+   there is nothing to coalesce or the clustered write fails. *)
+let clean_cluster (sys : Vm_sys.t) p =
+  match p.pg_obj with
+  | None -> true
+  | Some o ->
+    if sys.Vm_sys.cluster_max <= 1 then clean_page sys p
+    else begin
+      let ps = sys.Vm_sys.page_size in
+      let eligible q =
+        (not q.pg_busy) && q.pg_wire_count = 0 && is_modified sys q
+      in
+      let rec grow acc off step n =
+        if n >= sys.Vm_sys.cluster_max || off < 0 then (acc, n)
+        else
+          match Resident.lookup sys.Vm_sys.resident ~obj:o ~offset:off with
+          | Some q when eligible q -> grow (q :: acc) (off + step) step (n + 1)
+          | _ -> (acc, n)
+      in
+      let before, n = grow [] (p.pg_offset - ps) (-ps) 1 in
+      let after, n = grow [] (p.pg_offset + ps) ps n in
+      if n < 2 then clean_page sys p
+      else begin
+        (* [before] was collected walking left, so prepending left it in
+           ascending order already; [after] needs reversing. *)
+        let run = before @ (p :: List.rev after) in
+        if write_cluster sys o run then true else clean_page sys p
+      end
     end
 
 let run (sys : Vm_sys.t) ~wanted =
@@ -114,7 +187,7 @@ let run (sys : Vm_sys.t) ~wanted =
         each_frame sys p (fun pfn ->
             Pmap_domain.remove_all sys.Vm_sys.domain ~pfn ~urgent:false);
         Machine.tick sys.Vm_sys.machine;
-        if is_modified sys p && not (clean_page sys p) then
+        if is_modified sys p && not (clean_cluster sys p) then
           (* The pageout write failed after its retry budget: the data
              exists nowhere but this frame, so it must stay dirty and
              resident.  Requeue it at the back of the active queue — the
@@ -125,6 +198,9 @@ let run (sys : Vm_sys.t) ~wanted =
           each_frame sys p (fun pfn ->
               Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn;
               Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn);
+          if p.pg_prefetched then
+            sys.Vm_sys.stats.Vm_sys.prefetch_wasted <-
+              sys.Vm_sys.stats.Vm_sys.prefetch_wasted + 1;
           Resident.free_page res p;
           incr freed
         end

@@ -20,6 +20,10 @@ type stats = {
   mutable rescued_pages : int;
   mutable pageout_failures : int;
   mutable memory_errors : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_hits : int;
+  mutable prefetch_wasted : int;
+  mutable clustered_pageouts : int;
 }
 
 type t = {
@@ -39,6 +43,9 @@ type t = {
   mutable pager_backoff_cycles : int;
   mutable pager_death_threshold : int;
   mutable pager_decorator : (Types.pager -> Types.pager) option;
+  mutable cluster_max : int;
+      (* upper bound on the read-ahead / pageout cluster, in pages;
+         1 disables clustering entirely *)
   stats : stats;
 }
 
@@ -50,7 +57,8 @@ let fresh_stats () =
     cache_hits = 0; cache_misses = 0; fast_reloads = 0;
     rmw_bug_upgrades = 0; pager_retries = 0; pager_failures = 0;
     pager_deaths = 0; rescued_pages = 0; pageout_failures = 0;
-    memory_errors = 0 }
+    memory_errors = 0; prefetch_issued = 0; prefetch_hits = 0;
+    prefetch_wasted = 0; clustered_pageouts = 0 }
 
 let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
   let arch = Machine.arch machine in
@@ -81,6 +89,7 @@ let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
     pager_backoff_cycles = 500;
     pager_death_threshold = 3;
     pager_decorator = None;
+    cluster_max = 8;
     stats = fresh_stats ();
   }
 

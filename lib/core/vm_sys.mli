@@ -35,6 +35,14 @@ type stats = {
                                        stayed dirty and was requeued *)
   mutable memory_errors : int;     (** faults concluded with
                                        [KERN_MEMORY_ERROR] *)
+  mutable prefetch_issued : int;   (** pages brought in by read-ahead beyond
+                                       the demand page *)
+  mutable prefetch_hits : int;     (** prefetched pages later referenced by
+                                       a fault or read *)
+  mutable prefetch_wasted : int;   (** prefetched pages reclaimed before
+                                       any reference *)
+  mutable clustered_pageouts : int;(** multi-page writes issued by the
+                                       pageout daemon / clean_request *)
 }
 
 type t = {
@@ -71,6 +79,9 @@ type t = {
       (** interposition hook applied when the kernel itself creates a
           pager (the pageout daemon's default pager); [machsim --chaos]
           installs a fault-injecting wrapper here *)
+  mutable cluster_max : int;
+      (** upper bound on pagein read-ahead and pageout clustering, in
+          pages; 1 disables clustering (every disk request is one page) *)
   stats : stats;
 }
 

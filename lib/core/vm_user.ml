@@ -20,6 +20,10 @@ type statistics = {
   vs_rescued_pages : int;
   vs_pageout_failures : int;
   vs_memory_errors : int;
+  vs_prefetch_issued : int;
+  vs_prefetch_hits : int;
+  vs_prefetch_wasted : int;
+  vs_clustered_pageouts : int;
 }
 
 let syscall (sys : Vm_sys.t) = Vm_sys.charge sys (Vm_sys.cost sys).Arch.syscall
@@ -158,4 +162,8 @@ let statistics (sys : Vm_sys.t) =
     vs_rescued_pages = s.Vm_sys.rescued_pages;
     vs_pageout_failures = s.Vm_sys.pageout_failures;
     vs_memory_errors = s.Vm_sys.memory_errors;
+    vs_prefetch_issued = s.Vm_sys.prefetch_issued;
+    vs_prefetch_hits = s.Vm_sys.prefetch_hits;
+    vs_prefetch_wasted = s.Vm_sys.prefetch_wasted;
+    vs_clustered_pageouts = s.Vm_sys.clustered_pageouts;
   }

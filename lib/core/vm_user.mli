@@ -24,12 +24,19 @@ type statistics = {
   vs_rescued_pages : int;
   vs_pageout_failures : int;
   vs_memory_errors : int;
+  vs_prefetch_issued : int;
+  vs_prefetch_hits : int;
+  vs_prefetch_wasted : int;
+  vs_clustered_pageouts : int;
 }
-(** What [vm_statistics] reports.  The last five are the failure
-    counters: pager retries after transient errors, pagers declared
-    dead, dirty pages rescued to the default pager at death, pageout
-    writes that failed (page kept dirty), and faults that concluded
-    [KERN_MEMORY_ERROR]. *)
+(** What [vm_statistics] reports.  [vs_pager_retries] through
+    [vs_memory_errors] are the failure counters: pager retries after
+    transient errors, pagers declared dead, dirty pages rescued to the
+    default pager at death, pageout writes that failed (page kept
+    dirty), and faults that concluded [KERN_MEMORY_ERROR].  The last
+    four are the clustering counters: pages brought in by read-ahead,
+    how many of those were later referenced / reclaimed untouched, and
+    multi-page pageout writes. *)
 
 val allocate :
   Vm_sys.t -> Task.t -> ?at:int -> size:int -> anywhere:bool -> unit ->

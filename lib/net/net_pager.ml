@@ -37,7 +37,11 @@ let make_pager link ~node (client_sys : Vm_sys.t) srv ~name =
   let server_cpu = 0 in
   (* All exchanges run under Netlink's timeout/retry/backoff envelope;
      a request the network loses [rpc_attempts] times in a row becomes
-     the protocol's error reply and Pager_guard takes it from there. *)
+     the protocol's error reply and Pager_guard takes it from there.
+     Range requests batch naturally: a clustered pagein moves all its
+     frames in one RPC ([reply_bytes = len]), paying the network's
+     fixed per-message cost once, and the server side reads the range
+     through its own (clustered) page cache. *)
   let rpc_attempts = 4 in
   {
     pgr_id = id;

@@ -54,6 +54,11 @@ let args_of_event (ev : Obs.event) =
     [ ("pager", Jout.Str pager); ("rescued", Jout.Int rescued) ]
   | Obs.Io_error { write; bytes } ->
     [ ("write", Jout.Bool write); ("bytes", Jout.Int bytes) ]
+  | Obs.Prefetch { offset; pages; window } ->
+    [ ("offset", Jout.Int offset); ("pages", Jout.Int pages);
+      ("window", Jout.Int window) ]
+  | Obs.Cluster_pageout { offset; pages } ->
+    [ ("offset", Jout.Int offset); ("pages", Jout.Int pages) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in
@@ -149,7 +154,9 @@ let stats_json ?(extra = []) tr =
        ("shootdown_latency", hist_json (Obs.shootdown_latency tr));
        ("pagein_latency", hist_json (Obs.pagein_latency tr));
        ("disk_latency", hist_json (Obs.disk_latency tr));
-       ("pageout_queue_depth", hist_json (Obs.pageout_depth tr)) ]
+       ("pageout_queue_depth", hist_json (Obs.pageout_depth tr));
+       ("pagein_cluster_pages", hist_json (Obs.pagein_cluster tr));
+       ("pageout_cluster_pages", hist_json (Obs.pageout_cluster tr)) ]
      @ extra)
 
 let write_stats ~path ?extra tr =
@@ -190,6 +197,8 @@ let summary_tables tr =
   hist_row "pagein" (Obs.pagein_latency tr);
   hist_row "disk io" (Obs.disk_latency tr);
   hist_row "pageout queue depth" (Obs.pageout_depth tr);
+  hist_row "pagein cluster pages" (Obs.pagein_cluster tr);
+  hist_row "pageout cluster pages" (Obs.pageout_cluster tr);
   [ counts; lat ]
 
 let print_summary tr = List.iter Tablefmt.print (summary_tables tr)

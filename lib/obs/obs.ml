@@ -47,8 +47,12 @@ type event =
   | Pager_timeout of { offset : int; attempts : int }
   | Pager_dead of { pager : string; rescued : int }
   | Io_error of { write : bool; bytes : int }
+  | Prefetch of { offset : int; pages : int; window : int }
+      (* read-ahead beyond the demand page: [pages] prefetched at the
+         cluster starting [offset], with the adaptive window at [window] *)
+  | Cluster_pageout of { offset : int; pages : int }
 
-let kind_count = 17
+let kind_count = 19
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -68,6 +72,8 @@ let kind_index = function
   | Pager_timeout _ -> 14
   | Pager_dead _ -> 15
   | Io_error _ -> 16
+  | Prefetch _ -> 17
+  | Cluster_pageout _ -> 18
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -87,6 +93,8 @@ let kind_name_of_index = function
   | 14 -> "pager_timeout"
   | 15 -> "pager_dead"
   | 16 -> "io_error"
+  | 17 -> "prefetch"
+  | 18 -> "cluster_pageout"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -103,6 +111,8 @@ type t = {
   pagein_latency : Hist.t;
   disk_latency : Hist.t;
   pageout_depth : Hist.t;
+  pagein_cluster : Hist.t;  (* pages per clustered pagein (incl. demand) *)
+  pageout_cluster : Hist.t; (* pages per clustered pageout write *)
   mutable open_faults : int;
 }
 
@@ -117,6 +127,8 @@ let make ~capacity ~is_null =
     pagein_latency = Hist.create ();
     disk_latency = Hist.create ();
     pageout_depth = Hist.create ();
+    pagein_cluster = Hist.create ();
+    pageout_cluster = Hist.create ();
     open_faults = 0 }
 
 let create ?(capacity = 65536) () = make ~capacity ~is_null:false
@@ -144,6 +156,8 @@ let record t ~ts ~cpu ev =
   | Shootdown { cycles; _ } -> Hist.add t.shootdown_latency cycles
   | Shootdown_batch { cycles; _ } -> Hist.add t.shootdown_latency cycles
   | Disk_io { cycles; _ } -> Hist.add t.disk_latency cycles
+  | Prefetch { pages; _ } -> Hist.add t.pagein_cluster (pages + 1)
+  | Cluster_pageout { pages; _ } -> Hist.add t.pageout_cluster pages
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
   | Object_shadow _ | Task_switch _
   | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _ -> ()
@@ -163,6 +177,8 @@ let shootdown_latency t = t.shootdown_latency
 let pagein_latency t = t.pagein_latency
 let disk_latency t = t.disk_latency
 let pageout_depth t = t.pageout_depth
+let pagein_cluster t = t.pagein_cluster
+let pageout_cluster t = t.pageout_cluster
 
 let reset t =
   Ring.clear t.ring;
@@ -172,4 +188,6 @@ let reset t =
   Hist.clear t.pagein_latency;
   Hist.clear t.disk_latency;
   Hist.clear t.pageout_depth;
+  Hist.clear t.pagein_cluster;
+  Hist.clear t.pageout_cluster;
   t.open_faults <- 0

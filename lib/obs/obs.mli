@@ -68,6 +68,14 @@ type event =
           the rescue (default) pager so no data is lost. *)
   | Io_error of { write : bool; bytes : int }
       (** A simulated disk transfer failed. *)
+  | Prefetch of { offset : int; pages : int; window : int }
+      (** Read-ahead brought in [pages] pages beyond the demand page at
+          the cluster starting [offset]; [window] is the adaptive window
+          the planner used.  Feeds the pagein cluster-size histogram
+          (demand page included, so a recorded cluster is [pages + 1]). *)
+  | Cluster_pageout of { offset : int; pages : int }
+      (** The pageout path coalesced [pages] contiguous dirty pages into
+          one pager write starting at [offset]. *)
 
 val kind_count : int
 val kind_index : event -> int
@@ -122,6 +130,14 @@ val pagein_latency : t -> Hist.t
 val disk_latency : t -> Hist.t
 val pageout_depth : t -> Hist.t
 (** Inactive-queue depth observed at each pageout. *)
+
+val pagein_cluster : t -> Hist.t
+(** Pages per clustered pagein, demand page included (so single-page
+    pageins do not feed it — its [count] is the number of clustered
+    reads). *)
+
+val pageout_cluster : t -> Hist.t
+(** Pages per clustered pageout write. *)
 
 val reset : t -> unit
 (** Drop all recorded events and aggregates; keeps the enabled flag. *)

@@ -26,6 +26,9 @@ let wrap sys inj ?(site = "pager") ?(deadline_cycles = 20_000) pager =
            Vm_sys.charge sys c;
            pager.pgr_request ~offset ~length
          | Fail.Short n ->
+           (* A truncated reply.  For a clustered request this is a
+              truncated cluster: the kernel floors it to whole pages and,
+              below one page, retries on the single-page path. *)
            (match pager.pgr_request ~offset ~length with
             | Data_provided d ->
               Data_provided (Bytes.sub d 0 (min n (Bytes.length d)))

@@ -108,7 +108,18 @@ let trivial_store sys ~name () =
          Some (Ipc.message "pager_data_unavailable" ~ints:[ offset; length ]))
     | "pager_data_write", offset :: _ ->
       (match m.Ipc.msg_items with
-       | Ipc.Inline data :: _ -> Hashtbl.replace store offset (Bytes.copy data)
+       | Ipc.Inline data :: _ ->
+         (* Clustered pageouts hand over several pages in one message;
+            store page-size chunks so later per-page requests find
+            their piece (the range contract on [pgr_write]). *)
+         let ps = sys.Vm_sys.page_size in
+         let len = Bytes.length data in
+         let pos = ref 0 in
+         while !pos < len do
+           let take = min ps (len - !pos) in
+           Hashtbl.replace store (offset + !pos) (Bytes.sub data !pos take);
+           pos := !pos + take
+         done
        | _ -> ());
       None
     | tag, _ -> failwith ("trivial_store: unexpected message " ^ tag)

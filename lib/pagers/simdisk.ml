@@ -64,22 +64,45 @@ let admit t ~cpu ~write ~block =
     in
     attempt 0
 
-let read t ~cpu ~block =
-  admit t ~cpu ~write:false ~block;
-  t.reads <- t.reads + 1;
-  Machine.charge_disk t.machine ~cpu ~write:false ~bytes:t.block_size;
-  match Hashtbl.find_opt t.blocks block with
-  | Some b -> Bytes.copy b
-  | None -> Bytes.make t.block_size '\000'
+(* A run of [count] consecutive blocks is one disk request: it pays the
+   injector gauntlet and the fixed seek/rotational cost once, plus the
+   per-byte transfer cost for the whole run.  [count = 1] is exactly the
+   classical single-block operation (identical cost and accounting), so
+   unclustered callers are unaffected. *)
+let read_run t ~cpu ~first ~count =
+  if count <= 0 then invalid_arg "Simdisk.read_run";
+  admit t ~cpu ~write:false ~block:first;
+  t.reads <- t.reads + count;
+  Machine.charge_disk t.machine ~cpu ~write:false
+    ~bytes:(count * t.block_size);
+  let buf = Bytes.make (count * t.block_size) '\000' in
+  for i = 0 to count - 1 do
+    match Hashtbl.find_opt t.blocks (first + i) with
+    | Some b -> Bytes.blit b 0 buf (i * t.block_size) t.block_size
+    | None -> ()
+  done;
+  buf
+
+let read t ~cpu ~block = read_run t ~cpu ~first:block ~count:1
+
+let write_run t ~cpu ~first data =
+  let len = Bytes.length data in
+  if len = 0 || len mod t.block_size <> 0 then
+    invalid_arg "Simdisk.write_run";
+  let count = len / t.block_size in
+  admit t ~cpu ~write:true ~block:first;
+  t.writes <- t.writes + count;
+  Machine.charge_disk t.machine ~cpu ~write:true ~bytes:len;
+  for i = 0 to count - 1 do
+    Hashtbl.replace t.blocks (first + i)
+      (Bytes.sub data (i * t.block_size) t.block_size)
+  done
 
 let write t ~cpu ~block data =
   if Bytes.length data > t.block_size then invalid_arg "Simdisk.write";
-  admit t ~cpu ~write:true ~block;
-  t.writes <- t.writes + 1;
-  Machine.charge_disk t.machine ~cpu ~write:true ~bytes:t.block_size;
   let b = Bytes.make t.block_size '\000' in
   Bytes.blit data 0 b 0 (Bytes.length data);
-  Hashtbl.replace t.blocks block b
+  write_run t ~cpu ~first:block b
 
 let install t ~block data =
   if Bytes.length data > t.block_size then invalid_arg "Simdisk.install";

@@ -34,15 +34,29 @@ val write : t -> cpu:int -> block:int -> Bytes.t -> unit
 (** [write t ~cpu ~block data] stores [data] (at most one block),
     charging disk cost. *)
 
+val read_run : t -> cpu:int -> first:int -> count:int -> Bytes.t
+(** [read_run t ~cpu ~first ~count] reads [count] consecutive blocks as
+    {e one} disk request: the fixed seek/rotational latency is paid once
+    for the run, plus the per-KB transfer cost for all of it — this is
+    what makes clustered pagein cheaper than [count] single reads.
+    [count = 1] is exactly {!read}.  Counters account one read per
+    block. *)
+
+val write_run : t -> cpu:int -> first:int -> Bytes.t -> unit
+(** [write_run t ~cpu ~first data] writes [data] (a non-empty whole
+    number of blocks) across consecutive blocks starting at [first] as
+    one disk request, with the same amortised cost model as
+    {!read_run}. *)
+
 val install : t -> block:int -> Bytes.t -> unit
 (** [install t ~block data] stores data without charging the clock or the
     operation counters; used to populate disks during benchmark setup. *)
 
 val reads : t -> int
-(** Completed read operations. *)
+(** Blocks read (each block of a clustered run counts). *)
 
 val writes : t -> int
-(** Completed write operations. *)
+(** Blocks written (each block of a clustered run counts). *)
 
 val errors : t -> int
 (** Injected transfer failures (each failed attempt counts). *)

@@ -78,15 +78,37 @@ let read t ~cpu ~name ~offset ~len =
       let len = min len (ino.size - offset) in
       let buf = Bytes.create len in
       let block_size = bs t in
+      (* Block-aligned whole-block spans are read as one disk request per
+         physically consecutive run (inode blocks are usually allocated
+         sequentially), so a clustered pager request pays the seek once.
+         Single-block callers take the [run = 1] path at identical cost. *)
       let rec loop pos =
         if pos < len then begin
           let abs = offset + pos in
           let bidx = abs / block_size in
           let boff = abs mod block_size in
-          let chunk = min (block_size - boff) (len - pos) in
-          let data = Simdisk.read t.disk ~cpu ~block:ino.blocks.(bidx) in
-          Bytes.blit data boff buf pos chunk;
-          loop (pos + chunk)
+          if boff = 0 && len - pos >= block_size then begin
+            let max_count = (len - pos) / block_size in
+            let count = ref 1 in
+            while
+              !count < max_count
+              && ino.blocks.(bidx + !count) = ino.blocks.(bidx) + !count
+            do
+              incr count
+            done;
+            let data =
+              Simdisk.read_run t.disk ~cpu ~first:ino.blocks.(bidx)
+                ~count:!count
+            in
+            Bytes.blit data 0 buf pos (!count * block_size);
+            loop (pos + (!count * block_size))
+          end
+          else begin
+            let chunk = min (block_size - boff) (len - pos) in
+            let data = Simdisk.read t.disk ~cpu ~block:ino.blocks.(bidx) in
+            Bytes.blit data boff buf pos chunk;
+            loop (pos + chunk)
+          end
         end
       in
       loop 0;
@@ -97,20 +119,35 @@ let write t ~cpu ~name ~offset ~data =
   let len = Bytes.length data in
   let ino = ensure_inode t ~name ~size:(offset + len) in
   let block_size = bs t in
+  (* Whole-block aligned spans over physically consecutive blocks go out
+     as one clustered disk write; partial blocks read-modify-write
+     individually, exactly as before. *)
   let rec loop pos =
     if pos < len then begin
       let abs = offset + pos in
       let bidx = abs / block_size in
       let boff = abs mod block_size in
-      let chunk = min (block_size - boff) (len - pos) in
-      let block = ino.blocks.(bidx) in
-      let current =
-        if boff = 0 && chunk = block_size then Bytes.make block_size '\000'
-        else Simdisk.read t.disk ~cpu ~block
-      in
-      Bytes.blit data pos current boff chunk;
-      Simdisk.write t.disk ~cpu ~block current;
-      loop (pos + chunk)
+      if boff = 0 && len - pos >= block_size then begin
+        let max_count = (len - pos) / block_size in
+        let count = ref 1 in
+        while
+          !count < max_count
+          && ino.blocks.(bidx + !count) = ino.blocks.(bidx) + !count
+        do
+          incr count
+        done;
+        Simdisk.write_run t.disk ~cpu ~first:ino.blocks.(bidx)
+          (Bytes.sub data pos (!count * block_size));
+        loop (pos + (!count * block_size))
+      end
+      else begin
+        let chunk = min (block_size - boff) (len - pos) in
+        let block = ino.blocks.(bidx) in
+        let current = Simdisk.read t.disk ~cpu ~block in
+        Bytes.blit data pos current boff chunk;
+        Simdisk.write t.disk ~cpu ~block current;
+        loop (pos + chunk)
+      end
     end
   in
   loop 0

@@ -79,20 +79,30 @@ let read_through_object sys fs ~name ~offset ~len =
       let chunk = min (ps - (abs mod ps)) (len - pos) in
       let page =
         match Vm_object.lookup_resident sys obj ~offset:page_off with
-        | Some p -> p
-        | None ->
-          let p = Vm_sys.grab_page sys in
-          Resident.insert sys.Vm_sys.resident p ~obj ~offset:page_off;
-          (* Pager_guard retries transient disk errors with backoff; a
-             pager that fails for good degrades this read() to zeros
-             rather than crashing the server path. *)
-          (match Pager_guard.request sys obj ~offset:page_off ~length:ps with
-           | `Data data -> Page_io.fill sys p data
-           | `Absent | `Error -> Page_io.zero sys p);
-          sys.Vm_sys.stats.Vm_sys.pager_reads <-
-            sys.Vm_sys.stats.Vm_sys.pager_reads + 1;
-          Resident.enqueue sys.Vm_sys.resident p Q_active;
+        | Some p ->
+          Vm_cluster.note_hit sys p;
           p
+        | None ->
+          (* Sequential reads ramp the object's read-ahead window, so a
+             streaming read() pulls whole clusters per disk request; the
+             object (and its window) persist in the object cache across
+             reads.  Vm_cluster falls back to the guarded single-page
+             path — retries, backoff, death — on any cluster trouble. *)
+          (match Vm_cluster.pagein sys obj ~offset:page_off ~limit:max_int
+           with
+           | `Data (p, _) ->
+             Resident.enqueue sys.Vm_sys.resident p Q_active;
+             p
+           | `Absent | `Error ->
+             (* A pager that fails for good degrades this read() to
+                zeros rather than crashing the server path. *)
+             let p = Vm_sys.grab_page sys in
+             Resident.insert sys.Vm_sys.resident p ~obj ~offset:page_off;
+             Page_io.zero sys p;
+             sys.Vm_sys.stats.Vm_sys.pager_reads <-
+               sys.Vm_sys.stats.Vm_sys.pager_reads + 1;
+             Resident.enqueue sys.Vm_sys.resident p Q_active;
+             p)
       in
       Bytes.blit (Page_io.copy_out sys page ~off:(abs mod ps) ~len:chunk) 0
         buf pos chunk;

@@ -1,0 +1,274 @@
+(* Clustered pagein/pageout and adaptive read-ahead.
+
+   The contract under test: clustering is an optimisation that must be
+   invisible to data — any workload reads the same bytes whether
+   [cluster_max] is 1 (clustering off) or wide open; truncated cluster
+   replies degrade to the guarded single-page path; and the map-hint
+   fast path keeps range operations O(distance-from-hint). *)
+
+open Mach_hw
+open Mach_core
+open Mach_pagers
+module Fail = Mach_fail.Fail
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Kr.to_string e)
+
+let boot ?(frames = 1024) () =
+  (* uVAX II, 512 B hardware pages, multiple 8 => 4 KB system pages. *)
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:frames () in
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  (machine, kernel, Kernel.sys kernel)
+
+let new_task kernel =
+  let t = Kernel.create_task kernel () in
+  Kernel.run_task kernel ~cpu:0 t;
+  t
+
+(* A per-offset hash store, like a simple external pager.  Writes are
+   split at page size — the range contract: a clustered write must land
+   so that later single-page reads find every page. *)
+let store_pager ~ps () =
+  let store : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+  {
+    Types.pgr_id = Types.fresh_pager_id ();
+    pgr_name = "cluster-store";
+    pgr_request =
+      (fun ~offset ~length ->
+         match Hashtbl.find_opt store offset with
+         | Some d ->
+           Types.Data_provided (Bytes.sub d 0 (min length (Bytes.length d)))
+         | None -> Types.Data_unavailable);
+    pgr_write =
+      (fun ~offset ~data ->
+         let len = Bytes.length data in
+         let rec chunk pos =
+           if pos < len then begin
+             Hashtbl.replace store (offset + pos)
+               (Bytes.sub data pos (min ps (len - pos)));
+             chunk (pos + ps)
+           end
+         in
+         chunk 0;
+         Types.Write_completed);
+    pgr_should_cache = ref false;
+  }
+
+(* ---- adaptive window ramp ----------------------------------------------- *)
+
+(* A cold sequential read of 16 pages must ramp the window 1, 2, 4, 8
+   and cost exactly 5 pager requests: pages 0 | 1-2 | 3-6 | 7-14 | 15.
+   Every prefetched page is referenced before the read ends. *)
+let test_window_ramp () =
+  let machine, _, sys = boot ~frames:2048 () in
+  let fs = Simfs.create machine () in
+  let ps = sys.Vm_sys.page_size in
+  let n = 16 in
+  let data = Bytes.init (n * ps) (fun i -> Char.chr (i land 0xff)) in
+  Simfs.install_file fs ~name:"/ramp" ~data;
+  let got =
+    Vnode_pager.read_through_object sys fs ~name:"/ramp" ~offset:0
+      ~len:(n * ps)
+  in
+  Alcotest.(check bool) "bytes intact" true (Bytes.equal got data);
+  let s = sys.Vm_sys.stats in
+  Alcotest.(check int) "pager requests" 5 s.Vm_sys.pager_reads;
+  Alcotest.(check int) "prefetch issued" 11 s.Vm_sys.prefetch_issued;
+  Alcotest.(check int) "prefetch hits" 11 s.Vm_sys.prefetch_hits;
+  Alcotest.(check int) "prefetch wasted" 0 s.Vm_sys.prefetch_wasted
+
+(* A random access pattern must keep the window shut. *)
+let test_random_keeps_window_shut () =
+  let machine, _, sys = boot ~frames:2048 () in
+  let fs = Simfs.create machine () in
+  let ps = sys.Vm_sys.page_size in
+  let n = 16 in
+  Simfs.install_file fs ~name:"/rnd" ~data:(Bytes.make (n * ps) 'r');
+  (* Stride-2 touches: no miss ever lands where the last cluster ended. *)
+  for i = 0 to (n / 2) - 1 do
+    ignore
+      (Vnode_pager.read_through_object sys fs ~name:"/rnd"
+         ~offset:(2 * i * ps) ~len:1)
+  done;
+  let s = sys.Vm_sys.stats in
+  Alcotest.(check int) "one request per touch" (n / 2) s.Vm_sys.pager_reads;
+  Alcotest.(check int) "nothing prefetched" 0 s.Vm_sys.prefetch_issued
+
+(* ---- clustered pageout round trip ---------------------------------------- *)
+
+(* Dirty 16 contiguous anonymous pages, evict everything, fault it all
+   back: pageout must coalesce the runs into clustered writes, the swap
+   pager must serve the clustered reads back, and every byte must
+   survive the round trip. *)
+let test_clustered_pageout_roundtrip () =
+  let machine, kernel, sys = boot ~frames:1024 () in
+  let task = new_task kernel in
+  let ps = sys.Vm_sys.page_size in
+  let n = 16 in
+  let addr = ok (Vm_user.allocate sys task ~size:(n * ps) ~anywhere:true ()) in
+  let pat i = Printf.sprintf "cluster-%02d" i in
+  for i = 0 to n - 1 do
+    Machine.write machine ~cpu:0 ~va:(addr + (i * ps))
+      (Bytes.of_string (pat i))
+  done;
+  for _ = 1 to 6 do
+    Vm_pageout.deactivate_some sys ~count:128;
+    Vm_pageout.run sys ~wanted:128
+  done;
+  let s = sys.Vm_sys.stats in
+  Alcotest.(check bool) "writes were clustered" true
+    (s.Vm_sys.clustered_pageouts >= 2);
+  Alcotest.(check bool) "all pages paged out" true (s.Vm_sys.pageouts >= n);
+  for i = 0 to n - 1 do
+    let got =
+      Bytes.to_string
+        (Machine.read machine ~cpu:0 ~va:(addr + (i * ps))
+           ~len:(String.length (pat i)))
+    in
+    Alcotest.(check string) (Printf.sprintf "page %d" i) (pat i) got
+  done
+
+(* ---- truncated clusters degrade, deterministically ----------------------- *)
+
+(* Page out 8 pages through a chaos-wrapped store pager, then fault them
+   back sequentially with a [Short 64] injected on the first *cluster*
+   request: the reply is below one page, so the kernel must fall back to
+   the guarded single-page path and still return perfect data.  Run the
+   scenario twice: same seed, same fingerprint. *)
+let short_cluster_run seed =
+  let machine, kernel, sys = boot ~frames:1024 () in
+  let ps = sys.Vm_sys.page_size in
+  let inj = Fail.create ~seed in
+  let task = new_task kernel in
+  let pager = store_pager ~ps () in
+  let n = 8 in
+  let addr =
+    match Chaos_pager.map_wrapped sys task inj ~pager ~size:(n * ps) () with
+    | Ok (a, _) -> a
+    | Error e -> Alcotest.fail (Kr.to_string e)
+  in
+  let pat i = Printf.sprintf "short-%02d" i in
+  for i = 0 to n - 1 do
+    Machine.write machine ~cpu:0 ~va:(addr + (i * ps))
+      (Bytes.of_string (pat i))
+  done;
+  for _ = 1 to 6 do
+    Vm_pageout.deactivate_some sys ~count:128;
+    Vm_pageout.run sys ~wanted:128
+  done;
+  let corrupt = ref 0 in
+  let check i =
+    let got =
+      Bytes.to_string
+        (Machine.read machine ~cpu:0 ~va:(addr + (i * ps))
+           ~len:(String.length (pat i)))
+    in
+    if got <> pat i then incr corrupt
+  in
+  (* Single-page read that arms the sequential window... *)
+  check 0;
+  (* ...then truncate the cluster request that follows it. *)
+  let k = Fail.ops inj ~site:"pager.request" in
+  Fail.attach inj ~site:"pager.request"
+    [ Fail.Between (k, k, Fail.Always (Fail.Short 64)) ];
+  for i = 1 to n - 1 do
+    check i
+  done;
+  (!corrupt, Fail.injections inj, Fail.fingerprint inj)
+
+let test_short_cluster_degrades () =
+  let c1, i1, fp1 = short_cluster_run 77 in
+  let c2, i2, fp2 = short_cluster_run 77 in
+  Alcotest.(check int) "no corruption" 0 c1;
+  Alcotest.(check int) "replay no corruption" 0 c2;
+  Alcotest.(check bool) "short injection taken" true (i1 >= 1);
+  Alcotest.(check int) "replay same injections" i1 i2;
+  Alcotest.(check string) "fingerprint stable" fp1 fp2
+
+(* ---- map-hint fast path for range operations ----------------------------- *)
+
+(* With 64 one-page entries, a range op far from the hint walks the map;
+   the same op with the hint parked on the target must examine only a
+   handful of nodes.  Regression guard for the [first_node_beyond] hint
+   start. *)
+let test_hint_accelerates_range_ops () =
+  let machine, kernel, sys = boot ~frames:2048 () in
+  let task = new_task kernel in
+  let m = Task.map task in
+  let ps = sys.Vm_sys.page_size in
+  let addrs =
+    List.init 64 (fun _ ->
+        ok (Vm_user.allocate sys task ~size:ps ~anywhere:true ()))
+  in
+  let first = List.hd addrs in
+  let last = List.nth addrs 63 in
+  (* Park the hint at the far end, then operate on the last entry. *)
+  Machine.touch machine ~cpu:0 ~va:first ~write:true;
+  Vm_map.beyond_steps := 0;
+  ok
+    (Vm_map.protect sys m ~addr:last ~size:ps ~set_max:false
+       ~prot:Prot.read_only);
+  let cold = !Vm_map.beyond_steps in
+  (* Park the hint on the target: same operation, few steps. *)
+  Machine.touch machine ~cpu:0 ~va:last ~write:false;
+  Vm_map.beyond_steps := 0;
+  ok
+    (Vm_map.protect sys m ~addr:last ~size:ps ~set_max:false
+       ~prot:Prot.read_write);
+  let warm = !Vm_map.beyond_steps in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold scan walks the map (%d)" cold)
+    true (cold >= 32);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm scan starts at the hint (%d)" warm)
+    true (warm <= 8)
+
+(* ---- qcheck: read-ahead is invisible to read() ---------------------------- *)
+
+let read_ahead_transparent =
+  let open QCheck2 in
+  Test.make ~name:"read-ahead run byte-identical to cluster_max=1"
+    ~count:40
+    Gen.(
+      list_size (int_range 1 16)
+        (pair (int_range 0 ((16 * 4096) - 1)) (int_range 1 (3 * 4096))))
+    (fun ops ->
+       let run w =
+         let machine =
+           Machine.create ~arch:Arch.uvax2 ~memory_frames:2048 ()
+         in
+         let kernel = Kernel.create ~page_multiple:8 machine in
+         let sys = Kernel.sys kernel in
+         sys.Vm_sys.cluster_max <- w;
+         let fs = Simfs.create machine () in
+         let size = 16 * sys.Vm_sys.page_size in
+         let data = Bytes.init size (fun i -> Char.chr (i * 7 land 0xff)) in
+         Simfs.install_file fs ~name:"/prop" ~data;
+         (* Always include a full sequential pass so the window ramps. *)
+         List.map
+           (fun (off, len) ->
+              Bytes.to_string
+                (Vnode_pager.read_through_object sys fs ~name:"/prop"
+                   ~offset:off ~len))
+           ((0, size) :: ops)
+       in
+       run 8 = run 1)
+
+let () =
+  Alcotest.run "cluster"
+    [ ( "read-ahead",
+        [ Alcotest.test_case "window ramp" `Quick test_window_ramp;
+          Alcotest.test_case "random access" `Quick
+            test_random_keeps_window_shut ] );
+      ( "pageout",
+        [ Alcotest.test_case "clustered round trip" `Quick
+            test_clustered_pageout_roundtrip ] );
+      ( "degrade",
+        [ Alcotest.test_case "short cluster" `Quick
+            test_short_cluster_degrades ] );
+      ( "map-hint",
+        [ Alcotest.test_case "range ops start at the hint" `Quick
+            test_hint_accelerates_range_ops ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ read_ahead_transparent ] ) ]

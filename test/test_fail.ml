@@ -133,7 +133,18 @@ let store_pager () =
          | None -> Types.Data_unavailable);
     pgr_write =
       (fun ~offset ~data ->
-         Hashtbl.replace store offset (Bytes.copy data);
+         (* Per-offset store: split clustered writes at page size so
+            every page stays reachable to single-page reads. *)
+         let ps = 4 * 1024 in
+         let len = Bytes.length data in
+         let rec chunk pos =
+           if pos < len then begin
+             Hashtbl.replace store (offset + pos)
+               (Bytes.sub data pos (min ps (len - pos)));
+             chunk (pos + ps)
+           end
+         in
+         chunk 0;
          Types.Write_completed);
     pgr_should_cache = ref false;
   }

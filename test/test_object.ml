@@ -29,12 +29,22 @@ let counting_pager sys ~name =
            | None -> Types.Data_unavailable);
       pgr_write =
         (fun ~offset ~data ->
-           Hashtbl.replace store offset (Bytes.copy data);
+           (* Per-offset store: clustered writes must land as page-size
+              chunks or later single-page reads would miss the tail. *)
+           let ps = sys.Vm_sys.page_size in
+           let len = Bytes.length data in
+           let rec chunk pos =
+             if pos < len then begin
+               Hashtbl.replace store (offset + pos)
+                 (Bytes.sub data pos (min ps (len - pos)));
+               chunk (pos + ps)
+             end
+           in
+           chunk 0;
            Types.Write_completed);
       pgr_should_cache = ref true;
     }
   in
-  ignore sys;
   (pager, store, requests)
 
 (* ---- resident page table ------------------------------------------------ *)

@@ -13,14 +13,23 @@
 #   - with injection disabled the shootdown elapsed_ms cells (fully
 #     deterministic simulated time) must match the committed
 #     BENCH_vm.json exactly — the injection hooks cost nothing when off.
+#
+# And the clustered-paging bench:
+#   - every cluster cell must be present;
+#   - at cluster_max=1 the clustered read path must cost *exactly* what
+#     the hand-rolled pre-clustering loop costs (zero prefetch overhead
+#     when clustering is off);
+#   - read-ahead must flip the Table 7-1 first-read cells: Mach below
+#     UNIX on both the 2.5M and the 50K cold file read.
 set -eu
 
 cd "$(dirname "$0")/.."
 out=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 chaos_out=$(mktemp /tmp/bench_smoke_chaos.XXXXXX.json)
+cluster_out=$(mktemp /tmp/bench_smoke_cluster.XXXXXX.json)
 run_a=$(mktemp /tmp/bench_smoke_run_a.XXXXXX)
 run_b=$(mktemp /tmp/bench_smoke_run_b.XXXXXX)
-trap 'rm -f "$out" "$chaos_out" "$run_a" "$run_b"' EXIT
+trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b"' EXIT
 
 dune exec bench/main.exe -- -e shootdown -json "$out" >/dev/null
 
@@ -133,6 +142,56 @@ chaos_check pageout_failures ">=" 1
 chaos_check pager_retries ">=" 1
 chaos_check pager_retries "<=" 64   # bounded, not unbounded re-requesting
 
+# ---- clustered paging ----------------------------------------------------
+dune exec bench/main.exe -- -e cluster -e table7_1_files -json "$cluster_out" >/dev/null
+
+cluster_cell() {
+    sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$cluster_out"
+}
+
+for w in 1 2 4 8 16 32; do
+    for metric in seq_read_2M rand_read_256x4K writeback_1M; do
+        name="cluster/$metric/w$w"
+        if [ -z "$(cluster_cell "$name")" ]; then
+            echo "bench-smoke: FAIL missing cell $name" >&2
+            fail=1
+        fi
+    done
+done
+
+# Zero overhead when clustering is off: the w=1 run and the hand-rolled
+# pre-clustering loop are the same deterministic charge sequence, so
+# their elapsed times must be identical, not merely close.
+w1=$(cluster_cell cluster/seq_read_2M/w1)
+legacy=$(cluster_cell cluster/seq_read_2M/legacy)
+if [ -z "$w1" ] || [ -z "$legacy" ] || [ "$w1" != "$legacy" ]; then
+    echo "bench-smoke: FAIL cluster_max=1 read ($w1 ms) != legacy per-page read ($legacy ms); clustering must be free when off" >&2
+    fail=1
+fi
+
+# Read-ahead must actually pay: the full window beats the single-page
+# path on a cold sequential read, and the first-read Table 7-1 cells
+# flip below UNIX.
+w8=$(cluster_cell cluster/seq_read_2M/w8)
+if ! awk "BEGIN { exit !($w8 < $w1) }"; then
+    echo "bench-smoke: FAIL cluster/seq_read_2M/w8 = $w8 not below w1 = $w1" >&2
+    fail=1
+fi
+
+flip_check() { # op
+    m=$(cluster_cell "table7_1_files/$1/mach")
+    u=$(cluster_cell "table7_1_files/$1/unix")
+    if [ -z "$m" ] || [ -z "$u" ]; then
+        echo "bench-smoke: FAIL missing table7_1_files/$1 cells" >&2
+        fail=1
+    elif ! awk "BEGIN { exit !($m < $u) }"; then
+        echo "bench-smoke: FAIL table7_1_files/$1: mach = $m not below unix = $u" >&2
+        fail=1
+    fi
+}
+flip_check read_2.5M_1st
+flip_check read_50K_1st
+
 # ---- machsim --chaos replay identity -------------------------------------
 dune exec bin/machsim.exe -- compile --chaos 42:flaky >"$run_a" 2>&1
 dune exec bin/machsim.exe -- compile --chaos 42:flaky >"$run_b" 2>&1
@@ -149,4 +208,4 @@ fi
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guard clean, chaos run deterministic with 0 corrupt pages)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1)"
