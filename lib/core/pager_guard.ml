@@ -131,6 +131,55 @@ let request_range (sys : Vm_sys.t) o ~offset ~length =
       | Data_error -> `Error
     end
 
+(* One-shot asynchronous clustered read: the opportunistic counterpart
+   of [request_range].  [None] covers every way the submit path can be
+   unavailable — no pager, dead pager, async disk off, or a submit-time
+   failure — and the caller uses the synchronous protocol instead.
+   Like [request_range], success clears the consecutive-failure count. *)
+let submit_range (_sys : Vm_sys.t) o ~offset ~length =
+  match o.obj_pager with
+  | None -> None
+  | Some pager ->
+    if o.obj_health.ph_dead then None
+    else begin
+      match pager.pgr_submit ~offset ~length with
+      | Some tk ->
+        o.obj_health.ph_consecutive <- 0;
+        Some (tk.tk_data, tk.tk_completion, tk.tk_service)
+      | None -> None
+    end
+
+let submit_write_range (_sys : Vm_sys.t) o ~offset ~data =
+  match o.obj_pager with
+  | None -> None
+  | Some pager ->
+    if o.obj_health.ph_dead then None
+    else begin
+      match pager.pgr_submit_write ~offset ~data with
+      | Some wt ->
+        o.obj_health.ph_consecutive <- 0;
+        Some (wt.wt_completion, wt.wt_service)
+      | None -> None
+    end
+
+(* Block until the async transfer a page rides on has landed, charging
+   only the residue.  The inflight record is shared by every page of the
+   cluster: the first waiter carries the full service budget into
+   [Machine.wait_disk] (claiming the overlap), later waiters carry zero
+   so nothing is double-counted.  Also lifts the busy bit this module's
+   async paths set at submit. *)
+let await_page (sys : Vm_sys.t) p =
+  match p.pg_inflight with
+  | None -> ()
+  | Some io ->
+    let m = sys.Vm_sys.machine in
+    Mach_hw.Machine.wait_disk m ~cpu:(Vm_sys.current_cpu sys)
+      ~completion:io.if_completion
+      ~service:(if io.if_waited then 0 else io.if_service);
+    io.if_waited <- true;
+    p.pg_inflight <- None;
+    p.pg_busy <- false
+
 (* One-shot clustered write, same policy: a failure is reported without
    retries or health damage and the caller degrades to single-page
    [write] calls. *)

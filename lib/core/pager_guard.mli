@@ -38,6 +38,29 @@ val request_range :
     [`Absent] means the pager holds nothing at [offset] itself, so the
     caller may descend/zero-fill the demand page directly. *)
 
+val submit_range :
+  Vm_sys.t -> Types.obj -> offset:int -> length:int ->
+  (Bytes.t * int * int) option
+(** [submit_range] is the asynchronous variant of {!request_range}: ask
+    the pager to submit the transfer and return [(data, completion,
+    service)] without blocking for device time.  [None] means the submit
+    path is unavailable (no pager, dead pager, async disk off, or the
+    pager declined) and the caller must use the synchronous protocol.
+    One attempt, no retries, no health damage. *)
+
+val submit_write_range :
+  Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t ->
+  (int * int) option
+(** Asynchronous variant of {!write_range}: [(completion, service)] on
+    submit, [None] to fall back to the synchronous path. *)
+
+val await_page : Vm_sys.t -> Types.page -> unit
+(** [await_page sys p] blocks the current CPU until the async transfer
+    recorded in [p.pg_inflight] (if any) completes, charging only the
+    remaining cycles, then clears the inflight record and the busy bit.
+    The inflight record is shared across a cluster's pages; the overlap
+    and residue are accounted once no matter how many sharers wait. *)
+
 val write_range : Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t -> bool
 (** [write_range] is the clustered-pageout variant of {!write}: one
     attempt, no retries, no health damage.  [false] means nothing was

@@ -47,6 +47,7 @@ let create ~phys ~multiple ?(frame_limit = max_int) () =
           pg_wire_count = 0;
           pg_busy = false;
           pg_prefetched = false;
+          pg_inflight = None;
           pg_queue = Q_free;
           pg_queue_node = None;
           pg_obj_node = None;
@@ -120,6 +121,7 @@ let free_page t p =
   remove_from_object t p;
   p.pg_busy <- false;
   p.pg_prefetched <- false;
+  p.pg_inflight <- None;
   p.pg_wire_count <- 0;
   set_queue t p Q_free
 

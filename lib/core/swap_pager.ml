@@ -9,50 +9,87 @@ let make (sys : Vm_sys.t) ~name =
   let store : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.add stores id store;
   let machine = sys.Vm_sys.machine in
+  (* Each swap pager models its own paging partition with a private
+     service queue, so swap traffic queues behind itself, not behind
+     file-system transfers. *)
+  let queue = Mach_hw.Machine.new_disk_queue machine in
   let cpu () = Vm_sys.current_cpu sys in
   let ps = sys.Vm_sys.page_size in
+  (* Gather contiguous chunks from [offset] up; one disk transfer covers
+     the whole gathered range, so a clustered request pays the seek once.
+     No chunk at [offset] itself means the pager holds nothing there (the
+     range contract). *)
+  let gather ~offset ~length =
+    match Hashtbl.find_opt store offset with
+    | None -> None
+    | Some _ ->
+      let parts = ref [] and got = ref 0 in
+      let rec loop () =
+        if !got < length then
+          match Hashtbl.find_opt store (offset + !got) with
+          | None -> ()
+          | Some d ->
+            let take = min (Bytes.length d) (length - !got) in
+            parts := Bytes.sub d 0 take :: !parts;
+            got := !got + take;
+            if take = Bytes.length d then loop ()
+      in
+      loop ();
+      Some (Bytes.concat Bytes.empty (List.rev !parts), !got)
+  in
+  let scatter ~offset ~data =
+    (* Stored in page-size chunks so later single-page requests find
+       their piece. *)
+    let len = Bytes.length data in
+    let pos = ref 0 in
+    while !pos < len do
+      let take = min ps (len - !pos) in
+      Hashtbl.replace store (offset + !pos) (Bytes.sub data !pos take);
+      pos := !pos + take
+    done
+  in
   {
     pgr_id = id;
     pgr_name = name;
     pgr_request =
       (fun ~offset ~length ->
-         (* Gather contiguous chunks from [offset] up; one disk charge
-            covers the whole gathered range, so a clustered request pays
-            the seek once.  No chunk at [offset] itself means the pager
-            holds nothing there (the range contract). *)
-         match Hashtbl.find_opt store offset with
+         match gather ~offset ~length with
          | None -> Data_unavailable
-         | Some _ ->
-           let parts = ref [] and got = ref 0 in
-           let rec gather () =
-             if !got < length then
-               match Hashtbl.find_opt store (offset + !got) with
-               | None -> ()
-               | Some d ->
-                 let take = min (Bytes.length d) (length - !got) in
-                 parts := Bytes.sub d 0 take :: !parts;
-                 got := !got + take;
-                 if take = Bytes.length d then gather ()
-           in
-           gather ();
+         | Some (data, got) ->
            Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:false
-             ~bytes:!got;
-           Data_provided (Bytes.concat Bytes.empty (List.rev !parts)));
+             ~bytes:got;
+           Data_provided data);
     pgr_write =
       (fun ~offset ~data ->
-         (* One disk charge for the whole (possibly clustered) write,
-            stored in page-size chunks so later single-page requests
-            find their piece. *)
+         (* One disk charge for the whole (possibly clustered) write. *)
          Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:true
            ~bytes:(Bytes.length data);
-         let len = Bytes.length data in
-         let pos = ref 0 in
-         while !pos < len do
-           let take = min ps (len - !pos) in
-           Hashtbl.replace store (offset + !pos) (Bytes.sub data !pos take);
-           pos := !pos + take
-         done;
+         scatter ~offset ~data;
          Write_completed);
+    pgr_submit =
+      (fun ~offset ~length ->
+         if not (Mach_hw.Machine.disk_async machine) then None
+         else
+           match gather ~offset ~length with
+           | None -> None
+           | Some (data, got) ->
+             let completion, service =
+               Mach_hw.Machine.submit_disk machine queue ~cpu:(cpu ())
+                 ~write:false ~bytes:got ~extra:0
+             in
+             Some { tk_data = data; tk_completion = completion;
+                    tk_service = service });
+    pgr_submit_write =
+      (fun ~offset ~data ->
+         if not (Mach_hw.Machine.disk_async machine) then None
+         else begin
+           let completion, service =
+             Mach_hw.Machine.submit_disk machine queue ~cpu:(cpu ())
+               ~write:true ~bytes:(Bytes.length data) ~extra:0
+           in
+           scatter ~offset ~data;
+           Some { wt_completion = completion; wt_service = service }
+         end);
     pgr_should_cache = ref false;
   }
 

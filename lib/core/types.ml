@@ -32,9 +32,22 @@ type page = {
   mutable pg_prefetched : bool;
       (* brought in by read-ahead, not yet referenced by a fault; cleared
          on first use (a prefetch hit) or reclaim (a wasted prefetch) *)
+  mutable pg_inflight : inflight option;
+      (* async disk transfer this page rides on (prefetch fill or
+         clustered pageout); anyone reusing or relying on the page first
+         waits out the completion stamp (Pager_guard.await_page) *)
   mutable pg_queue : pageq;
   mutable pg_queue_node : page Dlist.node option;
   mutable pg_obj_node : page Dlist.node option;
+}
+
+(* One async disk request, shared by every page of its cluster.  The
+   first waiter charges the remaining cycles and claims the overlap;
+   [if_waited] stops the sharers from double-counting it. *)
+and inflight = {
+  if_completion : int;        (* absolute cycle stamp when the I/O lands *)
+  if_service : int;           (* device cycles the request occupies *)
+  mutable if_waited : bool;
 }
 
 and obj = {
@@ -105,8 +118,33 @@ and pager = {
          boundaries or later single-page requests will miss it.
          [Write_error] means NO page of the range was cleaned; the kernel
          falls back to single-page writes. *)
+  pgr_submit : offset:int -> length:int -> pager_ticket option;
+      (* asynchronous pager_data_request: start the transfer and return
+         its data plus a completion stamp without blocking the CPU for
+         the device time.  [None] means this pager cannot submit (async
+         disk off, no async path, failure at submit): the caller uses
+         the synchronous protocol instead.  Strictly opportunistic —
+         never retried, no health damage. *)
+  pgr_submit_write : offset:int -> data:Bytes.t -> write_ticket option;
+      (* asynchronous pager_data_write, same contract: [None] falls back
+         to the synchronous [pgr_write] path. *)
   pgr_should_cache : bool ref;
       (* pager_cache: retain the object after its last unmap *)
+}
+
+(* Reply to an async submit: the data is available for filling frames
+   immediately (the simulation holds it in host memory), but the device
+   is busy until [tk_completion]; [tk_service] is the request's device
+   time, the budget a waiter can have overlapped. *)
+and pager_ticket = {
+  tk_data : Bytes.t;
+  tk_completion : int;
+  tk_service : int;
+}
+
+and write_ticket = {
+  wt_completion : int;
+  wt_service : int;
 }
 
 and pager_reply =
@@ -159,6 +197,11 @@ let fresh_map_id () = incr next_map_id; !next_map_id
 let fresh_pager_id () = incr next_pager_id; !next_pager_id
 
 let fresh_health () = { ph_failures = 0; ph_consecutive = 0; ph_dead = false }
+
+(* Defaults for pagers with no asynchronous path: every submit falls back
+   to the synchronous protocol. *)
+let no_submit ~offset:_ ~length:_ = None
+let no_submit_write ~offset:_ ~data:_ = None
 
 let entry_size e = e.e_end - e.e_start
 

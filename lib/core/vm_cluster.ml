@@ -7,22 +7,36 @@
    [Vm_sys.cluster_max] while each miss lands exactly where the previous
    cluster ended, and collapses back to one page on a random access.
 
+   The window state is committed only after a successful issue: [plan]
+   computes the candidate cluster without touching the object, and each
+   outcome path records exactly what it managed to read (so a cluster
+   clipped to one page, or a failed range request, cannot leave a
+   phantom ramp behind).
+
    Clustering is strictly opportunistic.  The range request is one-shot
    ({!Pager_guard.request_range}); on error or a reply shorter than one
    page we fall back to the single-page path, which owns the full
    retry/backoff/death policy.  Prefetched pages are filled from the
    same reply, marked [pg_prefetched] and enqueued on the *inactive*
    queue, so a wrong guess is the first thing the pageout daemon
-   reclaims. *)
+   reclaims.
+
+   With the asynchronous disk model on, only the demand page is read
+   synchronously; the prefetch tail is submitted
+   ({!Pager_guard.submit_range}) and its pages ride an {!Types.inflight}
+   record: they are filled and resident immediately, but stay busy until
+   the device's completion stamp, and the first toucher waits out the
+   residue ({!Pager_guard.await_page} via {!note_hit}). *)
 
 open Types
 module Obs = Mach_obs.Obs
 
-(* Pages to request at [offset], demand page included: ramp/reset the
-   object's window, then clip to [limit] (the map entry's window, in
-   this object's offset space), to the object size, to the first
+(* Pages to request at [offset], demand page included: ramp (or reset)
+   the candidate window, then clip to [limit] (the map entry's window,
+   in this object's offset space), to the object size, to the first
    already-resident page and to the free list's headroom (prefetch must
-   never trigger reclaim). *)
+   never trigger reclaim).  Pure: the object's window state is committed
+   by the caller only once the cluster actually issues. *)
 let plan (sys : Vm_sys.t) obj ~offset ~limit =
   let ps = sys.Vm_sys.page_size in
   let w =
@@ -30,7 +44,6 @@ let plan (sys : Vm_sys.t) obj ~offset ~limit =
       min sys.Vm_sys.cluster_max (obj.obj_ra_window * 2)
     else 1
   in
-  obj.obj_ra_window <- w;
   let bound = min limit obj.obj_size in
   let avail = bound - offset in
   if avail <= ps then 1
@@ -54,7 +67,8 @@ let plan (sys : Vm_sys.t) obj ~offset ~limit =
 
 (* The classical one-page pagein, exactly the pre-clustering fault path:
    guarded request with retries, then allocate/fill.  Returns the bytes
-   a Pagein trace event should report. *)
+   a Pagein trace event should report.  Read-ahead bookkeeping belongs
+   to the caller. *)
 let single (sys : Vm_sys.t) obj ~offset =
   let ps = sys.Vm_sys.page_size in
   match Pager_guard.request sys obj ~offset ~length:ps with
@@ -70,69 +84,158 @@ let single (sys : Vm_sys.t) obj ~offset =
   | `Absent -> `Absent
   | `Error -> `Error
 
-let pagein (sys : Vm_sys.t) obj ~offset ~limit =
+(* A one-page read succeeded: remember where it ended so the next miss
+   can be recognised as sequential, and collapse the window — a ramp is
+   earned by issued clusters, not by plans. *)
+let commit_single obj ~offset ~ps =
+  obj.obj_ra_next <- offset + ps;
+  obj.obj_ra_window <- 1
+
+(* Fill the [got] prefetch pages beyond the demand page from [data]
+   (page [i] of [data] is object offset [tail_off + i*ps]).  [inflight]
+   is the shared async transfer record, [None] on the synchronous path;
+   async pages stay busy until awaited.  Returns how many pages were
+   actually installed ([plan] skipped resident pages, but the demand
+   grab may have run the reclaimer in between; re-check and never steal
+   from the free target). *)
+let install_tail (sys : Vm_sys.t) obj ~tail_off ~got ~data ~inflight =
+  let ps = sys.Vm_sys.page_size in
+  let issued = ref 0 in
+  for i = 0 to got - 1 do
+    let off = tail_off + (i * ps) in
+    if Resident.lookup sys.Vm_sys.resident ~obj ~offset:off = None then
+      match Resident.alloc sys.Vm_sys.resident with
+      | None -> ()
+      | Some p ->
+        Resident.insert sys.Vm_sys.resident p ~obj ~offset:off;
+        p.pg_busy <- true;
+        Page_io.fill sys p (Bytes.sub data (i * ps) ps);
+        (match inflight with
+         | None -> p.pg_busy <- false
+         | Some _ -> p.pg_inflight <- inflight);
+        p.pg_prefetched <- true;
+        Resident.enqueue sys.Vm_sys.resident p Q_inactive;
+        incr issued
+  done;
+  !issued
+
+let note_prefetch (sys : Vm_sys.t) obj ~offset ~issued =
+  if issued > 0 then begin
+    let stats = sys.Vm_sys.stats in
+    stats.Vm_sys.prefetch_issued <- stats.Vm_sys.prefetch_issued + issued;
+    Vm_sys.emit sys
+      (Obs.Prefetch { offset; pages = issued; window = obj.obj_ra_window })
+  end
+
+(* Synchronous clustered pagein: one range request covers the demand
+   page and the tail. *)
+let pagein_sync (sys : Vm_sys.t) obj ~offset ~n =
   let ps = sys.Vm_sys.page_size in
   let stats = sys.Vm_sys.stats in
+  match Pager_guard.request_range sys obj ~offset ~length:(n * ps) with
+  | `Data data when Bytes.length data >= ps ->
+    let got = min n (Bytes.length data / ps) in
+    obj.obj_ra_next <- offset + (got * ps);
+    (* Commit the ramp at the size actually issued: a cluster clipped by
+       the object end, a resident page or free-list headroom must not
+       ramp as if the full candidate window had been read. *)
+    obj.obj_ra_window <- n;
+    stats.Vm_sys.pager_reads <- stats.Vm_sys.pager_reads + 1;
+    let demand = Vm_sys.grab_page sys in
+    Resident.insert sys.Vm_sys.resident demand ~obj ~offset;
+    demand.pg_busy <- true;
+    Page_io.fill sys demand (Bytes.sub data 0 ps);
+    demand.pg_busy <- false;
+    let issued =
+      if got > 1 then
+        install_tail sys obj ~tail_off:(offset + ps) ~got:(got - 1)
+          ~data:(Bytes.sub data ps ((got - 1) * ps)) ~inflight:None
+      else 0
+    in
+    note_prefetch sys obj ~offset ~issued;
+    `Data (demand, got * ps)
+  | `Data _ (* truncated below one page *) | `Error ->
+    (* Degrade to the single-page path, which owns retry/death — and
+       still advance the sequence point on success, so one bad cluster
+       costs the ramp, not the ability to ever ramp again. *)
+    (match single sys obj ~offset with
+     | `Data _ as r ->
+       commit_single obj ~offset ~ps;
+       r
+     | r -> r)
+  | `Absent -> `Absent
+
+(* Asynchronous clustered pagein: the demand page is read synchronously
+   (keeping the guarded retry/death policy on the page the fault
+   actually needs), then the tail is submitted and overlaps with
+   whatever the CPU does next.  Submitting after the demand read keeps
+   the demand transfer ahead of the tail in the device queue.  Pagers
+   with no submit path still prefetch, just synchronously. *)
+let pagein_async (sys : Vm_sys.t) obj ~offset ~n =
+  let ps = sys.Vm_sys.page_size in
+  let stats = sys.Vm_sys.stats in
+  match single sys obj ~offset with
+  | (`Absent | `Error) as r -> r
+  | `Data (demand, _) ->
+    commit_single obj ~offset ~ps;
+    let tail_off = offset + ps in
+    let tail_len = (n - 1) * ps in
+    let finish ~got ~issued =
+      if got > 0 then begin
+        obj.obj_ra_next <- tail_off + (got * ps);
+        obj.obj_ra_window <- n;
+        stats.Vm_sys.pager_reads <- stats.Vm_sys.pager_reads + 1
+      end;
+      note_prefetch sys obj ~offset ~issued;
+      `Data (demand, ps + (got * ps))
+    in
+    (match Pager_guard.submit_range sys obj ~offset:tail_off
+             ~length:tail_len with
+     | Some (data, completion, service) when Bytes.length data >= ps ->
+       let got = min (n - 1) (Bytes.length data / ps) in
+       let inflight =
+         Some { if_completion = completion; if_service = service;
+                if_waited = false }
+       in
+       let issued = install_tail sys obj ~tail_off ~got ~data ~inflight in
+       finish ~got ~issued
+     | Some _ -> `Data (demand, ps)
+     | None ->
+       (* No async path (or async submit declined): synchronous tail. *)
+       (match Pager_guard.request_range sys obj ~offset:tail_off
+                ~length:tail_len with
+        | `Data data when Bytes.length data >= ps ->
+          let got = min (n - 1) (Bytes.length data / ps) in
+          let issued =
+            install_tail sys obj ~tail_off ~got ~data ~inflight:None
+          in
+          finish ~got ~issued
+        | `Data _ | `Error | `Absent -> `Data (demand, ps)))
+
+let pagein (sys : Vm_sys.t) obj ~offset ~limit =
+  let ps = sys.Vm_sys.page_size in
   if sys.Vm_sys.cluster_max <= 1 then single sys obj ~offset
   else begin
     let n = plan sys obj ~offset ~limit in
     if n = 1 then begin
       match single sys obj ~offset with
       | `Data _ as r ->
-        (* Remember where this read ended so the next miss can be
-           recognised as sequential. *)
-        obj.obj_ra_next <- offset + ps;
+        commit_single obj ~offset ~ps;
         r
       | r -> r
     end
-    else begin
-      match Pager_guard.request_range sys obj ~offset ~length:(n * ps) with
-      | `Data data when Bytes.length data >= ps ->
-        let got = min n (Bytes.length data / ps) in
-        obj.obj_ra_next <- offset + (got * ps);
-        stats.Vm_sys.pager_reads <- stats.Vm_sys.pager_reads + 1;
-        let demand = Vm_sys.grab_page sys in
-        Resident.insert sys.Vm_sys.resident demand ~obj ~offset;
-        demand.pg_busy <- true;
-        Page_io.fill sys demand (Bytes.sub data 0 ps);
-        demand.pg_busy <- false;
-        let issued = ref 0 in
-        for i = 1 to got - 1 do
-          let off = offset + (i * ps) in
-          (* [plan] skipped resident pages, but the demand-page grab may
-             have run the reclaimer in between; re-check and never steal
-             from the free target. *)
-          if Resident.lookup sys.Vm_sys.resident ~obj ~offset:off = None
-          then
-            match Resident.alloc sys.Vm_sys.resident with
-            | None -> ()
-            | Some p ->
-              Resident.insert sys.Vm_sys.resident p ~obj ~offset:off;
-              p.pg_busy <- true;
-              Page_io.fill sys p (Bytes.sub data (i * ps) ps);
-              p.pg_busy <- false;
-              p.pg_prefetched <- true;
-              Resident.enqueue sys.Vm_sys.resident p Q_inactive;
-              incr issued
-        done;
-        if !issued > 0 then begin
-          stats.Vm_sys.prefetch_issued <-
-            stats.Vm_sys.prefetch_issued + !issued;
-          Vm_sys.emit sys
-            (Obs.Prefetch
-               { offset; pages = !issued; window = obj.obj_ra_window })
-        end;
-        `Data (demand, got * ps)
-      | `Data _ (* truncated below one page *) | `Error ->
-        (* Degrade to the single-page path, which owns retry/death. *)
-        single sys obj ~offset
-      | `Absent -> `Absent
-    end
+    else if Mach_hw.Machine.disk_async sys.Vm_sys.machine then
+      pagein_async sys obj ~offset ~n
+    else pagein_sync sys obj ~offset ~n
   end
 
 (* A resident-page hit on a prefetched page: the guess paid off.  Count
-   it and promote the page from the inactive to the active queue. *)
+   it and promote the page from the inactive to the active queue.  If
+   the page is still riding an async transfer, first wait out the
+   residue — this is where a fault that outran the disk pays the
+   remaining device time. *)
 let note_hit (sys : Vm_sys.t) p =
+  if p.pg_inflight <> None then Pager_guard.await_page sys p;
   if p.pg_prefetched then begin
     p.pg_prefetched <- false;
     sys.Vm_sys.stats.Vm_sys.prefetch_hits <-

@@ -10,7 +10,19 @@
 
     Clustering never weakens the failure policy: the range request is
     one-shot, and any error or truncated reply falls back to the
-    classical single-page {!Pager_guard.request} path. *)
+    classical single-page {!Pager_guard.request} path.  The window state
+    is committed only after a successful issue, at the size actually
+    issued — failed or clipped clusters cannot leave a phantom ramp —
+    and a successful fallback read still advances the sequence point, so
+    one bad cluster costs the ramp, not the ability to ramp again.
+
+    With the machine's async disk model on
+    ([Mach_hw.Machine.set_disk_async]), the demand page is read
+    synchronously and the prefetch tail is {e submitted}
+    ({!Pager_guard.submit_range}): tail pages are resident and filled
+    immediately but stay busy until the device's completion stamp, and
+    the first fault to touch one waits out only the remaining device
+    time ({!note_hit} → {!Pager_guard.await_page}). *)
 
 val pagein :
   Vm_sys.t -> Types.obj -> offset:int -> limit:int ->

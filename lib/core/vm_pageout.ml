@@ -101,7 +101,7 @@ let write_cluster (sys : Vm_sys.t) o pages =
            Pmap_domain.copy_on_write sys.Vm_sys.domain ~pfn))
     pages;
   let data = Bytes.concat Bytes.empty (List.map (page_bytes sys) pages) in
-  if Pager_guard.write_range sys o ~offset:start ~data then begin
+  let finish () =
     List.iter (clear_modified sys) pages;
     sys.Vm_sys.stats.Vm_sys.pageouts <-
       sys.Vm_sys.stats.Vm_sys.pageouts + n;
@@ -116,7 +116,30 @@ let write_cluster (sys : Vm_sys.t) o pages =
              inactive_depth = Resident.inactive_count sys.Vm_sys.resident })
     end;
     true
+  in
+  (* With the async disk model on, submit the clustered write and let the
+     device drain while the daemon keeps working.  Every page of the run
+     rides the shared inflight record and stays busy until the transfer
+     lands: the daemon reaps the completion ([Pager_guard.await_page])
+     before any of these frames can be reused. *)
+  if Machine.disk_async sys.Vm_sys.machine then begin
+    match Pager_guard.submit_write_range sys o ~offset:start ~data with
+    | Some (completion, service) ->
+      let inflight =
+        { if_completion = completion; if_service = service;
+          if_waited = false }
+      in
+      List.iter
+        (fun q ->
+           q.pg_busy <- true;
+           q.pg_inflight <- Some inflight)
+        pages;
+      finish ()
+    | None ->
+      if Pager_guard.write_range sys o ~offset:start ~data then finish ()
+      else false
   end
+  else if Pager_guard.write_range sys o ~offset:start ~data then finish ()
   else false
 
 (* Clean [p] together with its contiguous dirty neighbours: grow the run
@@ -171,6 +194,12 @@ let run (sys : Vm_sys.t) ~wanted =
     | None -> false
     | Some p ->
       incr examined;
+      (* Reap a completed (or nearly completed) async transfer before
+         examining the page: charges only the residue and lifts the busy
+         bit, so writeback and prefetch pages re-enter circulation
+         instead of falling off the queues. *)
+      if p.pg_inflight <> None && p.pg_wire_count = 0 then
+        Pager_guard.await_page sys p;
       if p.pg_busy || p.pg_wire_count > 0 then
         (* Should not be queued at all; make it so. *)
         Resident.enqueue res p Q_none
@@ -194,6 +223,12 @@ let run (sys : Vm_sys.t) ~wanted =
              backoff — so it ages through both queues again before the
              next write attempt. *)
           Resident.enqueue res p Q_active
+        else if p.pg_inflight <> None then
+          (* [clean_cluster] just submitted this page's writeback: put it
+             back at the tail of the inactive queue so the transfer can
+             drain while the daemon works on other pages; it is reaped
+             and freed on the next encounter. *)
+          Resident.enqueue res p Q_inactive
         else begin
           each_frame sys p (fun pfn ->
               Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn;

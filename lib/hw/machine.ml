@@ -25,8 +25,21 @@ type stats = {
   mutable disk_bytes : int;
   mutable disk_errors : int;
   mutable disk_retries : int;
+  mutable disk_waits : int;
+  mutable disk_wait_cycles : int;
+  mutable disk_overlap_cycles : int;
   mutable tlb_hit_count : int;
   mutable tlb_miss_count : int;
+}
+
+(* One device (or per-CPU) request queue of the async disk model: a
+   virtual service clock.  A request submitted at [now] starts service at
+   [max now dq_free] and completes [service] cycles later; [dq_free]
+   advances to that completion, so queued requests serialise on the
+   device while the submitting CPU keeps computing. *)
+type dqueue = {
+  mutable dq_free : int;
+  mutable dq_pending : int list; (* completion stamps, newest first *)
 }
 
 type cpu = {
@@ -47,12 +60,15 @@ type t = {
   mutable fault_handler : (cpu:int -> fault -> unit) option;
   mutable on_translated : (pfn:int -> write:bool -> unit) option;
   mutable tracer : Mach_obs.Obs.t;
+  mutable disk_async : bool;
+  mutable disk_queues : dqueue list; (* every queue ever created, for reset *)
 }
 
 let fresh_stats () =
   { faults = 0; ipis = 0; shootdowns = 0; deferred_flushes = 0;
     stale_tlb_uses = 0; disk_ops = 0; disk_bytes = 0;
     disk_errors = 0; disk_retries = 0;
+    disk_waits = 0; disk_wait_cycles = 0; disk_overlap_cycles = 0;
     tlb_hit_count = 0; tlb_miss_count = 0 }
 
 let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
@@ -70,7 +86,8 @@ let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
     shootdown_mode = shootdown;
     tick_interval = tick_interval_ms * arch.Arch.cycles_per_ms;
     stats = fresh_stats (); fault_handler = None; on_translated = None;
-    tracer = Mach_obs.Obs.null }
+    tracer = Mach_obs.Obs.null;
+    disk_async = false; disk_queues = [] }
 
 let arch t = t.arch
 let phys t = t.phys
@@ -108,22 +125,108 @@ let elapsed_ms t = Arch.cycles_to_ms t.arch (max_cycles t)
 
 let reset_clocks t =
   Array.iter (fun c -> c.clock <- 0) t.cpus;
+  (* Queue stamps are absolute cycle counts; stale ones would make a
+     post-reset wait charge a huge phantom residue. *)
+  List.iter (fun q -> q.dq_free <- 0; q.dq_pending <- []) t.disk_queues;
   let s = t.stats in
   s.faults <- 0; s.ipis <- 0; s.shootdowns <- 0; s.deferred_flushes <- 0;
   s.stale_tlb_uses <- 0; s.disk_ops <- 0; s.disk_bytes <- 0;
   s.disk_errors <- 0; s.disk_retries <- 0;
+  s.disk_waits <- 0; s.disk_wait_cycles <- 0; s.disk_overlap_cycles <- 0;
   s.tlb_hit_count <- 0; s.tlb_miss_count <- 0
 
-let charge_disk t ~cpu ~write ~bytes =
+let disk_service_cycles t ~bytes =
   let cost = t.arch.Arch.cost in
   let kb = (bytes + 1023) / 1024 in
-  let cycles = cost.Arch.disk_latency + (kb * cost.Arch.disk_per_kb) in
+  cost.Arch.disk_latency + (kb * cost.Arch.disk_per_kb)
+
+let charge_disk t ~cpu ~write ~bytes =
+  let cycles = disk_service_cycles t ~bytes in
   charge t ~cpu cycles;
   t.stats.disk_ops <- t.stats.disk_ops + 1;
   t.stats.disk_bytes <- t.stats.disk_bytes + bytes;
   if traced t then
     Mach_obs.Obs.record t.tracer ~ts:(cpu_of t cpu).clock ~cpu
       (Mach_obs.Obs.Disk_io { write; bytes; cycles })
+
+(* --- Asynchronous disk queues ----------------------------------------- *)
+
+let disk_async t = t.disk_async
+let set_disk_async t on = t.disk_async <- on
+
+let new_disk_queue t =
+  let q = { dq_free = 0; dq_pending = [] } in
+  t.disk_queues <- q :: t.disk_queues;
+  q
+
+(* Account a transfer's counters and trace event without charging any
+   CPU: async-mode wasted retries fold their cost into the request's
+   service time instead. *)
+let account_disk t ~cpu ~write ~bytes ~cycles =
+  t.stats.disk_ops <- t.stats.disk_ops + 1;
+  t.stats.disk_bytes <- t.stats.disk_bytes + bytes;
+  if traced t then
+    Mach_obs.Obs.record t.tracer ~ts:(cpu_of t cpu).clock ~cpu
+      (Mach_obs.Obs.Disk_io { write; bytes; cycles })
+
+(* Submit one transfer.  Returns [(completion, service)] in absolute and
+   relative cycles.  Sync mode ([disk_async = false]) is bit-identical to
+   {!charge_disk}: the submitting CPU pays the whole cost up front and
+   the completion stamp is its post-charge clock, so a later wait is
+   free.  Async mode charges nothing here; the request occupies the
+   queue's virtual service clock and the caller settles the residue with
+   {!wait_disk}.  [extra] extends the service time (injected delays and
+   wasted retry transfers). *)
+let submit_disk t q ~cpu ~write ~bytes ~extra =
+  let service = disk_service_cycles t ~bytes + extra in
+  if not t.disk_async then begin
+    charge t ~cpu service;
+    t.stats.disk_ops <- t.stats.disk_ops + 1;
+    t.stats.disk_bytes <- t.stats.disk_bytes + bytes;
+    if traced t then
+      Mach_obs.Obs.record t.tracer ~ts:(cpu_of t cpu).clock ~cpu
+        (Mach_obs.Obs.Disk_io { write; bytes; cycles = service });
+    ((cpu_of t cpu).clock, service)
+  end
+  else begin
+    let now = (cpu_of t cpu).clock in
+    let start = max now q.dq_free in
+    let completion = start + service in
+    q.dq_free <- completion;
+    q.dq_pending <-
+      completion :: List.filter (fun c -> c > now) q.dq_pending;
+    let depth = List.length q.dq_pending in
+    t.stats.disk_ops <- t.stats.disk_ops + 1;
+    t.stats.disk_bytes <- t.stats.disk_bytes + bytes;
+    if traced t then begin
+      Mach_obs.Obs.record t.tracer ~ts:now ~cpu
+        (Mach_obs.Obs.Disk_io { write; bytes; cycles = service });
+      Mach_obs.Obs.record t.tracer ~ts:now ~cpu
+        (Mach_obs.Obs.Disk_submit
+           { write; bytes; depth; latency = completion - now })
+    end;
+    (completion, service)
+  end
+
+(* Block until [completion]: charge only the cycles still outstanding.
+   Whatever the CPU managed to do between submit and here is the overlap
+   the async model buys; [service] is the request's full device time, so
+   [service - residue] (clamped) is the saving.  Callers that share one
+   request across several pages pass [service = 0] after the first wait
+   so the overlap is counted once. *)
+let wait_disk t ~cpu ~completion ~service =
+  if t.disk_async then begin
+    let c = cpu_of t cpu in
+    let residue = max 0 (completion - c.clock) in
+    if residue > 0 then c.clock <- c.clock + residue;
+    t.stats.disk_waits <- t.stats.disk_waits + 1;
+    t.stats.disk_wait_cycles <- t.stats.disk_wait_cycles + residue;
+    let overlap = max 0 (service - residue) in
+    t.stats.disk_overlap_cycles <- t.stats.disk_overlap_cycles + overlap;
+    if traced t then
+      Mach_obs.Obs.record t.tracer ~ts:c.clock ~cpu
+        (Mach_obs.Obs.Disk_wait { cycles = residue; overlap })
+  end
 
 (* --- TLB maintenance ------------------------------------------------- *)
 

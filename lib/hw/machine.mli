@@ -64,6 +64,13 @@ type stats = {
   mutable disk_errors : int;  (** simulated disk transfers that failed
                                   (fault injection) *)
   mutable disk_retries : int; (** failed transfers retried by the driver *)
+  mutable disk_waits : int;   (** blocking waits on async completions *)
+  mutable disk_wait_cycles : int;
+      (** cycles spent blocked on async disk completions (the residue
+          actually charged at wait time) *)
+  mutable disk_overlap_cycles : int;
+      (** device cycles hidden behind computation: per request,
+          [service - residue] clamped at zero.  Always 0 in sync mode. *)
   mutable tlb_hit_count : int;    (** translations served from a TLB entry *)
   mutable tlb_miss_count : int;   (** translations that walked the
                                       hardware map (or had no TLB) *)
@@ -131,6 +138,55 @@ val charge_disk : t -> cpu:int -> write:bool -> bytes:int -> unit
 (** [charge_disk t ~cpu ~write ~bytes] accounts one disk operation moving
     [bytes] bytes (latency plus per-KB transfer cost); [write] is the
     transfer direction, recorded on the trace event. *)
+
+(** {1 Asynchronous disk queues}
+
+    The async disk model (off by default) decouples a transfer's device
+    time from the submitting CPU's clock.  A {!dqueue} is one device (or
+    per-CPU) request queue with a virtual service clock: a request
+    submitted at [now] starts at [max now free], completes [service]
+    cycles later, and advances [free].  The submitter keeps computing;
+    {!wait_disk} later charges only the residue still outstanding.  With
+    [disk_async] off, {!submit_disk} is bit- and cycle-identical to
+    {!charge_disk} and {!wait_disk} is a no-op, so the machinery is free
+    when unused. *)
+
+type dqueue
+(** A disk request queue (virtual service clock). *)
+
+val disk_async : t -> bool
+val set_disk_async : t -> bool -> unit
+
+val new_disk_queue : t -> dqueue
+(** [new_disk_queue t] registers a fresh queue; {!reset_clocks} rewinds
+    it along with the CPU clocks. *)
+
+val disk_service_cycles : t -> bytes:int -> int
+(** Device time for one transfer of [bytes]: fixed latency plus per-KB
+    transfer cost. *)
+
+val submit_disk :
+  t -> dqueue -> cpu:int -> write:bool -> bytes:int -> extra:int ->
+  int * int
+(** [submit_disk t q ~cpu ~write ~bytes ~extra] enqueues one transfer and
+    returns [(completion, service)]: the absolute cycle stamp at which it
+    lands and its device service time ([extra] added for injected delays
+    or wasted retry transfers).  Sync mode charges the whole cost here
+    (exactly {!charge_disk}) and returns the post-charge clock, so a
+    subsequent {!wait_disk} is free. *)
+
+val wait_disk : t -> cpu:int -> completion:int -> service:int -> unit
+(** [wait_disk t ~cpu ~completion ~service] blocks [cpu] until
+    [completion], charging only the outstanding residue, and credits
+    [service - residue] to [disk_overlap_cycles].  Pass [service = 0]
+    when re-waiting a request whose overlap was already counted.  No-op
+    in sync mode. *)
+
+val account_disk : t -> cpu:int -> write:bool -> bytes:int -> cycles:int -> unit
+(** [account_disk] bumps the op/byte counters and emits the [Disk_io]
+    trace event without charging any CPU; used for async-mode wasted
+    retry transfers whose cost is folded into the request's service
+    time. *)
 
 (** {1 Address translation and access} *)
 

@@ -80,6 +80,11 @@ let make_pager link ~node (client_sys : Vm_sys.t) srv ~name =
          | exception Simdisk.Io_error _ ->
            (* The server's own disk failed the write. *)
            Write_error);
+    (* The RPC envelope blocks the client CPU for the full round trip;
+       there is no client-visible device time to overlap, so async
+       submits fall back to the synchronous RPC path. *)
+    pgr_submit = Types.no_submit;
+    pgr_submit_write = Types.no_submit_write;
     pgr_should_cache = ref true;
   }
 

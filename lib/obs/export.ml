@@ -59,6 +59,11 @@ let args_of_event (ev : Obs.event) =
       ("window", Jout.Int window) ]
   | Obs.Cluster_pageout { offset; pages } ->
     [ ("offset", Jout.Int offset); ("pages", Jout.Int pages) ]
+  | Obs.Disk_submit { write; bytes; depth; latency } ->
+    [ ("write", Jout.Bool write); ("bytes", Jout.Int bytes);
+      ("depth", Jout.Int depth); ("latency", Jout.Int latency) ]
+  | Obs.Disk_wait { cycles; overlap } ->
+    [ ("cycles", Jout.Int cycles); ("overlap", Jout.Int overlap) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in
@@ -156,7 +161,10 @@ let stats_json ?(extra = []) tr =
        ("disk_latency", hist_json (Obs.disk_latency tr));
        ("pageout_queue_depth", hist_json (Obs.pageout_depth tr));
        ("pagein_cluster_pages", hist_json (Obs.pagein_cluster tr));
-       ("pageout_cluster_pages", hist_json (Obs.pageout_cluster tr)) ]
+       ("pageout_cluster_pages", hist_json (Obs.pageout_cluster tr));
+       ("disk_queue_depth", hist_json (Obs.disk_queue_depth tr));
+       ("disk_completion_latency", hist_json (Obs.disk_completion tr));
+       ("disk_wait_residue", hist_json (Obs.disk_wait tr)) ]
      @ extra)
 
 let write_stats ~path ?extra tr =
@@ -199,6 +207,9 @@ let summary_tables tr =
   hist_row "pageout queue depth" (Obs.pageout_depth tr);
   hist_row "pagein cluster pages" (Obs.pagein_cluster tr);
   hist_row "pageout cluster pages" (Obs.pageout_cluster tr);
+  hist_row "disk queue depth" (Obs.disk_queue_depth tr);
+  hist_row "disk completion latency" (Obs.disk_completion tr);
+  hist_row "disk wait residue" (Obs.disk_wait tr);
   [ counts; lat ]
 
 let print_summary tr = List.iter Tablefmt.print (summary_tables tr)

@@ -51,8 +51,14 @@ type event =
       (* read-ahead beyond the demand page: [pages] prefetched at the
          cluster starting [offset], with the adaptive window at [window] *)
   | Cluster_pageout of { offset : int; pages : int }
+  | Disk_submit of { write : bool; bytes : int; depth : int; latency : int }
+      (* an async disk request was queued: [depth] requests now in
+         flight on its queue, [latency] cycles until this one lands *)
+  | Disk_wait of { cycles : int; overlap : int }
+      (* a CPU blocked on an async completion: [cycles] residue charged,
+         [overlap] device cycles it had already hidden behind work *)
 
-let kind_count = 19
+let kind_count = 21
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -74,6 +80,8 @@ let kind_index = function
   | Io_error _ -> 16
   | Prefetch _ -> 17
   | Cluster_pageout _ -> 18
+  | Disk_submit _ -> 19
+  | Disk_wait _ -> 20
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -95,6 +103,8 @@ let kind_name_of_index = function
   | 16 -> "io_error"
   | 17 -> "prefetch"
   | 18 -> "cluster_pageout"
+  | 19 -> "disk_submit"
+  | 20 -> "disk_wait"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -113,6 +123,9 @@ type t = {
   pageout_depth : Hist.t;
   pagein_cluster : Hist.t;  (* pages per clustered pagein (incl. demand) *)
   pageout_cluster : Hist.t; (* pages per clustered pageout write *)
+  disk_queue_depth : Hist.t;   (* in-flight requests at each async submit *)
+  disk_completion : Hist.t;    (* submit-to-completion latency, cycles *)
+  disk_wait : Hist.t;          (* residue charged at each async wait *)
   mutable open_faults : int;
 }
 
@@ -129,6 +142,9 @@ let make ~capacity ~is_null =
     pageout_depth = Hist.create ();
     pagein_cluster = Hist.create ();
     pageout_cluster = Hist.create ();
+    disk_queue_depth = Hist.create ();
+    disk_completion = Hist.create ();
+    disk_wait = Hist.create ();
     open_faults = 0 }
 
 let create ?(capacity = 65536) () = make ~capacity ~is_null:false
@@ -158,6 +174,10 @@ let record t ~ts ~cpu ev =
   | Disk_io { cycles; _ } -> Hist.add t.disk_latency cycles
   | Prefetch { pages; _ } -> Hist.add t.pagein_cluster (pages + 1)
   | Cluster_pageout { pages; _ } -> Hist.add t.pageout_cluster pages
+  | Disk_submit { depth; latency; _ } ->
+    Hist.add t.disk_queue_depth depth;
+    Hist.add t.disk_completion latency
+  | Disk_wait { cycles; _ } -> Hist.add t.disk_wait cycles
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
   | Object_shadow _ | Task_switch _
   | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _ -> ()
@@ -179,6 +199,9 @@ let disk_latency t = t.disk_latency
 let pageout_depth t = t.pageout_depth
 let pagein_cluster t = t.pagein_cluster
 let pageout_cluster t = t.pageout_cluster
+let disk_queue_depth t = t.disk_queue_depth
+let disk_completion t = t.disk_completion
+let disk_wait t = t.disk_wait
 
 let reset t =
   Ring.clear t.ring;
@@ -190,4 +213,7 @@ let reset t =
   Hist.clear t.pageout_depth;
   Hist.clear t.pagein_cluster;
   Hist.clear t.pageout_cluster;
+  Hist.clear t.disk_queue_depth;
+  Hist.clear t.disk_completion;
+  Hist.clear t.disk_wait;
   t.open_faults <- 0

@@ -76,6 +76,15 @@ type event =
   | Cluster_pageout of { offset : int; pages : int }
       (** The pageout path coalesced [pages] contiguous dirty pages into
           one pager write starting at [offset]. *)
+  | Disk_submit of { write : bool; bytes : int; depth : int; latency : int }
+      (** An async disk request was queued: [depth] requests are now in
+          flight on its queue (this one included) and [latency] is the
+          submit-to-completion time — service plus any queueing delay. *)
+  | Disk_wait of { cycles : int; overlap : int }
+      (** A CPU blocked on an async disk completion, charging [cycles]
+          of residue; [overlap] is the device time it had already hidden
+          behind computation ([service - residue], counted once per
+          request). *)
 
 val kind_count : int
 val kind_index : event -> int
@@ -138,6 +147,17 @@ val pagein_cluster : t -> Hist.t
 
 val pageout_cluster : t -> Hist.t
 (** Pages per clustered pageout write. *)
+
+val disk_queue_depth : t -> Hist.t
+(** In-flight request count observed at each async disk submit. *)
+
+val disk_completion : t -> Hist.t
+(** Submit-to-completion latency of async disk requests, in cycles
+    (service time plus queueing delay). *)
+
+val disk_wait : t -> Hist.t
+(** Residue charged at each blocking wait on an async completion; zero
+    entries are fully overlapped requests. *)
 
 val reset : t -> unit
 (** Drop all recorded events and aggregates; keeps the enabled flag. *)

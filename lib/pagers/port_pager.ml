@@ -87,6 +87,11 @@ let make sys ~name ?(should_cache = false) ~handler () =
     pgr_name = name;
     pgr_request = request;
     pgr_write = write;
+    (* Message exchanges with an external pager task are synchronous
+       dispatch loops; there is no device queue to overlap, so the async
+       submit protocol always falls back to the message path. *)
+    pgr_submit = Types.no_submit;
+    pgr_submit_write = Types.no_submit_write;
     pgr_should_cache = ref should_cache;
   }
 

@@ -9,10 +9,10 @@ type t = {
 
 let next_fs_id = ref 0
 
-let create machine ?(block_size = 4096) () =
+let create machine ?(block_size = 4096) ?(queues = 1) () =
   incr next_fs_id;
   { id = !next_fs_id;
-    disk = Simdisk.create machine ~block_size;
+    disk = Simdisk.create ~queues machine ~block_size;
     table = Hashtbl.create 64;
     next_block = 0 }
 
@@ -151,6 +151,101 @@ let write t ~cpu ~name ~offset ~data =
     end
   in
   loop 0
+
+(* Asynchronous variants: same run decomposition as [read]/[write], but
+   each run is submitted to the device queue instead of waited on, and
+   the aggregate (latest completion stamp, summed service time) is
+   returned so the caller can block out the residue later.  With the
+   async model off the submits charge synchronously, making these
+   cost-identical to [read]/[write]. *)
+let submit_read t ~cpu ~name ~offset ~len =
+  match Hashtbl.find_opt t.table name with
+  | None -> raise Not_found
+  | Some ino ->
+    if offset >= ino.size || len <= 0 then (Bytes.create 0, 0, 0)
+    else begin
+      let len = min len (ino.size - offset) in
+      let buf = Bytes.create len in
+      let block_size = bs t in
+      let completion = ref 0 and service = ref 0 in
+      let submit first count =
+        let h = Simdisk.submit_read_run t.disk ~cpu ~first ~count in
+        completion := max !completion (Simdisk.handle_completion h);
+        service := !service + Simdisk.handle_service h;
+        Simdisk.handle_data h
+      in
+      let rec loop pos =
+        if pos < len then begin
+          let abs = offset + pos in
+          let bidx = abs / block_size in
+          let boff = abs mod block_size in
+          if boff = 0 && len - pos >= block_size then begin
+            let max_count = (len - pos) / block_size in
+            let count = ref 1 in
+            while
+              !count < max_count
+              && ino.blocks.(bidx + !count) = ino.blocks.(bidx) + !count
+            do
+              incr count
+            done;
+            let data = submit ino.blocks.(bidx) !count in
+            Bytes.blit data 0 buf pos (!count * block_size);
+            loop (pos + (!count * block_size))
+          end
+          else begin
+            let chunk = min (block_size - boff) (len - pos) in
+            let data = submit ino.blocks.(bidx) 1 in
+            Bytes.blit data boff buf pos chunk;
+            loop (pos + chunk)
+          end
+        end
+      in
+      loop 0;
+      (buf, !completion, !service)
+    end
+
+let submit_write t ~cpu ~name ~offset ~data =
+  let len = Bytes.length data in
+  let ino = ensure_inode t ~name ~size:(offset + len) in
+  let block_size = bs t in
+  let completion = ref 0 and service = ref 0 in
+  let note h =
+    completion := max !completion (Simdisk.handle_completion h);
+    service := !service + Simdisk.handle_service h
+  in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = offset + pos in
+      let bidx = abs / block_size in
+      let boff = abs mod block_size in
+      if boff = 0 && len - pos >= block_size then begin
+        let max_count = (len - pos) / block_size in
+        let count = ref 1 in
+        while
+          !count < max_count
+          && ino.blocks.(bidx + !count) = ino.blocks.(bidx) + !count
+        do
+          incr count
+        done;
+        note
+          (Simdisk.submit_write_run t.disk ~cpu ~first:ino.blocks.(bidx)
+             (Bytes.sub data pos (!count * block_size)));
+        loop (pos + (!count * block_size))
+      end
+      else begin
+        let chunk = min (block_size - boff) (len - pos) in
+        let block = ino.blocks.(bidx) in
+        let rh = Simdisk.submit_read_run t.disk ~cpu ~first:block ~count:1 in
+        note rh;
+        let current = Simdisk.handle_data rh in
+        Bytes.blit data pos current boff chunk;
+        note (Simdisk.submit_write_run t.disk ~cpu ~first:block current);
+        loop (pos + chunk)
+      end
+    end
+  in
+  loop 0;
+  (!completion, !service)
 
 let delete t ~name = Hashtbl.remove t.table name
 

@@ -11,8 +11,9 @@
 
 type t
 
-val create : Mach_hw.Machine.t -> ?block_size:int -> unit -> t
-(** [create machine ()] is an empty file system (default 4 KB blocks). *)
+val create : Mach_hw.Machine.t -> ?block_size:int -> ?queues:int -> unit -> t
+(** [create machine ()] is an empty file system (default 4 KB blocks,
+    one disk service queue; see {!Simdisk.create} for [?queues]). *)
 
 val fs_id : t -> int
 (** Unique id, used to key pager memoization. *)
@@ -35,6 +36,21 @@ val read : t -> cpu:int -> name:string -> offset:int -> len:int -> Bytes.t
 val write : t -> cpu:int -> name:string -> offset:int -> data:Bytes.t -> unit
 (** [write t ~cpu ~name ~offset ~data] writes (extending the file as
     needed), charging disk cost per block touched. *)
+
+val submit_read :
+  t -> cpu:int -> name:string -> offset:int -> len:int ->
+  Bytes.t * int * int
+(** [submit_read] is {!read} through the asynchronous submit protocol:
+    the data comes back immediately, together with the latest completion
+    stamp and summed device service time over the runs submitted, and
+    the CPU is not blocked for device time.  With the machine's async
+    disk model off it charges exactly like {!read} and the stamps are
+    already satisfied. *)
+
+val submit_write :
+  t -> cpu:int -> name:string -> offset:int -> data:Bytes.t -> int * int
+(** [submit_write] is {!write} through the submit protocol; returns
+    (completion stamp, summed service time). *)
 
 val delete : t -> name:string -> unit
 

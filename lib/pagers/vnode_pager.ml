@@ -43,6 +43,47 @@ let make (sys : Vm_sys.t) fs ~name =
               with
               | () -> Write_completed
               | exception Simdisk.Io_error _ -> Write_error));
+    pgr_submit =
+      (fun ~offset ~length ->
+         (* Same clipping as [pgr_request], through the file system's
+            submit path; any trouble (async disk off, injected failure)
+            answers [None] and the kernel falls back to the guarded
+            synchronous protocol. *)
+         if not (Mach_hw.Machine.disk_async sys.Vm_sys.machine) then None
+         else
+           match Simfs.file_size fs ~name with
+           | exception Not_found -> None
+           | size ->
+             if offset >= size then None
+             else (
+               match
+                 Simfs.submit_read fs ~cpu:(cpu ()) ~name ~offset
+                   ~len:(min length (size - offset))
+               with
+               | data, completion, service ->
+                 Some { tk_data = data; tk_completion = completion;
+                        tk_service = service }
+               | exception Simdisk.Io_error _ -> None));
+    pgr_submit_write =
+      (fun ~offset ~data ->
+         if not (Mach_hw.Machine.disk_async sys.Vm_sys.machine) then None
+         else
+           match Simfs.file_size fs ~name with
+           | exception Not_found ->
+             (* Nothing to write (see [pgr_write]): an already-complete
+                ticket, no device time. *)
+             Some { wt_completion = 0; wt_service = 0 }
+           | size ->
+             if offset >= size then Some { wt_completion = 0; wt_service = 0 }
+             else
+               let len = min (Bytes.length data) (size - offset) in
+               (match
+                  Simfs.submit_write fs ~cpu:(cpu ()) ~name ~offset
+                    ~data:(Bytes.sub data 0 len)
+                with
+                | completion, service ->
+                  Some { wt_completion = completion; wt_service = service }
+                | exception Simdisk.Io_error _ -> None));
     pgr_should_cache = ref true;
   }
 

@@ -1,0 +1,222 @@
+(* The asynchronous disk model (submit/wait with per-device queues).
+
+   The contract under test: with the model off, every path is byte- and
+   cycle-identical to the classical blocking charge; with it on, a
+   blocking submit-then-wait still costs exactly the synchronous
+   service, overlap shows up only when the CPU does work between submit
+   and wait, device queues serialize, the whole thing is deterministic
+   under replay (chaos decides at submit), and data is never affected
+   either way. *)
+
+open Mach_hw
+open Mach_core
+open Mach_pagers
+module Fail = Mach_fail.Fail
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Kr.to_string e)
+
+let boot ?(frames = 2048) ?(async = false) () =
+  (* uVAX II, 512 B hardware pages, multiple 8 => 4 KB system pages. *)
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:frames () in
+  Machine.set_disk_async machine async;
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  (machine, kernel, Kernel.sys kernel)
+
+let new_task kernel =
+  let t = Kernel.create_task kernel () in
+  Kernel.run_task kernel ~cpu:0 t;
+  t
+
+(* ---- device-level cost identities ---------------------------------------- *)
+
+(* Submit followed by an immediate wait is the degenerate case with no
+   work to overlap: it must cost exactly what the blocking model
+   charges, in both modes. *)
+let test_submit_wait_equals_sync () =
+  let cost async =
+    let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:64 () in
+    Machine.set_disk_async machine async;
+    let disk = Simdisk.create machine ~block_size:4096 in
+    for b = 0 to 7 do
+      Simdisk.install disk ~block:b (Bytes.make 4096 'x')
+    done;
+    ignore (Simdisk.read_run disk ~cpu:0 ~first:0 ~count:8);
+    Machine.cycles machine ~cpu:0
+  in
+  let sync = cost false in
+  Alcotest.(check bool) "blocking read actually costs" true (sync > 0);
+  Alcotest.(check int) "same cost in both models" sync (cost true)
+
+(* CPU work between submit and wait is overlapped: the wait charges only
+   the residue, and the hidden cycles land in disk_overlap_cycles. *)
+let test_overlap_charges_residue () =
+  let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:64 () in
+  Machine.set_disk_async machine true;
+  let disk = Simdisk.create machine ~block_size:4096 in
+  Simdisk.install disk ~block:0 (Bytes.make 4096 'x');
+  let service = Machine.disk_service_cycles machine ~bytes:4096 in
+  let h = Simdisk.submit_read_run disk ~cpu:0 ~first:0 ~count:1 in
+  let compute = service / 2 in
+  Machine.charge machine ~cpu:0 compute;
+  let before = Machine.cycles machine ~cpu:0 in
+  ignore (Simdisk.wait disk ~cpu:0 h);
+  Alcotest.(check int) "wait charges only the residue" (service - compute)
+    (Machine.cycles machine ~cpu:0 - before);
+  let s = Machine.stats machine in
+  Alcotest.(check int) "hidden cycles counted as overlap" compute
+    s.Machine.disk_overlap_cycles;
+  (* Waiting the same handle again is free: the service was consumed. *)
+  let before = Machine.cycles machine ~cpu:0 in
+  ignore (Simdisk.wait disk ~cpu:0 h);
+  Alcotest.(check int) "second wait is free" before
+    (Machine.cycles machine ~cpu:0)
+
+(* One queue serializes back-to-back requests; separate queues do not. *)
+let test_queues_serialize () =
+  let completions queues =
+    let machine = Machine.create ~arch:Arch.uvax2 ~memory_frames:64 ~cpus:2 () in
+    Machine.set_disk_async machine true;
+    let disk = Simdisk.create ~queues machine ~block_size:4096 in
+    Simdisk.install disk ~block:0 (Bytes.make 4096 'x');
+    Simdisk.install disk ~block:1 (Bytes.make 4096 'x');
+    (* CPUs hash onto queues, so cpu 0 and cpu 1 share the single queue
+       but land on distinct ones when there are two. *)
+    let h0 = Simdisk.submit_read_run disk ~cpu:0 ~first:0 ~count:1 in
+    let h1 = Simdisk.submit_read_run disk ~cpu:1 ~first:1 ~count:1 in
+    (Simdisk.handle_completion h0, Simdisk.handle_completion h1)
+  in
+  let c0, c1 = completions 1 in
+  let service =
+    Machine.disk_service_cycles
+      (Machine.create ~arch:Arch.uvax2 ~memory_frames:64 ())
+      ~bytes:4096
+  in
+  Alcotest.(check int) "one queue: second request waits for the first"
+    (c0 + service) c1;
+  let d0, d1 = completions 2 in
+  Alcotest.(check int) "two queues: both complete together" d0 d1
+
+(* ---- kernel-level equivalence --------------------------------------------- *)
+
+(* Clustered pageout with async writes: every byte survives the
+   submit/reap round trip exactly as in the blocking model. *)
+let test_async_pageout_roundtrip () =
+  let machine, kernel, sys = boot ~frames:1024 ~async:true () in
+  let task = new_task kernel in
+  let ps = sys.Vm_sys.page_size in
+  let n = 16 in
+  let addr = ok (Vm_user.allocate sys task ~size:(n * ps) ~anywhere:true ()) in
+  let pat i = Printf.sprintf "async-%02d" i in
+  for i = 0 to n - 1 do
+    Machine.write machine ~cpu:0 ~va:(addr + (i * ps))
+      (Bytes.of_string (pat i))
+  done;
+  for _ = 1 to 6 do
+    Vm_pageout.deactivate_some sys ~count:128;
+    Vm_pageout.run sys ~wanted:128
+  done;
+  let s = sys.Vm_sys.stats in
+  Alcotest.(check bool) "writes were clustered" true
+    (s.Vm_sys.clustered_pageouts >= 2);
+  Alcotest.(check bool) "all pages paged out" true (s.Vm_sys.pageouts >= n);
+  for i = 0 to n - 1 do
+    let got =
+      Bytes.to_string
+        (Machine.read machine ~cpu:0 ~va:(addr + (i * ps))
+           ~len:(String.length (pat i)))
+    in
+    Alcotest.(check string) (Printf.sprintf "page %d" i) (pat i) got
+  done
+
+(* Chaos under the async model replays identically: injection is decided
+   at submit time, so the fingerprint, the data and the clock cannot
+   depend on when completions are reaped. *)
+let chaos_async_run seed =
+  let machine, _, sys = boot ~async:true () in
+  let fs = Simfs.create machine () in
+  let inj = Fail.create ~seed in
+  Fail.attach inj ~site:"disk.read"
+    [ Fail.With_probability (0.1, Fail.Fail);
+      Fail.With_probability (0.15, Fail.Delay 750) ];
+  Simdisk.set_injector (Simfs.disk fs) (Some inj);
+  let ps = sys.Vm_sys.page_size in
+  let n = 32 in
+  let data = Bytes.init (n * ps) (fun i -> Char.chr (i * 5 land 0xff)) in
+  Simfs.install_file fs ~name:"/chaos" ~data;
+  let got =
+    Vnode_pager.read_through_object sys fs ~name:"/chaos" ~offset:0
+      ~len:(n * ps)
+  in
+  let ms = Machine.stats machine in
+  ( Digest.bytes got,
+    Machine.cycles machine ~cpu:0,
+    Fail.injections inj,
+    Fail.fingerprint inj,
+    (ms.Machine.disk_waits, ms.Machine.disk_wait_cycles,
+     ms.Machine.disk_overlap_cycles) )
+
+let test_async_chaos_replays () =
+  let d1, c1, i1, f1, s1 = chaos_async_run 42 in
+  let d2, c2, i2, f2, s2 = chaos_async_run 42 in
+  Alcotest.(check bool) "injections fired" true (i1 >= 1);
+  Alcotest.(check string) "same data" (Digest.to_hex d1) (Digest.to_hex d2);
+  Alcotest.(check int) "same clock" c1 c2;
+  Alcotest.(check int) "same injections" i1 i2;
+  Alcotest.(check string) "same fingerprint" f1 f2;
+  Alcotest.(check bool) "same wait/overlap stats" true (s1 = s2)
+
+(* ---- qcheck: the model is invisible to data ------------------------------- *)
+
+(* Any read workload returns the same bytes with the async model on or
+   off; and with it off, the clock is identical to the classical
+   blocking model too (the submit protocol is free when unused). *)
+let async_invisible =
+  let open QCheck2 in
+  Test.make ~name:"async disk byte-identical, and cycle-identical when off"
+    ~count:30
+    Gen.(
+      list_size (int_range 1 12)
+        (pair (int_range 0 ((16 * 4096) - 1)) (int_range 1 (3 * 4096))))
+    (fun ops ->
+       let run async =
+         let machine, _, sys = boot ~async () in
+         let fs = Simfs.create machine () in
+         let size = 16 * sys.Vm_sys.page_size in
+         let data = Bytes.init size (fun i -> Char.chr (i * 11 land 0xff)) in
+         Simfs.install_file fs ~name:"/prop" ~data;
+         let reads =
+           List.map
+             (fun (off, len) ->
+                Bytes.to_string
+                  (Vnode_pager.read_through_object sys fs ~name:"/prop"
+                     ~offset:off ~len))
+             ((0, size) :: ops)
+         in
+         (reads, Machine.cycles machine ~cpu:0)
+       in
+       let sync_reads, sync_cycles = run false in
+       let async_reads, _ = run true in
+       (* A second async-off run doubles as the cycle-identity witness:
+          determinism means equality with the first is the whole claim. *)
+       let off_reads, off_cycles = run false in
+       sync_reads = async_reads && off_reads = sync_reads
+       && off_cycles = sync_cycles)
+
+let () =
+  Alcotest.run "async"
+    [ ( "device",
+        [ Alcotest.test_case "submit+wait equals sync" `Quick
+            test_submit_wait_equals_sync;
+          Alcotest.test_case "overlap charges the residue" `Quick
+            test_overlap_charges_residue;
+          Alcotest.test_case "queues serialize" `Quick test_queues_serialize ]
+      );
+      ( "kernel",
+        [ Alcotest.test_case "async pageout round trip" `Quick
+            test_async_pageout_roundtrip;
+          Alcotest.test_case "chaos replays under async" `Quick
+            test_async_chaos_replays ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ async_invisible ] ) ]

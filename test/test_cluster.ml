@@ -52,6 +52,8 @@ let store_pager ~ps () =
          in
          chunk 0;
          Types.Write_completed);
+    pgr_submit = Types.no_submit;
+    pgr_submit_write = Types.no_submit_write;
     pgr_should_cache = ref false;
   }
 
@@ -186,6 +188,133 @@ let test_short_cluster_degrades () =
   Alcotest.(check int) "replay same injections" i1 i2;
   Alcotest.(check string) "fingerprint stable" fp1 fp2
 
+(* Like [store_pager], but range requests gather consecutive per-page
+   entries, so a successful cluster really returns multiple pages (and
+   prefetch actually issues). *)
+let range_store_pager ~ps () =
+  let base = store_pager ~ps () in
+  { base with
+    Types.pgr_request =
+      (fun ~offset ~length ->
+         let n = max 1 (length / ps) in
+         let rec gather i acc =
+           if i >= n then List.rev acc
+           else
+             match base.Types.pgr_request ~offset:(offset + (i * ps)) ~length:ps with
+             | Types.Data_provided d -> gather (i + 1) (d :: acc)
+             | _ -> List.rev acc
+         in
+         match gather 0 [] with
+         | [] -> base.Types.pgr_request ~offset ~length
+         | chunks -> Types.Data_provided (Bytes.concat Bytes.empty chunks)) }
+
+(* A degraded cluster must not kill read-ahead for good: the successful
+   single-page fallback still advances the sequence point, so the very
+   next sequential fault clusters again.  Regression for the bug where
+   the fallback skipped the window commit, making every later fault
+   look random. *)
+let test_degraded_cluster_resumes_ramp () =
+  let machine, kernel, sys = boot ~frames:1024 () in
+  let ps = sys.Vm_sys.page_size in
+  let inj = Fail.create ~seed:3 in
+  let task = new_task kernel in
+  let pager = range_store_pager ~ps () in
+  let n = 8 in
+  let addr =
+    match Chaos_pager.map_wrapped sys task inj ~pager ~size:(n * ps) () with
+    | Ok (a, _) -> a
+    | Error e -> Alcotest.fail (Kr.to_string e)
+  in
+  let pat i = Printf.sprintf "resume-%02d" i in
+  for i = 0 to n - 1 do
+    Machine.write machine ~cpu:0 ~va:(addr + (i * ps))
+      (Bytes.of_string (pat i))
+  done;
+  for _ = 1 to 6 do
+    Vm_pageout.deactivate_some sys ~count:128;
+    Vm_pageout.run sys ~wanted:128
+  done;
+  let check i =
+    let got =
+      Bytes.to_string
+        (Machine.read machine ~cpu:0 ~va:(addr + (i * ps))
+           ~len:(String.length (pat i)))
+    in
+    Alcotest.(check string) (Printf.sprintf "page %d" i) (pat i) got
+  in
+  let s = sys.Vm_sys.stats in
+  (* Arm the sequential window, then fail exactly the cluster request
+     that follows (one bad transfer, then the pager recovers). *)
+  check 0;
+  let k = Fail.ops inj ~site:"pager.request" in
+  Fail.attach inj ~site:"pager.request"
+    [ Fail.After (k, Fail.Fail_n_then_recover (k + 1, Fail.Short 64)) ];
+  let issued0 = s.Vm_sys.prefetch_issued in
+  check 1;
+  Alcotest.(check int) "short cluster prefetched nothing" issued0
+    s.Vm_sys.prefetch_issued;
+  (* Page 2 is sequential after the fallback: the ramp must resume. *)
+  check 2;
+  Alcotest.(check bool) "next sequential fault clusters again" true
+    (s.Vm_sys.prefetch_issued > issued0);
+  for i = 3 to n - 1 do
+    check i
+  done
+
+(* [plan] must not mutate the window before the range request succeeds:
+   against a pager that refuses every multi-page request, each
+   sequential fault asks for exactly the un-ramped two pages — under the
+   old pre-commit the refused attempts would phantom-ramp 2→4→8 — and
+   the committed window stays at 1. *)
+let test_failed_cluster_does_not_ramp () =
+  let machine, kernel, sys = boot ~frames:2048 () in
+  let ps = sys.Vm_sys.page_size in
+  let task = new_task kernel in
+  let lengths = ref [] in
+  let pager =
+    {
+      Types.pgr_id = Types.fresh_pager_id ();
+      pgr_name = "single-only";
+      pgr_request =
+        (fun ~offset ~length ->
+           lengths := length :: !lengths;
+           if length > ps then Types.Data_error
+           else
+             Types.Data_provided
+               (Bytes.make ps (Char.chr (0x41 + (offset / ps)))));
+      pgr_write = (fun ~offset:_ ~data:_ -> Types.Write_completed);
+      pgr_submit = Types.no_submit;
+      pgr_submit_write = Types.no_submit_write;
+      pgr_should_cache = ref false;
+    }
+  in
+  let n = 8 in
+  let inj = Fail.create ~seed:1 in
+  (* Pass-through wrapper: no rules attached, just the mapping helper. *)
+  let addr =
+    match Chaos_pager.map_wrapped sys task inj ~pager ~size:(n * ps) () with
+    | Ok (a, _) -> a
+    | Error e -> Alcotest.fail (Kr.to_string e)
+  in
+  for i = 0 to n - 1 do
+    let got = Machine.read machine ~cpu:0 ~va:(addr + (i * ps)) ~len:1 in
+    Alcotest.(check char)
+      (Printf.sprintf "page %d" i)
+      (Char.chr (0x41 + i))
+      (Bytes.get got 0)
+  done;
+  let clusters = List.filter (fun l -> l > ps) !lengths in
+  Alcotest.(check bool) "clusters were attempted" true (clusters <> []);
+  List.iter
+    (fun l ->
+       Alcotest.(check int) "attempt stayed at the un-ramped size" (2 * ps) l)
+    clusters;
+  match Vm_map.resolve_object_at sys (Task.map task) ~va:addr with
+  | Some (o, _) ->
+    Alcotest.(check int) "committed window is still 1" 1
+      o.Types.obj_ra_window
+  | None -> Alcotest.fail "no object behind the mapping"
+
 (* ---- map-hint fast path for range operations ----------------------------- *)
 
 (* With 64 one-page entries, a range op far from the hint walks the map;
@@ -266,7 +395,11 @@ let () =
             test_clustered_pageout_roundtrip ] );
       ( "degrade",
         [ Alcotest.test_case "short cluster" `Quick
-            test_short_cluster_degrades ] );
+            test_short_cluster_degrades;
+          Alcotest.test_case "fallback resumes the ramp" `Quick
+            test_degraded_cluster_resumes_ramp;
+          Alcotest.test_case "failed cluster does not ramp" `Quick
+            test_failed_cluster_does_not_ramp ] );
       ( "map-hint",
         [ Alcotest.test_case "range ops start at the hint" `Quick
             test_hint_accelerates_range_ops ] );

@@ -146,6 +146,8 @@ let store_pager () =
          in
          chunk 0;
          Types.Write_completed);
+    pgr_submit = Types.no_submit;
+    pgr_submit_write = Types.no_submit_write;
     pgr_should_cache = ref false;
   }
 
@@ -237,6 +239,45 @@ let chaos_qcheck =
     QCheck2.Gen.(
       pair (int_range 0 1_000_000) (list_size (int_range 20 80) op_gen))
     chaos_invariants
+
+(* ---- wasted transfers are charged at run length -------------------------- *)
+
+(* A transient failure on a clustered run wastes the *whole* transfer —
+   the platter spun every block of the run past the head before the
+   error surfaced — so the retry premium must scale with the run, not
+   cost a flat one block.  Regression: the premium for an 8-block run
+   equals one full 8-block service, and for a single block one 1-block
+   service. *)
+let test_disk_retry_charges_full_run () =
+  let premium count =
+    let cost inject =
+      let machine =
+        Machine.create ~arch:Arch.uvax2 ~memory_frames:64 ()
+      in
+      let disk = Simdisk.create machine ~block_size:4096 in
+      for b = 0 to count - 1 do
+        Simdisk.install disk ~block:b (Bytes.make 4096 'd')
+      done;
+      if inject then begin
+        let inj = Fail.create ~seed:13 in
+        (* First transfer fails, the retry goes through. *)
+        Fail.attach inj ~site:"disk.read"
+          [ Fail.Between (0, 0, Fail.Always Fail.Fail) ];
+        Simdisk.set_injector disk (Some inj)
+      end;
+      ignore (Simdisk.read_run disk ~cpu:0 ~first:0 ~count);
+      (Machine.cycles machine ~cpu:0,
+       Machine.disk_service_cycles machine ~bytes:(count * 4096))
+    in
+    let clean, _ = cost false in
+    let failed, service = cost true in
+    (failed - clean, service)
+  in
+  let p1, s1 = premium 1 in
+  let p8, s8 = premium 8 in
+  Alcotest.(check int) "single-block retry wastes one block" s1 p1;
+  Alcotest.(check int) "8-block retry wastes the whole run" s8 p8;
+  Alcotest.(check bool) "run premium really scales with length" true (p8 > p1)
 
 (* ---- graceful degradation ----------------------------------------------- *)
 
@@ -345,6 +386,9 @@ let () =
           Alcotest.test_case "profiles and --chaos spec parsing" `Quick
             test_profiles_and_spec ] );
       ("properties", [ QCheck_alcotest.to_alcotest chaos_qcheck ]);
+      ( "disk",
+        [ Alcotest.test_case "wasted retry charged at run length" `Quick
+            test_disk_retry_charges_full_run ] );
       ( "degradation",
         [ Alcotest.test_case "bounded retries then KERN_MEMORY_ERROR" `Quick
             test_bounded_retries_then_error;

@@ -42,6 +42,8 @@ let counting_pager sys ~name =
            in
            chunk 0;
            Types.Write_completed);
+      pgr_submit = Types.no_submit;
+      pgr_submit_write = Types.no_submit_write;
       pgr_should_cache = ref true;
     }
   in

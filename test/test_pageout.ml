@@ -181,6 +181,8 @@ let test_cached_object_pages_reclaimable () =
            incr counting;
            Types.Data_provided (Bytes.make length 'C'));
       pgr_write = (fun ~offset:_ ~data:_ -> Types.Write_completed);
+      pgr_submit = Types.no_submit;
+      pgr_submit_write = Types.no_submit_write;
       pgr_should_cache = ref true;
     }
   in

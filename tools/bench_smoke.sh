@@ -21,6 +21,17 @@
 #     when clustering is off);
 #   - read-ahead must flip the Table 7-1 first-read cells: Mach below
 #     UNIX on both the 2.5M and the 50K cold file read.
+#
+# And the async disk model:
+#   - every synchronous cluster elapsed_ms cell must match the committed
+#     BENCH_vm.json to the digit (the submit/wait protocol is free when
+#     the async model is off);
+#   - async must beat sync on the sequential read once the window is
+#     wide enough to overlap (w >= 8), and change nothing at w = 1
+#     (no prefetch tail, nothing to overlap);
+#   - machsim --chaos --async-disk must replay identically, stdout and
+#     stats JSON both (injection is decided at submit time, so replay
+#     cannot depend on when completions are reaped).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -149,11 +160,36 @@ cluster_cell() {
     sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$cluster_out"
 }
 
-for w in 1 2 4 8 16 32; do
+for w in 1 2 4 8 16 32 64; do
     for metric in seq_read_2M rand_read_256x4K writeback_1M; do
         name="cluster/$metric/w$w"
         if [ -z "$(cluster_cell "$name")" ]; then
             echo "bench-smoke: FAIL missing cell $name" >&2
+            fail=1
+        fi
+    done
+    for metric in seq_read_2M writeback_1M; do
+        name="cluster/$metric/w${w}_async"
+        if [ -z "$(cluster_cell "$name")" ]; then
+            echo "bench-smoke: FAIL missing cell $name" >&2
+            fail=1
+        fi
+    done
+done
+
+# Synchronous-mode guard: with the async model off the cluster cells are
+# fully deterministic and the submit/wait protocol must be free, so the
+# scratch run must match the committed BENCH_vm.json to the digit.
+for w in 1 2 4 8 16 32 64; do
+    for metric in seq_read_2M rand_read_256x4K writeback_1M; do
+        name="cluster/$metric/w$w"
+        now=$(cluster_cell "$name")
+        base=$(baseline_cell "$name")
+        if [ -z "$base" ]; then
+            echo "bench-smoke: FAIL no committed baseline for $name" >&2
+            fail=1
+        elif [ "$now" != "$base" ]; then
+            echo "bench-smoke: FAIL $name = $now drifted from committed $base (sync disk model must be unchanged)" >&2
             fail=1
         fi
     done
@@ -175,6 +211,23 @@ fi
 w8=$(cluster_cell cluster/seq_read_2M/w8)
 if ! awk "BEGIN { exit !($w8 < $w1) }"; then
     echo "bench-smoke: FAIL cluster/seq_read_2M/w8 = $w8 not below w1 = $w1" >&2
+    fail=1
+fi
+
+# The async model must actually overlap: at w >= 8 the submitted
+# prefetch tail hides device time behind the copy loop, so async beats
+# sync; at w = 1 there is no tail and the two models are identical.
+for w in 8 16 32 64; do
+    sync_ms=$(cluster_cell "cluster/seq_read_2M/w$w")
+    async_ms=$(cluster_cell "cluster/seq_read_2M/w${w}_async")
+    if ! awk "BEGIN { exit !($async_ms < $sync_ms) }"; then
+        echo "bench-smoke: FAIL cluster/seq_read_2M/w${w}_async = $async_ms not below sync $sync_ms (no overlap)" >&2
+        fail=1
+    fi
+done
+w1_async=$(cluster_cell cluster/seq_read_2M/w1_async)
+if [ -z "$w1_async" ] || [ "$w1_async" != "$w1" ]; then
+    echo "bench-smoke: FAIL cluster/seq_read_2M/w1_async ($w1_async ms) != w1 ($w1 ms); async must be a no-op without a prefetch tail" >&2
     fail=1
 fi
 
@@ -205,7 +258,25 @@ if ! grep -q '^chaos: seed=42 profile=flaky' "$run_a"; then
     fail=1
 fi
 
+# Same replay guarantee with the async disk model on: stdout and the
+# exported stats JSON (queue depth / completion / wait histograms
+# included) must both be run-to-run identical.
+dune exec bin/machsim.exe -- compile --chaos 42:flaky --async-disk --stats "$run_a.stats" 2>&1 |
+    grep -v '^stats: ->' >"$run_a"
+dune exec bin/machsim.exe -- compile --chaos 42:flaky --async-disk --stats "$run_b.stats" 2>&1 |
+    grep -v '^stats: ->' >"$run_b"
+if ! cmp -s "$run_a" "$run_b"; then
+    echo "bench-smoke: FAIL machsim --chaos --async-disk is not replay-identical" >&2
+    diff "$run_a" "$run_b" >&2 || true
+    fail=1
+fi
+if ! cmp -s "$run_a.stats" "$run_b.stats"; then
+    echo "bench-smoke: FAIL machsim --chaos --async-disk stats JSON differs between replays" >&2
+    fail=1
+fi
+rm -f "$run_a.stats" "$run_b.stats"
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos)"
