@@ -1134,7 +1134,44 @@ let cluster () =
   cell "seq_read_2M/legacy" legacy_ms;
   Tablefmt.row t
     [ "legacy"; fmt_ms legacy_ms; "-"; "-"; "-"; "-"; "-"; "-"; "-" ];
-  Tablefmt.print t
+  Tablefmt.print t;
+  (* Attribution cells: instrumented re-runs of the w=8 streaming read.
+     The Disk_wait share is the fraction of all cycles spent on device
+     time or blocked on async completions; overlap means the async run's
+     share must not exceed the sync run's.  Separate boots, so the
+     untraced cells above are untouched; [os.reset] zeroes the clocks
+     and the attribution totals together, so conservation is exact from
+     that point even though the tracer arrived after the kernel booted. *)
+  let attr_seq ~async =
+    let machine, kernel, _, os = boot_mach ~mem:(16 * mb) Arch.vax8200 in
+    let tr = Mach_obs.Obs.create ~capacity:(1 lsl 12) () in
+    Mach_obs.Obs.set_enabled tr true;
+    Machine.set_tracer machine tr;
+    Machine.set_disk_async machine async;
+    let sys = Kernel.sys kernel in
+    sys.Vm_sys.cluster_max <- 8;
+    os.Os_iface.install_file ~name:"/seq" ~data:(Bytes.make seq_size 'S');
+    os.Os_iface.reset ();
+    ignore (os.Os_iface.read_file ~cpu:0 ~name:"/seq" ~offset:0 ~len:seq_size);
+    let total = Machine.max_cycles machine in
+    let disk_wait =
+      Mach_obs.Obs.attr_grand_total tr Mach_obs.Obs.Disk_wait
+    in
+    let conserved =
+      Mach_obs.Obs.attr_cpu_total tr ~cpu:0 = Machine.cycles machine ~cpu:0
+    in
+    (float_of_int disk_wait /. float_of_int total, conserved)
+  in
+  let sync_frac, sync_ok = attr_seq ~async:false in
+  let async_frac, async_ok = attr_seq ~async:true in
+  cell "attr_disk_wait_frac/w8" sync_frac;
+  cell "attr_disk_wait_frac/w8_async" async_frac;
+  cell "attr_conserved/w8" (if sync_ok && async_ok then 1.0 else 0.0);
+  Printf.printf
+    "cluster attribution (w=8): disk_wait %.1f%% sync, %.1f%% async, \
+     conservation %s\n\n"
+    (100. *. sync_frac) (100. *. async_frac)
+    (if sync_ok && async_ok then "ok" else "MISMATCH")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall-clock of the simulator itself)       *)

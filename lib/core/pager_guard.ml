@@ -60,7 +60,7 @@ let with_retries (sys : Vm_sys.t) o ~offset attempt =
         if Obs.enabled (Vm_sys.tracer sys) then
           Vm_sys.emit sys
             (Obs.Pager_retry { offset; attempt = n + 1; backoff });
-        Vm_sys.charge sys backoff;
+        Vm_sys.charge_cat sys Obs.Retry_backoff backoff;
         go (n + 1)
       end
       else begin
@@ -97,6 +97,10 @@ let request sys o ~offset ~length =
   match o.obj_pager with
   | None -> `Absent
   | Some pager ->
+    (* Attribution: everything from here to the pager's reply is pager
+       time — except cycles a narrower frame or explicit category claims
+       (disk service time, retry backoff). *)
+    Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
     if o.obj_health.ph_dead then degraded_request o ~offset ~length
     else begin
       match
@@ -117,10 +121,10 @@ let request sys o ~offset ~length =
    truncated cluster); [`Absent] means the pager holds nothing at
    [offset] itself (see the contract on [pgr_request]). *)
 let request_range (sys : Vm_sys.t) o ~offset ~length =
-  ignore sys;
   match o.obj_pager with
   | None -> `Absent
   | Some pager ->
+    Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
     if o.obj_health.ph_dead then degraded_request o ~offset ~length
     else begin
       match pager.pgr_request ~offset ~length with
@@ -136,12 +140,13 @@ let request_range (sys : Vm_sys.t) o ~offset ~length =
    unavailable — no pager, dead pager, async disk off, or a submit-time
    failure — and the caller uses the synchronous protocol instead.
    Like [request_range], success clears the consecutive-failure count. *)
-let submit_range (_sys : Vm_sys.t) o ~offset ~length =
+let submit_range (sys : Vm_sys.t) o ~offset ~length =
   match o.obj_pager with
   | None -> None
   | Some pager ->
     if o.obj_health.ph_dead then None
     else begin
+      Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
       match pager.pgr_submit ~offset ~length with
       | Some tk ->
         o.obj_health.ph_consecutive <- 0;
@@ -149,12 +154,13 @@ let submit_range (_sys : Vm_sys.t) o ~offset ~length =
       | None -> None
     end
 
-let submit_write_range (_sys : Vm_sys.t) o ~offset ~data =
+let submit_write_range (sys : Vm_sys.t) o ~offset ~data =
   match o.obj_pager with
   | None -> None
   | Some pager ->
     if o.obj_health.ph_dead then None
     else begin
+      Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
       match pager.pgr_submit_write ~offset ~data with
       | Some wt ->
         o.obj_health.ph_consecutive <- 0;
@@ -184,10 +190,10 @@ let await_page (sys : Vm_sys.t) p =
    retries or health damage and the caller degrades to single-page
    [write] calls. *)
 let write_range (sys : Vm_sys.t) o ~offset ~data =
-  ignore sys;
   match o.obj_pager with
   | None -> false
   | Some pager ->
+    Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
     if o.obj_health.ph_dead then
       (match o.obj_rescue with
        | None -> false
@@ -207,6 +213,7 @@ let write sys o ~offset ~data =
   match o.obj_pager with
   | None -> false
   | Some pager ->
+    Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
     if o.obj_health.ph_dead then
       (match o.obj_rescue with
        | None -> false

@@ -31,6 +31,12 @@ let new_page_in (sys : Vm_sys.t) obj ~offset =
   p
 
 let fault sys map ~va ~write =
+  (* Attribution: the whole handler runs under a [Fault_service] frame
+     (redundant under [Machine.deliver_fault], which pushes the same
+     category, but syscall-path callers — wire, user copyin — reach
+     here directly).  Narrower frames below re-attribute the interesting
+     sub-costs: pager traffic, zero fills, COW copies. *)
+  Vm_sys.with_cat sys Obs.Fault_service @@ fun () ->
   let stats = sys.Vm_sys.stats in
   stats.Vm_sys.faults <- stats.Vm_sys.faults + 1;
   (* Trace bracketing: one Fault_begin/Fault_end pair per invocation,
@@ -152,7 +158,10 @@ let fault sys map ~va ~write =
         let tp =
           if traced then Machine.cycles sys.Vm_sys.machine ~cpu else 0
         in
-        (match Vm_cluster.pagein sys obj ~offset:off ~limit:lim with
+        (match
+           Vm_sys.with_cat sys Obs.Pager_wait (fun () ->
+               Vm_cluster.pagein sys obj ~offset:off ~limit:lim)
+         with
          | `Data (p, bytes) ->
            paged_in := true;
            if traced then begin
@@ -187,12 +196,13 @@ let fault sys map ~va ~write =
        | `Found (_, src) ->
          if write then begin
            (* Copy the page up into the first object. *)
-           let p = new_page_in sys first_obj ~offset in
-           copy_mach_page sys ~src ~dst:p;
-           stats.Vm_sys.cow_copies <- stats.Vm_sys.cow_copies + 1;
-           resolution := Obs.Cow_copy;
-           invalidate_shared_source src;
-           Vm_object.collapse sys first_obj;
+           Vm_sys.with_cat sys Obs.Cow_copy (fun () ->
+               let p = new_page_in sys first_obj ~offset in
+               copy_mach_page sys ~src ~dst:p;
+               stats.Vm_sys.cow_copies <- stats.Vm_sys.cow_copies + 1;
+               resolution := Obs.Cow_copy;
+               invalidate_shared_source src;
+               Vm_object.collapse sys first_obj);
            (* The copy may have moved the page up; look it up afresh. *)
            (match Vm_object.lookup_resident sys first_obj ~offset with
             | Some p -> finish p ~prot:(mapped_prot ~cow:false)
@@ -207,8 +217,12 @@ let fault sys map ~va ~write =
        | `Bottom ->
          (* Nothing anywhere in the chain: memory with no backing data is
             automatically zero filled, directly in the first object. *)
-         let p = new_page_in sys first_obj ~offset in
-         zero_mach_page sys p;
+         let p =
+           Vm_sys.with_cat sys Obs.Zero_fill (fun () ->
+               let p = new_page_in sys first_obj ~offset in
+               zero_mach_page sys p;
+               p)
+         in
          stats.Vm_sys.zero_fills <- stats.Vm_sys.zero_fills + 1;
          resolution := Obs.Zero_fill;
          finish p

@@ -32,6 +32,7 @@ let clear_modified sys p =
 let page_bytes = Page_io.contents
 
 let deactivate_some (sys : Vm_sys.t) ~count =
+  Vm_sys.with_cat sys Mach_obs.Obs.Pageout_daemon @@ fun () ->
   let rec loop n =
     if n > 0 then
       match Resident.take_active sys.Vm_sys.resident with
@@ -177,6 +178,10 @@ let clean_cluster (sys : Vm_sys.t) p =
     end
 
 let run (sys : Vm_sys.t) ~wanted =
+  (* Attribution: reclaim is daemon work no matter who triggered it (a
+     fault-path [grab_page] included); pager writes and disk time inside
+     re-attribute themselves via narrower frames. *)
+  Vm_sys.with_cat sys Mach_obs.Obs.Pageout_daemon @@ fun () ->
   let res = sys.Vm_sys.resident in
   (* Keep the inactive queue stocked: roughly a third of what is in
      circulation, and at least what this call needs. *)

@@ -97,6 +97,12 @@ let current_cpu t = Pmap_domain.current_cpu t.domain
 
 let charge t c = Machine.charge t.machine ~cpu:(current_cpu t) c
 
+let charge_cat t cat c =
+  Machine.charge_category t.machine ~cpu:(current_cpu t) cat c
+
+let with_cat t cat f =
+  Machine.with_category t.machine ~cpu:(current_cpu t) cat f
+
 let tracer t = Machine.tracer t.machine
 
 let now t = Machine.cycles t.machine ~cpu:(current_cpu t)

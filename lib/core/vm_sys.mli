@@ -104,6 +104,15 @@ val grab_page : t -> Types.page
 val charge : t -> int -> unit
 (** [charge t c] adds [c] cycles to the current CPU's clock. *)
 
+val charge_cat : t -> Mach_obs.Obs.category -> int -> unit
+(** [charge_cat t cat c] is {!charge} with the cycles attributed to
+    [cat] explicitly ({!Mach_hw.Machine.charge_category}). *)
+
+val with_cat : t -> Mach_obs.Obs.category -> (unit -> 'a) -> 'a
+(** [with_cat t cat f] runs [f] under an attribution frame for [cat] on
+    the current CPU ({!Mach_hw.Machine.with_category}); free when
+    tracing is off. *)
+
 val current_cpu : t -> int
 (** CPU executing kernel code, as recorded in the pmap domain. *)
 

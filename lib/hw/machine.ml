@@ -62,6 +62,12 @@ type t = {
   mutable tracer : Mach_obs.Obs.t;
   mutable disk_async : bool;
   mutable disk_queues : dqueue list; (* every queue ever created, for reset *)
+  (* vmstat sampler: a callback fired every [sample_every] cycles of
+     simulated time.  [next_sample] is [max_int] when no sampler is
+     installed, so the hot charge path pays one compare. *)
+  mutable sampler : (unit -> unit) option;
+  mutable sample_every : int;
+  mutable next_sample : int;
 }
 
 let fresh_stats () =
@@ -87,7 +93,8 @@ let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
     tick_interval = tick_interval_ms * arch.Arch.cycles_per_ms;
     stats = fresh_stats (); fault_handler = None; on_translated = None;
     tracer = Mach_obs.Obs.null;
-    disk_async = false; disk_queues = [] }
+    disk_async = false; disk_queues = [];
+    sampler = None; sample_every = 0; next_sample = max_int }
 
 let arch t = t.arch
 let phys t = t.phys
@@ -112,10 +119,6 @@ let cpu_of t id =
     invalid_arg "Machine: bad CPU id";
   t.cpus.(id)
 
-let charge t ~cpu c =
-  let cr = cpu_of t cpu in
-  cr.clock <- cr.clock + c
-
 let cycles t ~cpu = (cpu_of t cpu).clock
 
 let max_cycles t =
@@ -123,11 +126,71 @@ let max_cycles t =
 
 let elapsed_ms t = Arch.cycles_to_ms t.arch (max_cycles t)
 
+(* Fire the vmstat sampler for every interval boundary the clock just
+   crossed.  The trigger advances before the callback runs, so charges
+   the callback itself makes cannot recurse into it. *)
+let run_sampler t =
+  match t.sampler with
+  | None -> t.next_sample <- max_int
+  | Some f ->
+    while max_cycles t >= t.next_sample do
+      t.next_sample <- t.next_sample + t.sample_every
+    done;
+    f ()
+
+(* Every clock mutation in this module funnels through [bump]/[bump_as]:
+   the cycles are attributed to the tracer (innermost open category, or
+   an explicit one) and the sampler trigger is checked.  With tracing
+   off and no sampler this is two compares on top of the add — and the
+   simulated clock itself is identical either way. *)
+let bump t (c : cpu) n =
+  c.clock <- c.clock + n;
+  if Mach_obs.Obs.enabled t.tracer then
+    Mach_obs.Obs.attr_charge t.tracer ~cpu:c.id n;
+  if c.clock >= t.next_sample then run_sampler t
+
+let bump_as t (c : cpu) cat n =
+  c.clock <- c.clock + n;
+  if Mach_obs.Obs.enabled t.tracer then
+    Mach_obs.Obs.attr_charge_as t.tracer ~cpu:c.id cat n;
+  if c.clock >= t.next_sample then run_sampler t
+
+let charge t ~cpu c = bump t (cpu_of t cpu) c
+
+let charge_category t ~cpu cat c = bump_as t (cpu_of t cpu) cat c
+
+let with_category t ~cpu cat f =
+  if Mach_obs.Obs.enabled t.tracer then begin
+    Mach_obs.Obs.attr_push t.tracer ~cpu cat;
+    match f () with
+    | v ->
+      Mach_obs.Obs.attr_pop t.tracer ~cpu;
+      v
+    | exception e ->
+      Mach_obs.Obs.attr_pop t.tracer ~cpu;
+      raise e
+  end
+  else f ()
+
+let set_sampler t ~every_ms f =
+  if every_ms <= 0 then invalid_arg "Machine.set_sampler";
+  t.sampler <- Some f;
+  t.sample_every <- every_ms * t.arch.Arch.cycles_per_ms;
+  t.next_sample <- max_cycles t + t.sample_every
+
+let clear_sampler t =
+  t.sampler <- None;
+  t.next_sample <- max_int
+
 let reset_clocks t =
   Array.iter (fun c -> c.clock <- 0) t.cpus;
   (* Queue stamps are absolute cycle counts; stale ones would make a
      post-reset wait charge a huge phantom residue. *)
   List.iter (fun q -> q.dq_free <- 0; q.dq_pending <- []) t.disk_queues;
+  (* Attribution totals must keep summing to the (zeroed) clocks. *)
+  if Mach_obs.Obs.enabled t.tracer then
+    Mach_obs.Obs.attr_reset_totals t.tracer;
+  if t.sampler <> None then t.next_sample <- t.sample_every;
   let s = t.stats in
   s.faults <- 0; s.ipis <- 0; s.shootdowns <- 0; s.deferred_flushes <- 0;
   s.stale_tlb_uses <- 0; s.disk_ops <- 0; s.disk_bytes <- 0;
@@ -142,7 +205,8 @@ let disk_service_cycles t ~bytes =
 
 let charge_disk t ~cpu ~write ~bytes =
   let cycles = disk_service_cycles t ~bytes in
-  charge t ~cpu cycles;
+  (* Device time is always [Disk_wait], whatever kernel path asked. *)
+  charge_category t ~cpu Mach_obs.Obs.Disk_wait cycles;
   t.stats.disk_ops <- t.stats.disk_ops + 1;
   t.stats.disk_bytes <- t.stats.disk_bytes + bytes;
   if traced t then
@@ -180,7 +244,7 @@ let account_disk t ~cpu ~write ~bytes ~cycles =
 let submit_disk t q ~cpu ~write ~bytes ~extra =
   let service = disk_service_cycles t ~bytes + extra in
   if not t.disk_async then begin
-    charge t ~cpu service;
+    charge_category t ~cpu Mach_obs.Obs.Disk_wait service;
     t.stats.disk_ops <- t.stats.disk_ops + 1;
     t.stats.disk_bytes <- t.stats.disk_bytes + bytes;
     if traced t then
@@ -218,7 +282,7 @@ let wait_disk t ~cpu ~completion ~service =
   if t.disk_async then begin
     let c = cpu_of t cpu in
     let residue = max 0 (completion - c.clock) in
-    if residue > 0 then c.clock <- c.clock + residue;
+    if residue > 0 then bump_as t c Mach_obs.Obs.Disk_wait residue;
     t.stats.disk_waits <- t.stats.disk_waits + 1;
     t.stats.disk_wait_cycles <- t.stats.disk_wait_cycles + residue;
     let overlap = max 0 (service - residue) in
@@ -227,6 +291,15 @@ let wait_disk t ~cpu ~completion ~service =
       Mach_obs.Obs.record t.tracer ~ts:c.clock ~cpu
         (Mach_obs.Obs.Disk_wait { cycles = residue; overlap })
   end
+
+(* Requests still in flight across every queue, judged at the latest CPU
+   clock; the vmstat sampler's queue-depth gauge. *)
+let disk_inflight t =
+  let now = max_cycles t in
+  List.fold_left
+    (fun acc q ->
+       acc + List.length (List.filter (fun c -> c > now) q.dq_pending))
+    0 t.disk_queues
 
 (* --- TLB maintenance ------------------------------------------------- *)
 
@@ -263,7 +336,8 @@ let drain_pending t c =
       c.pending;
     t.stats.deferred_flushes <- t.stats.deferred_flushes + Queue.length c.pending;
     Queue.clear c.pending;
-    c.clock <- c.clock + t.arch.Arch.cost.Arch.tlb_flush
+    (* Deferred flush work is TLB-consistency cost wherever it lands. *)
+    bump_as t c Mach_obs.Obs.Shootdown_ipi t.arch.Arch.cost.Arch.tlb_flush
   end
 
 let tick t = Array.iter (fun c -> drain_pending t c) t.cpus
@@ -276,10 +350,11 @@ let pending_flushes t ~cpu = Queue.length (cpu_of t cpu).pending
 let deferred_wait t ~initiator =
   let c = cpu_of t initiator in
   let remainder = t.tick_interval - (c.clock mod t.tick_interval) in
-  c.clock <- c.clock + remainder;
+  bump_as t c Mach_obs.Obs.Shootdown_ipi remainder;
   tick t
 
 let shootdown t ~initiator ~targets req ~urgent =
+  with_category t ~cpu:initiator Mach_obs.Obs.Shootdown_ipi @@ fun () ->
   t.stats.shootdowns <- t.stats.shootdowns + 1;
   let start_clock = (cpu_of t initiator).clock in
   flush_local t ~cpu:initiator req;
@@ -302,10 +377,11 @@ let shootdown t ~initiator ~targets req ~urgent =
          (* The initiator spins until the target acknowledges; both sides
             pay for the interrupt. *)
          charge t ~cpu:initiator t.arch.Arch.cost.Arch.ipi;
-         target.clock <- target.clock + t.arch.Arch.cost.Arch.ipi;
+         bump_as t target Mach_obs.Obs.Shootdown_ipi t.arch.Arch.cost.Arch.ipi;
          apply_flush target req;
          note_flush t target req ~deferred:false;
-         target.clock <- target.clock + t.arch.Arch.cost.Arch.tlb_flush)
+         bump_as t target Mach_obs.Obs.Shootdown_ipi
+           t.arch.Arch.cost.Arch.tlb_flush)
       remote;
     note_shootdown ()
   end
@@ -333,6 +409,7 @@ let shootdown_batch t ~initiator ~targets reqs ~urgent =
   | [] -> ()
   | [ req ] -> shootdown t ~initiator ~targets req ~urgent
   | reqs ->
+    with_category t ~cpu:initiator Mach_obs.Obs.Shootdown_ipi @@ fun () ->
     t.stats.shootdowns <- t.stats.shootdowns + 1;
     let init = cpu_of t initiator in
     let start_clock = init.clock in
@@ -340,7 +417,7 @@ let shootdown_batch t ~initiator ~targets reqs ~urgent =
     List.iter
       (fun req ->
          apply_flush init req;
-         init.clock <- init.clock + tlb_flush;
+         bump t init tlb_flush;
          note_flush t init req ~deferred:false)
       reqs;
     let remote = List.filter (fun id -> id <> initiator) targets in
@@ -369,13 +446,14 @@ let shootdown_batch t ~initiator ~targets reqs ~urgent =
            (* One interrupt delivers the whole request list; the target
               then pays a flush per request. *)
            t.stats.ipis <- t.stats.ipis + 1;
-           init.clock <- init.clock + t.arch.Arch.cost.Arch.ipi;
-           target.clock <- target.clock + t.arch.Arch.cost.Arch.ipi;
+           bump t init t.arch.Arch.cost.Arch.ipi;
+           bump_as t target Mach_obs.Obs.Shootdown_ipi
+             t.arch.Arch.cost.Arch.ipi;
            List.iter
              (fun req ->
                 apply_flush target req;
                 note_flush t target req ~deferred:false;
-                target.clock <- target.clock + tlb_flush)
+                bump_as t target Mach_obs.Obs.Shootdown_ipi tlb_flush)
              reqs)
         remote;
       note_batch ()
@@ -427,6 +505,11 @@ let tlb_fill t ~cpu e = Tlb.insert (cpu_of t cpu).tlb e
 
 let deliver_fault t ~cpu f =
   t.stats.faults <- t.stats.faults + 1;
+  (* Everything the handler does — trap overhead included — counts as
+     fault service unless a nested frame (pmap, disk, pager...) claims
+     it.  The pop is exception-safe: the handler may raise
+     [Memory_violation]. *)
+  with_category t ~cpu Mach_obs.Obs.Fault_service @@ fun () ->
   charge t ~cpu t.arch.Arch.cost.Arch.fault_overhead;
   match t.fault_handler with
   | None ->
@@ -473,7 +556,7 @@ let translate t ~cpu ~va ~write =
         if not (Queue.is_empty c.pending)
            && stale_hit c ~asid:tr.Translator.asid ~vpn then
           t.stats.stale_tlb_uses <- t.stats.stale_tlb_uses + 1;
-        c.clock <- c.clock + cost.Arch.mem_op;
+        bump t c cost.Arch.mem_op;
         (match t.on_translated with
          | None -> ()
          | Some f -> f ~pfn:e.Tlb.pfn ~write);
@@ -487,14 +570,14 @@ let translate t ~cpu ~va ~write =
       end
     | None, Some tr ->
       t.stats.tlb_miss_count <- t.stats.tlb_miss_count + 1;
-      c.clock <- c.clock + tr.Translator.walk_cost;
+      bump t c tr.Translator.walk_cost;
       (match tr.Translator.lookup vpn with
        | Translator.Mapped { pfn; prot } ->
          if Tlb.capacity c.tlb > 0 then
            Tlb.insert c.tlb
              { Tlb.asid = tr.Translator.asid; vpn; pfn; prot };
          if Prot.allows prot ~write then begin
-           c.clock <- c.clock + cost.Arch.mem_op;
+           bump t c cost.Arch.mem_op;
            (match t.on_translated with
             | None -> ()
             | Some f -> f ~pfn ~write);

@@ -118,7 +118,21 @@ val set_on_translated : t -> (pfn:int -> write:bool -> unit) -> unit
 (** {1 Clocks} *)
 
 val charge : t -> cpu:int -> int -> unit
-(** [charge t ~cpu c] advances CPU [cpu]'s clock by [c] cycles. *)
+(** [charge t ~cpu c] advances CPU [cpu]'s clock by [c] cycles.  When a
+    tracer is enabled the cycles are attributed to the innermost open
+    category frame on that CPU ({!Mach_obs.Obs.attr_push}). *)
+
+val charge_category : t -> cpu:int -> Mach_obs.Obs.category -> int -> unit
+(** [charge_category t ~cpu cat c] is {!charge} with the cycles
+    attributed to [cat] explicitly, bypassing the attribution stack;
+    used for costs that belong to a fixed subsystem no matter who
+    triggered them (disk service time, shootdown IPIs). *)
+
+val with_category : t -> cpu:int -> Mach_obs.Obs.category -> (unit -> 'a) -> 'a
+(** [with_category t ~cpu cat f] runs [f] with [cat] pushed on [cpu]'s
+    attribution stack, so every {!charge} inside lands in [cat] unless a
+    nested frame or explicit category overrides it.  Exception-safe; free
+    when tracing is off. *)
 
 val cycles : t -> cpu:int -> int
 (** [cycles t ~cpu] is that CPU's clock. *)
@@ -132,7 +146,23 @@ val elapsed_ms : t -> float
 
 val reset_clocks : t -> unit
 (** [reset_clocks t] zeroes every CPU clock and the statistics; benchmarks
-    call this between measurements. *)
+    call this between measurements.  Attribution totals are zeroed with
+    the clocks (open frames survive) so they keep summing to the clock. *)
+
+val set_sampler : t -> every_ms:int -> (unit -> unit) -> unit
+(** [set_sampler t ~every_ms f] arranges for [f] to run the first time
+    any CPU clock crosses each successive [every_ms] boundary of
+    simulated time (the vmstat-style periodic readout).  The trigger
+    is re-armed past the current {!max_cycles} before [f] runs, so a
+    sampler may itself charge cycles.  Costs one compare per charge
+    while armed; raises [Invalid_argument] when [every_ms <= 0]. *)
+
+val clear_sampler : t -> unit
+
+val disk_inflight : t -> int
+(** Async disk requests submitted but not yet complete at the current
+    {!max_cycles}, summed over every queue; a queue-depth gauge for
+    periodic samplers.  Always 0 in sync mode. *)
 
 val charge_disk : t -> cpu:int -> write:bool -> bytes:int -> unit
 (** [charge_disk t ~cpu ~write ~bytes] accounts one disk operation moving

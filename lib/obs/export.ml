@@ -71,16 +71,47 @@ let chrome_trace ?(cycles_per_us = 1.0) tr =
   let cpus = Hashtbl.create 8 in
   let push e = events := e :: !events in
   Ring.iter
-    (fun { Obs.ts; cpu; ev } ->
+    (fun { Obs.ts; cpu; span; ev } ->
        Hashtbl.replace cpus cpu ();
-       let base name ph =
+       let args =
+         let a = args_of_event ev in
+         if span > 0 then ("span", Jout.Int span) :: a else a
+       in
+       let base ?(at = ts) name ph =
          [ ("name", Jout.Str name); ("cat", Jout.Str "vm");
-           ("ph", Jout.Str ph); ("ts", ts_of ts); ("pid", Jout.Int 0);
-           ("tid", Jout.Int cpu); ("args", Jout.Obj (args_of_event ev)) ]
+           ("ph", Jout.Str ph); ("ts", ts_of at); ("pid", Jout.Int 0);
+           ("tid", Jout.Int cpu); ("args", Jout.Obj args) ]
+       in
+       (* Flow arrows stitch a fault span's cycle-bearing children to
+          the enclosing fault slice, so the viewer draws the causal
+          chain (span id = flow id). *)
+       let flow ph =
+         if span > 0 then
+           push
+             (Jout.Obj
+                ([ ("name", Jout.Str "fault-flow"); ("cat", Jout.Str "vm");
+                   ("ph", Jout.Str ph); ("id", Jout.Int span);
+                   ("ts", ts_of ts); ("pid", Jout.Int 0);
+                   ("tid", Jout.Int cpu) ]
+                 @ (if ph = "f" then [ ("bp", Jout.Str "e") ] else [])))
+       in
+       (* A cycle-bearing event is emitted as a complete slice covering
+          the work it accounts, which nests inside the open fault
+          slice on the same thread. *)
+       let complete name cycles =
+         flow "t";
+         push (Jout.Obj (base ~at:(ts - cycles) name "X"
+                         @ [ ("dur", ts_of cycles) ]))
        in
        match ev with
-       | Obs.Fault_begin _ -> push (Jout.Obj (base "fault" "B"))
-       | Obs.Fault_end _ -> push (Jout.Obj (base "fault" "E"))
+       | Obs.Fault_begin _ -> push (Jout.Obj (base "fault" "B")); flow "s"
+       | Obs.Fault_end _ -> flow "f"; push (Jout.Obj (base "fault" "E"))
+       | Obs.Pagein { cycles; _ } -> complete "pagein" cycles
+       | Obs.Disk_io { cycles; _ } -> complete "disk_io" cycles
+       | Obs.Disk_wait { cycles; _ } -> complete "disk_wait" cycles
+       | Obs.Shootdown { cycles; _ } -> complete "shootdown" cycles
+       | Obs.Shootdown_batch { cycles; _ } ->
+         complete "shootdown_batch" cycles
        | _ ->
          (* Instant event, thread-scoped. *)
          push (Jout.Obj (base (Obs.kind_name ev) "i"
@@ -127,9 +158,9 @@ let hist_json h =
       ("mean", Jout.Float (Hist.mean h));
       ("min", Jout.Int (Hist.min_value h));
       ("max", Jout.Int (Hist.max_value h));
-      ("p50", Jout.Int (Hist.percentile h 0.50));
-      ("p90", Jout.Int (Hist.percentile h 0.90));
-      ("p99", Jout.Int (Hist.percentile h 0.99));
+      ("p50", Jout.Int (Hist.p50 h));
+      ("p95", Jout.Int (Hist.p95 h));
+      ("p99", Jout.Int (Hist.p99 h));
       ("buckets", Jout.Arr (List.rev !buckets)) ]
 
 let stats_json ?(extra = []) tr =
@@ -183,16 +214,16 @@ let summary_tables tr =
   let lat =
     Tablefmt.create
       ~title:"Trace: latency summaries (simulated cycles)"
-      ~columns:[ "metric"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+      ~columns:[ "metric"; "count"; "mean"; "p50"; "p95"; "p99"; "max" ]
   in
   let hist_row name h =
     if Hist.count h > 0 then
       Tablefmt.row lat
         [ name; string_of_int (Hist.count h);
           Printf.sprintf "%.0f" (Hist.mean h);
-          string_of_int (Hist.percentile h 0.50);
-          string_of_int (Hist.percentile h 0.90);
-          string_of_int (Hist.percentile h 0.99);
+          string_of_int (Hist.p50 h);
+          string_of_int (Hist.p95 h);
+          string_of_int (Hist.p99 h);
           string_of_int (Hist.max_value h) ]
   in
   List.iter
@@ -213,3 +244,129 @@ let summary_tables tr =
   [ counts; lat ]
 
 let print_summary tr = List.iter Tablefmt.print (summary_tables tr)
+
+(* ------------------------------------------------------------------ *)
+(* Cycle attribution: the profiler's JSON and table renderings.  Both
+   take [clocks], the per-CPU cycle counters at export time, so every
+   view can state whether attribution conserved the clock (it does
+   exactly when the tracer was installed before the machine ran). *)
+
+let attr_cpu_range ~clocks tr = max (Obs.attr_cpus tr) (Array.length clocks)
+
+let clock_at clocks i = if i < Array.length clocks then clocks.(i) else 0
+
+let attribution_conserved ~clocks tr =
+  let n = attr_cpu_range ~clocks tr in
+  let rec go i =
+    i >= n
+    || (Obs.attr_cpu_total tr ~cpu:i = clock_at clocks i && go (i + 1))
+  in
+  go 0
+
+let span_json (s : Obs.span_info) =
+  Jout.Obj
+    [ ("id", Jout.Int s.Obs.sp_id); ("cpu", Jout.Int s.Obs.sp_cpu);
+      ("va", Jout.Int s.Obs.sp_va);
+      ("resolution", Jout.Str (Obs.fault_resolution_name s.Obs.sp_resolution));
+      ("cycles", Jout.Int s.Obs.sp_cycles) ]
+
+let attribution_json ~clocks tr =
+  let n = attr_cpu_range ~clocks tr in
+  let cat_fields total_of =
+    List.map (fun c -> (Obs.category_name c, Jout.Int (total_of c)))
+      Obs.categories
+  in
+  let per_cpu =
+    List.init n (fun i ->
+        let attributed = Obs.attr_cpu_total tr ~cpu:i in
+        Jout.Obj
+          [ ("cpu", Jout.Int i);
+            ("clock", Jout.Int (clock_at clocks i));
+            ("attributed", Jout.Int attributed);
+            ("conserved", Jout.Bool (attributed = clock_at clocks i));
+            ("categories",
+             Jout.Obj (cat_fields (fun c -> Obs.attr_total tr ~cpu:i c))) ])
+  in
+  let grand =
+    List.fold_left (fun a c -> a + Obs.attr_grand_total tr c) 0 Obs.categories
+  in
+  let clock_total = Array.fold_left ( + ) 0 clocks in
+  Jout.Obj
+    [ ("total", Jout.Int grand);
+      ("clock_total", Jout.Int clock_total);
+      ("conserved", Jout.Bool (attribution_conserved ~clocks tr));
+      ("categories",
+       Jout.Obj (cat_fields (fun c -> Obs.attr_grand_total tr c)));
+      ("per_cpu", Jout.Arr per_cpu);
+      ("top_spans", Jout.Arr (List.map span_json (Obs.top_spans tr))) ]
+
+let profile_tables ~clocks tr =
+  let n = attr_cpu_range ~clocks tr in
+  let clock_total = Array.fold_left ( + ) 0 clocks in
+  let share v =
+    if clock_total = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100. *. float_of_int v
+                                  /. float_of_int clock_total)
+  in
+  let cpu_cols = List.init n (Printf.sprintf "cpu%d") in
+  let attr =
+    Tablefmt.create ~title:"Profile: cycle attribution by subsystem"
+      ~columns:(("category" :: cpu_cols) @ [ "total"; "share" ])
+  in
+  let by_weight =
+    List.sort
+      (fun a b ->
+         compare (Obs.attr_grand_total tr b) (Obs.attr_grand_total tr a))
+      Obs.categories
+  in
+  List.iter
+    (fun c ->
+       let tot = Obs.attr_grand_total tr c in
+       if tot > 0 then
+         Tablefmt.row attr
+           ((Obs.category_name c
+             :: List.init n (fun i ->
+                    string_of_int (Obs.attr_total tr ~cpu:i c)))
+            @ [ string_of_int tot; share tot ]))
+    by_weight;
+  Tablefmt.separator attr;
+  let attributed_total =
+    List.fold_left (fun a c -> a + Obs.attr_grand_total tr c) 0 Obs.categories
+  in
+  Tablefmt.row attr
+    (("attributed"
+      :: List.init n (fun i -> string_of_int (Obs.attr_cpu_total tr ~cpu:i)))
+     @ [ string_of_int attributed_total; share attributed_total ]);
+  Tablefmt.row attr
+    (("cpu clock"
+      :: List.init n (fun i -> string_of_int (clock_at clocks i)))
+     @ [ string_of_int clock_total;
+         (if clock_total = 0 then "-" else "100.0%") ]);
+  let lat =
+    Tablefmt.create ~title:"Profile: fault service time (cycles)"
+      ~columns:[ "resolution"; "count"; "mean"; "p50"; "p95"; "p99"; "max" ]
+  in
+  List.iter
+    (fun r ->
+       let h = Obs.fault_latency tr r in
+       if Hist.count h > 0 then
+         Tablefmt.row lat
+           [ Obs.fault_resolution_name r; string_of_int (Hist.count h);
+             Printf.sprintf "%.0f" (Hist.mean h);
+             string_of_int (Hist.p50 h); string_of_int (Hist.p95 h);
+             string_of_int (Hist.p99 h);
+             string_of_int (Hist.max_value h) ])
+    Obs.fault_resolutions;
+  let spans =
+    Tablefmt.create ~title:"Profile: slowest fault spans"
+      ~columns:[ "span"; "cpu"; "va"; "resolution"; "cycles" ]
+  in
+  List.iter
+    (fun (s : Obs.span_info) ->
+       Tablefmt.row spans
+         [ string_of_int s.Obs.sp_id; string_of_int s.Obs.sp_cpu;
+           Printf.sprintf "0x%x" s.Obs.sp_va;
+           Obs.fault_resolution_name s.Obs.sp_resolution;
+           string_of_int s.Obs.sp_cycles ])
+    (Obs.top_spans tr);
+  [ attr; lat; spans ]

@@ -32,3 +32,22 @@ val summary_tables : Obs.t -> Mach_util.Tablefmt.t list
     table and a latency-percentile table. *)
 
 val print_summary : Obs.t -> unit
+
+(** {1 Cycle attribution}
+
+    All three take [clocks], the per-CPU cycle counters at export time
+    ([Machine.cycles] per CPU), so every view can check the conservation
+    invariant: with the tracer installed before the machine ran, each
+    CPU's category totals sum exactly to its clock. *)
+
+val attribution_conserved : clocks:int array -> Obs.t -> bool
+
+val attribution_json : clocks:int array -> Obs.t -> Jout.t
+(** Aggregate and per-CPU category totals, conservation flags, and the
+    slowest fault spans; joined into the stats JSON under
+    ["attribution"]. *)
+
+val profile_tables : clocks:int array -> Obs.t -> Mach_util.Tablefmt.t list
+(** The [machsim --profile] report: top-down attribution (per CPU and
+    aggregate with percent-of-total), fault service-time percentiles,
+    and the top-{!Obs.top_span_cap} fault spans by service time. *)

@@ -1,7 +1,14 @@
 let bucket_count = 63
 
+(* Raw observations kept verbatim while the population is small, so the
+   percentile accessors can answer exactly instead of to a power of
+   two.  Once [count] exceeds the buffer the histogram silently falls
+   back to bucket math — the buffer is never resized. *)
+let sample_cap = 128
+
 type t = {
   buckets : int array;
+  samples : int array;
   mutable count : int;
   mutable sum : int;
   mutable min_v : int;
@@ -9,7 +16,9 @@ type t = {
 }
 
 let create () =
-  { buckets = Array.make bucket_count 0; count = 0; sum = 0;
+  { buckets = Array.make bucket_count 0;
+    samples = Array.make sample_cap 0;
+    count = 0; sum = 0;
     min_v = max_int; max_v = min_int }
 
 (* Index of the bucket holding [v]: 0 for v <= 0, otherwise one more
@@ -27,6 +36,7 @@ let bucket_hi i = if i <= 0 then 0 else (1 lsl i) - 1
 
 let add t v =
   t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  if t.count < sample_cap then t.samples.(t.count) <- v;
   t.count <- t.count + 1;
   t.sum <- t.sum + v;
   if v < t.min_v then t.min_v <- v;
@@ -57,6 +67,26 @@ let percentile t p =
     in
     walk 0 0
   end
+
+(* Exact percentile over the retained raw samples; only valid while
+   [count <= sample_cap]. *)
+let percentile_exact t p =
+  let sorted = Array.sub t.samples 0 t.count in
+  Array.sort compare sorted;
+  let target =
+    let x = int_of_float (ceil (p *. float_of_int t.count)) in
+    max 1 (min t.count x)
+  in
+  sorted.(target - 1)
+
+let pct t p =
+  if t.count = 0 then 0
+  else if t.count <= sample_cap then percentile_exact t p
+  else percentile t p
+
+let p50 t = pct t 0.50
+let p95 t = pct t 0.95
+let p99 t = pct t 0.99
 
 let iter_nonempty t f =
   for i = 0 to bucket_count - 1 do

@@ -30,6 +30,17 @@ val percentile : t -> float -> int
     bucket where the cumulative count crosses [p * count], clamped to
     [max_value].  [0] when empty. *)
 
+val p50 : t -> int
+val p95 : t -> int
+val p99 : t -> int
+(** Convenience percentiles.  While the population is small (at most
+    {!sample_cap} observations) these are answered exactly from a raw
+    sample buffer; beyond that they fall back to {!percentile}'s bucket
+    walk (within a factor of two).  [0] when empty. *)
+
+val sample_cap : int
+(** Observations kept verbatim for the exact small-sample path. *)
+
 val bucket_count : int
 
 val bucket_lo : int -> int

@@ -109,12 +109,91 @@ let kind_name_of_index = function
 
 let kind_name ev = kind_name_of_index (kind_index ev)
 
-type record = { ts : int; cpu : int; ev : event }
+(* --- Cycle attribution ------------------------------------------------ *)
+
+(* Where a CPU's cycles go, kernel-wide.  Every clock charge lands in
+   exactly one category: the innermost frame of the CPU's attribution
+   stack (or [User_compute] when the stack is empty), unless the charge
+   site names a category explicitly (disk service, shootdown IPIs).  The
+   per-CPU x per-category totals therefore sum to the CPU's clock. *)
+type category =
+  | User_compute
+  | Fault_service
+  | Pmap
+  | Shootdown_ipi
+  | Pager_wait
+  | Retry_backoff
+  | Disk_wait
+  | Zero_fill
+  | Cow_copy
+  | Pageout_daemon
+
+let categories =
+  [ User_compute; Fault_service; Pmap; Shootdown_ipi; Pager_wait;
+    Retry_backoff; Disk_wait; Zero_fill; Cow_copy; Pageout_daemon ]
+
+let category_count = 10
+
+let category_index = function
+  | User_compute -> 0
+  | Fault_service -> 1
+  | Pmap -> 2
+  | Shootdown_ipi -> 3
+  | Pager_wait -> 4
+  | Retry_backoff -> 5
+  | Disk_wait -> 6
+  | Zero_fill -> 7
+  | Cow_copy -> 8
+  | Pageout_daemon -> 9
+
+let category_name = function
+  | User_compute -> "user_compute"
+  | Fault_service -> "fault_service"
+  | Pmap -> "pmap"
+  | Shootdown_ipi -> "shootdown_ipi"
+  | Pager_wait -> "pager_wait"
+  | Retry_backoff -> "retry_backoff"
+  | Disk_wait -> "disk_wait"
+  | Zero_fill -> "zero_fill"
+  | Cow_copy -> "cow_copy"
+  | Pageout_daemon -> "pageout_daemon"
+
+(* Per-CPU attribution state: a category stack (innermost frame last),
+   per-category cycle totals, and the stack of open fault-span ids.
+   Totals live outside the ring, so they survive wraparound. *)
+type attr = {
+  mutable at_stack : int array;  (* category indices *)
+  mutable at_depth : int;
+  at_totals : int array;         (* cycles per category_index *)
+  mutable at_spans : int array;  (* open span ids *)
+  mutable at_span_depth : int;
+}
+
+let attr_make () =
+  { at_stack = Array.make 8 0; at_depth = 0;
+    at_totals = Array.make category_count 0;
+    at_spans = Array.make 8 0; at_span_depth = 0 }
+
+(* A completed fault span, kept for the profile report's top-N table. *)
+type span_info = {
+  sp_id : int;
+  sp_cpu : int;
+  sp_va : int;
+  sp_resolution : fault_resolution;
+  sp_cycles : int;
+}
+
+let top_span_cap = 10
+
+type record = { ts : int; cpu : int; span : int; ev : event }
 
 type t = {
   mutable enabled : bool;
   is_null : bool;
   ring : record Ring.t;
+  mutable attrs : attr array;    (* grown on first use per CPU *)
+  mutable next_span : int;
+  mutable top_spans : span_info list; (* largest service time first *)
   kind_counts : int array;
   fault_latency : Hist.t array; (* indexed by resolution_index *)
   shootdown_latency : Hist.t;
@@ -133,6 +212,9 @@ let make ~capacity ~is_null =
   { enabled = false;
     is_null;
     ring = Ring.create ~capacity;
+    attrs = [||];
+    next_span = 1;
+    top_spans = [];
     kind_counts = Array.make kind_count 0;
     fault_latency =
       Array.init (List.length fault_resolutions) (fun _ -> Hist.create ());
@@ -158,8 +240,117 @@ let set_enabled t on =
     invalid_arg "Obs.set_enabled: the null sink cannot be enabled";
   t.enabled <- on
 
+let attr_of t cpu =
+  let n = Array.length t.attrs in
+  if cpu >= n then
+    t.attrs <-
+      Array.init (cpu + 1)
+        (fun i -> if i < n then t.attrs.(i) else attr_make ());
+  t.attrs.(cpu)
+
+let attr_push t ~cpu cat =
+  let a = attr_of t cpu in
+  if a.at_depth = Array.length a.at_stack then begin
+    let s = Array.make (2 * a.at_depth) 0 in
+    Array.blit a.at_stack 0 s 0 a.at_depth;
+    a.at_stack <- s
+  end;
+  a.at_stack.(a.at_depth) <- category_index cat;
+  a.at_depth <- a.at_depth + 1
+
+let attr_pop t ~cpu =
+  let a = attr_of t cpu in
+  if a.at_depth > 0 then a.at_depth <- a.at_depth - 1
+
+let attr_charge t ~cpu c =
+  let a = attr_of t cpu in
+  let i = if a.at_depth = 0 then 0 else a.at_stack.(a.at_depth - 1) in
+  a.at_totals.(i) <- a.at_totals.(i) + c
+
+let attr_charge_as t ~cpu cat c =
+  let a = attr_of t cpu in
+  let i = category_index cat in
+  a.at_totals.(i) <- a.at_totals.(i) + c
+
+let attr_total t ~cpu cat =
+  if cpu < Array.length t.attrs then
+    t.attrs.(cpu).at_totals.(category_index cat)
+  else 0
+
+let attr_cpu_total t ~cpu =
+  if cpu < Array.length t.attrs then
+    Array.fold_left ( + ) 0 t.attrs.(cpu).at_totals
+  else 0
+
+let attr_cpus t = Array.length t.attrs
+
+let attr_grand_total t cat =
+  let i = category_index cat in
+  Array.fold_left (fun acc a -> acc + a.at_totals.(i)) 0 t.attrs
+
+let attr_depth t ~cpu =
+  if cpu < Array.length t.attrs then t.attrs.(cpu).at_depth else 0
+
+(* Zero the cycle totals without disturbing open category/span frames:
+   a benchmark resetting clocks mid-run keeps the invariant that totals
+   sum to the (freshly zeroed) clock. *)
+let attr_reset_totals t =
+  Array.iter (fun a -> Array.fill a.at_totals 0 category_count 0) t.attrs
+
+let open_span t ~cpu =
+  if cpu < Array.length t.attrs then begin
+    let a = t.attrs.(cpu) in
+    if a.at_span_depth > 0 then a.at_spans.(a.at_span_depth - 1) else 0
+  end
+  else 0
+
+let top_spans t = t.top_spans
+
+let note_top_span t sp =
+  let rec insert = function
+    | [] -> [ sp ]
+    | x :: rest when sp.sp_cycles > x.sp_cycles -> sp :: x :: rest
+    | x :: rest -> x :: insert rest
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  t.top_spans <- take top_span_cap (insert t.top_spans)
+
 let record t ~ts ~cpu ev =
-  Ring.push t.ring { ts; cpu; ev };
+  (* Span bookkeeping: Fault_begin opens a span and tags itself with the
+     fresh id; every event the same CPU emits while the span is open
+     carries that id; Fault_end closes it (and feeds the top-N table).
+     Nested faults (a fault taken inside fault service) stack. *)
+  let a = attr_of t cpu in
+  let span =
+    match ev with
+    | Fault_begin _ ->
+      let id = t.next_span in
+      t.next_span <- id + 1;
+      if a.at_span_depth = Array.length a.at_spans then begin
+        let s = Array.make (2 * a.at_span_depth) 0 in
+        Array.blit a.at_spans 0 s 0 a.at_span_depth;
+        a.at_spans <- s
+      end;
+      a.at_spans.(a.at_span_depth) <- id;
+      a.at_span_depth <- a.at_span_depth + 1;
+      id
+    | Fault_end { va; resolution; cycles } ->
+      let id =
+        if a.at_span_depth > 0 then a.at_spans.(a.at_span_depth - 1) else 0
+      in
+      if a.at_span_depth > 0 then a.at_span_depth <- a.at_span_depth - 1;
+      note_top_span t
+        { sp_id = id; sp_cpu = cpu; sp_va = va;
+          sp_resolution = resolution; sp_cycles = cycles };
+      id
+    | _ ->
+      if a.at_span_depth > 0 then a.at_spans.(a.at_span_depth - 1) else 0
+  in
+  Ring.push t.ring { ts; cpu; span; ev };
   let k = kind_index ev in
   t.kind_counts.(k) <- t.kind_counts.(k) + 1;
   match ev with
@@ -205,6 +396,9 @@ let disk_wait t = t.disk_wait
 
 let reset t =
   Ring.clear t.ring;
+  t.attrs <- [||];
+  t.next_span <- 1;
+  t.top_spans <- [];
   Array.fill t.kind_counts 0 kind_count 0;
   Array.iter Hist.clear t.fault_latency;
   Hist.clear t.shootdown_latency;

@@ -91,7 +91,39 @@ val kind_index : event -> int
 val kind_name_of_index : int -> string
 val kind_name : event -> string
 
-type record = { ts : int; cpu : int; ev : event }
+type category =
+  | User_compute    (** no kernel frame open: the workload itself *)
+  | Fault_service   (** inside [vm_fault] (trap overhead included) *)
+  | Pmap            (** machine-dependent map updates (enter/remove/protect) *)
+  | Shootdown_ipi   (** TLB consistency: IPIs, remote/deferred flushes *)
+  | Pager_wait      (** pager request/write paths, excluding device time *)
+  | Retry_backoff   (** exponential backoff between pager retries *)
+  | Disk_wait       (** disk service time and async completion residue *)
+  | Zero_fill       (** zero-filling fresh pages *)
+  | Cow_copy        (** copying pages up shadow chains on write faults *)
+  | Pageout_daemon  (** page reclaim: scanning, cleaning, clustered writes *)
+(** Where a CPU's cycles go, kernel-wide; see {!attr_push}. *)
+
+val categories : category list
+val category_count : int
+val category_index : category -> int
+val category_name : category -> string
+
+type span_info = {
+  sp_id : int;
+  sp_cpu : int;
+  sp_va : int;
+  sp_resolution : fault_resolution;
+  sp_cycles : int;
+}
+(** A completed fault span, kept for the profile report's top-N table. *)
+
+val top_span_cap : int
+
+type record = { ts : int; cpu : int; span : int; ev : event }
+(** [span] is the innermost fault span open on [cpu] when the event was
+    recorded (the span's own id on [Fault_begin]/[Fault_end]); 0 when
+    no fault was in flight. *)
 
 type t
 (** A trace sink plus its aggregates. *)
@@ -113,7 +145,63 @@ val set_enabled : t -> bool -> unit
 val record : t -> ts:int -> cpu:int -> event -> unit
 (** [record t ~ts ~cpu ev] unconditionally appends the event and updates
     counters/histograms.  Call only under an [enabled] check so disabled
-    tracing stays free. *)
+    tracing stays free.
+
+    Span bookkeeping happens here: [Fault_begin] opens a span with a
+    fresh non-zero id, every event the same CPU records while the span
+    is open carries it ([record.span]), [Fault_end] closes it and feeds
+    the {!top_spans} table.  Records outside any fault have span 0. *)
+
+(** {1 Cycle attribution}
+
+    Every clock charge the machine makes while tracing is enabled lands
+    in exactly one {!category}: the innermost frame of the charged CPU's
+    attribution stack ([User_compute] when empty), or a category the
+    charge site names explicitly (disk service time, shootdown IPIs).
+    Kernel subsystems bracket their work with {!attr_push}/{!attr_pop}
+    — nested frames attribute to the innermost — so the per-CPU totals
+    partition the CPU's clock: for each CPU, the category totals sum
+    exactly to its cycle count (when the tracer was installed before the
+    machine ran).  Totals live outside the event ring and survive
+    wraparound. *)
+
+val attr_push : t -> cpu:int -> category -> unit
+val attr_pop : t -> cpu:int -> unit
+(** Bracket a stretch of kernel work on [cpu].  Pops on an empty stack
+    are ignored. *)
+
+val attr_charge : t -> cpu:int -> int -> unit
+(** Attribute cycles to the innermost open frame ([User_compute] when
+    none). *)
+
+val attr_charge_as : t -> cpu:int -> category -> int -> unit
+(** Attribute cycles to an explicit category, bypassing the stack. *)
+
+val attr_total : t -> cpu:int -> category -> int
+
+val attr_cpu_total : t -> cpu:int -> int
+(** Sum over categories; equals the CPU's clock when the tracer was
+    installed before the machine ran. *)
+
+val attr_cpus : t -> int
+(** Number of CPU slots with attribution state (max CPU seen + 1). *)
+
+val attr_grand_total : t -> category -> int
+(** Sum of a category's totals over every CPU. *)
+
+val attr_depth : t -> cpu:int -> int
+(** Open attribution frames on [cpu]; 0 when no kernel work is open. *)
+
+val attr_reset_totals : t -> unit
+(** Zero the cycle totals, keeping open frames and span state; paired
+    with [Machine.reset_clocks] so totals keep summing to the clock. *)
+
+val top_spans : t -> span_info list
+(** Completed fault spans with the largest service time, biggest first
+    (at most {!top_span_cap}). *)
+
+val open_span : t -> cpu:int -> int
+(** Innermost open fault span id on [cpu]; 0 when none. *)
 
 (** {1 Reading back} *)
 

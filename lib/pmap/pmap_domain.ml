@@ -24,10 +24,14 @@ let create machine =
 
 let machine t = t.ctx.Backend.machine
 
-(* Wrap the mutation entry points with trace emission.  Instrumenting
-   here covers every architecture backend at once; the tracer is read
-   through the machine on each call so enabling tracing mid-run works.
-   When tracing is off each wrapped call pays one branch. *)
+(* Wrap the mutation entry points with trace emission and cycle
+   attribution.  Instrumenting here covers every architecture backend at
+   once; the tracer is read through the machine on each call so enabling
+   tracing mid-run works.  When tracing is off each wrapped call pays
+   one branch.  The [Pmap] attribution frame brackets the backend call
+   itself, so map-update costs land in the Pmap category wherever they
+   were triggered from — except TLB-consistency work, which the machine
+   charges as [Shootdown_ipi] explicitly. *)
 let instrument t (p : Pmap.t) =
   let m = t.ctx.Backend.machine in
   let asid = p.Pmap.asid in
@@ -38,18 +42,21 @@ let instrument t (p : Pmap.t) =
       Mach_obs.Obs.record tr ~ts:(Machine.cycles m ~cpu) ~cpu ev
     end
   in
+  let in_pmap f =
+    Machine.with_category m ~cpu:t.ctx.Backend.cur_cpu Mach_obs.Obs.Pmap f
+  in
   { p with
     Pmap.enter =
       (fun ~va ~pfn ~prot ~wired ->
-         p.Pmap.enter ~va ~pfn ~prot ~wired;
+         in_pmap (fun () -> p.Pmap.enter ~va ~pfn ~prot ~wired);
          note (Mach_obs.Obs.Pmap_enter { asid; va; pfn }));
     remove =
       (fun ~start_va ~end_va ->
-         p.Pmap.remove ~start_va ~end_va;
+         in_pmap (fun () -> p.Pmap.remove ~start_va ~end_va);
          note (Mach_obs.Obs.Pmap_remove { asid; start_va; end_va }));
     protect =
       (fun ~start_va ~end_va ~prot ->
-         p.Pmap.protect ~start_va ~end_va ~prot;
+         in_pmap (fun () -> p.Pmap.protect ~start_va ~end_va ~prot);
          note (Mach_obs.Obs.Pmap_protect { asid; start_va; end_va })) }
 
 let create_pmap t =

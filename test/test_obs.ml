@@ -23,6 +23,32 @@ let test_hist_bucketing () =
   Alcotest.(check int) "bucket 4 (8..15)" 1 (Hist.get_bucket h 4);
   Alcotest.(check int) "bucket 10 (512..1023)" 1 (Hist.get_bucket h 10)
 
+let test_hist_exact_percentiles () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 5; 1; 9 ];
+  Alcotest.(check int) "p50 of [1;5;9]" 5 (Hist.p50 h);
+  Alcotest.(check int) "p95 of [1;5;9]" 9 (Hist.p95 h);
+  Alcotest.(check int) "p99 of [1;5;9]" 9 (Hist.p99 h);
+  let h = Hist.create () in
+  for i = 1 to 100 do
+    Hist.add h i
+  done;
+  (* Exactly while count <= sample_cap the accessors answer from the raw
+     sample buffer: no power-of-two rounding. *)
+  Alcotest.(check int) "p50 exact" 50 (Hist.p50 h);
+  Alcotest.(check int) "p95 exact" 95 (Hist.p95 h);
+  Alcotest.(check int) "p99 exact" 99 (Hist.p99 h);
+  (* Overflow the sample buffer: falls back to the bucket walk, which
+     upper-bounds the true percentile within its power-of-two bucket. *)
+  let n = Hist.sample_cap + 100 in
+  for i = 101 to n do
+    Hist.add h i
+  done;
+  let p50 = Hist.p50 h in
+  Alcotest.(check bool) "bucket fallback upper-bounds p50" true
+    (p50 >= (n + 1) / 2 && p50 <= n);
+  Alcotest.(check int) "empty accessors" 0 (Hist.p95 (Hist.create ()))
+
 let test_hist_percentiles () =
   let h = Hist.create () in
   (* 100 observations of 10 and one outlier of 10_000. *)
@@ -296,11 +322,256 @@ let test_end_to_end () =
   Kernel.terminate_task kernel ~cpu:0 child;
   Kernel.terminate_task kernel ~cpu:0 parent
 
+(* ---- cycle attribution and spans --------------------------------------- *)
+
+(* Deterministic mixed workload on two CPUs, driven by an op list: the
+   parent writes pages on CPU 0 (zero fills), a one-time fork puts the
+   child on CPU 1 (COW copies + cross-CPU shootdowns), and explicit
+   pageout passes exercise the daemon and pager-write paths.  With
+   [traced], the tracer is installed before [Kernel.create] so even
+   boot-time pmap work is attributed. *)
+let run_attr_workload ~traced ops =
+  let machine =
+    Machine.create ~arch:Arch.uvax2 ~memory_frames:2048 ~cpus:2 ()
+  in
+  let tr =
+    if traced then begin
+      let tr = Obs.create ~capacity:16384 () in
+      Obs.set_enabled tr true;
+      Machine.set_tracer machine tr;
+      tr
+    end
+    else Machine.tracer machine
+  in
+  let kernel = Kernel.create ~page_multiple:8 machine in
+  let sys = Kernel.sys kernel in
+  let ps = Kernel.page_size kernel in
+  let npages = 32 in
+  let parent = Kernel.create_task kernel ~name:"we\"ird\\task\tname" () in
+  Kernel.run_task kernel ~cpu:0 parent;
+  let addr =
+    match
+      Vm_user.allocate sys parent ~size:(npages * ps) ~anywhere:true ()
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.fail (Kr.to_string e)
+  in
+  let child = ref None in
+  List.iter
+    (fun op ->
+       match op with
+       | `Touch i ->
+         Kernel.run_task kernel ~cpu:0 parent;
+         Machine.write_byte machine ~cpu:0
+           ~va:(addr + ((i mod npages) * ps))
+           'a'
+       | `Child_touch i ->
+         (match !child with
+          | None ->
+            let c = Kernel.fork_task kernel ~cpu:0 parent in
+            child := Some c
+          | Some _ -> ());
+         (match !child with
+          | Some c ->
+            Kernel.run_task kernel ~cpu:1 c;
+            Machine.write_byte machine ~cpu:1
+              ~va:(addr + ((i mod npages) * ps))
+              'b'
+          | None -> ())
+       | `Pageout n ->
+         Vm_pageout.deactivate_some sys ~count:n;
+         Vm_pageout.run sys ~wanted:n)
+    ops;
+  (machine, sys, tr)
+
+let fixed_ops =
+  [ `Touch 0; `Touch 1; `Touch 2; `Touch 3; `Child_touch 1; `Child_touch 2;
+    `Touch 4; `Pageout 8; `Touch 5; `Child_touch 5; `Pageout 4; `Touch 6 ]
+
+let test_attribution_conservation () =
+  let machine, _sys, tr = run_attr_workload ~traced:true fixed_ops in
+  let cpus = Machine.cpu_count machine in
+  for cpu = 0 to cpus - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "cpu%d: category totals sum to its clock" cpu)
+      (Machine.cycles machine ~cpu)
+      (Obs.attr_cpu_total tr ~cpu)
+  done;
+  let clocks =
+    Array.init cpus (fun cpu -> Machine.cycles machine ~cpu)
+  in
+  Alcotest.(check bool) "export agrees it conserved" true
+    (Export.attribution_conserved ~clocks tr);
+  (* The interesting categories actually saw cycles. *)
+  List.iter
+    (fun (name, cat) ->
+       Alcotest.(check bool) (name ^ " attributed some cycles") true
+         (Obs.attr_grand_total tr cat > 0))
+    [ ("user_compute", Obs.User_compute);
+      ("fault_service", Obs.Fault_service); ("pmap", Obs.Pmap);
+      ("shootdown_ipi", Obs.Shootdown_ipi);
+      ("zero_fill", Obs.Zero_fill); ("cow_copy", Obs.Cow_copy);
+      ("pageout_daemon", Obs.Pageout_daemon);
+      ("disk_wait", Obs.Disk_wait) ];
+  Alcotest.(check bool) "attribution json is valid" true
+    (json_ok (Jout.to_string (Export.attribution_json ~clocks tr)));
+  (* No kernel frame may be left open once the workload returns. *)
+  for cpu = 0 to cpus - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "cpu%d: no open attribution frames" cpu)
+      0
+      (Obs.attr_depth tr ~cpu)
+  done
+
+(* The exporter round trip: well-formed JSON, escaped task names, and
+   span discipline — every fault opens a fresh non-zero span id, child
+   events carry the innermost open span of their CPU, and begin/end
+   nesting is balanced per CPU both in the ring and in the export. *)
+let test_span_roundtrip () =
+  let _machine, _sys, tr = run_attr_workload ~traced:true fixed_ops in
+  Alcotest.(check int) "ring did not wrap" 0 (Ring.dropped (Obs.ring tr));
+  let stacks = Hashtbl.create 4 in
+  let stack cpu = try Hashtbl.find stacks cpu with Not_found -> [] in
+  Ring.iter
+    (fun { Obs.cpu; span; ev; _ } ->
+       match ev with
+       | Obs.Fault_begin _ ->
+         if span <= 0 then Alcotest.fail "fault_begin without a span id";
+         if List.mem span (stack cpu) then
+           Alcotest.fail "span id reused while open";
+         Hashtbl.replace stacks cpu (span :: stack cpu)
+       | Obs.Fault_end _ ->
+         (match stack cpu with
+          | top :: rest ->
+            Alcotest.(check int) "fault_end closes the innermost span" top
+              span;
+            Hashtbl.replace stacks cpu rest
+          | [] -> Alcotest.fail "fault_end without fault_begin")
+       | _ ->
+         Alcotest.(check int) "child event carries the innermost span"
+           (match stack cpu with top :: _ -> top | [] -> 0)
+           span)
+    (Obs.ring tr);
+  Hashtbl.iter
+    (fun cpu st ->
+       Alcotest.(check int)
+         (Printf.sprintf "cpu%d spans balanced" cpu)
+         0 (List.length st))
+    stacks;
+  (* Completed spans feed the top-N table, biggest first. *)
+  let spans = Obs.top_spans tr in
+  Alcotest.(check bool) "top spans recorded" true (List.length spans > 0);
+  Alcotest.(check bool) "top spans capped" true
+    (List.length spans <= Obs.top_span_cap);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Obs.sp_cycles >= b.Obs.sp_cycles && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "top spans sorted by service time" true
+    (sorted spans);
+  (* Chrome export: valid JSON with control characters escaped (the
+     task name holds a quote, a backslash and a tab), B/E balanced per
+     tid, complete slices carrying durations, flow arrows carrying the
+     span id. *)
+  let doc = Export.chrome_trace ~cycles_per_us:1.0 tr in
+  let s = Jout.to_string doc in
+  Alcotest.(check bool) "chrome trace is valid JSON" true (json_ok s);
+  Alcotest.(check bool) "no raw control characters" true
+    (String.for_all (fun c -> c <> '\n' && c <> '\t' && c <> '\r') s);
+  let events =
+    match lookup "traceEvents" doc with
+    | Some (Jout.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let depth = Hashtbl.create 4 in
+  let flows = ref 0 in
+  List.iter
+    (fun ev ->
+       let tid =
+         match lookup "tid" ev with Some (Jout.Int t) -> t | _ -> -1
+       in
+       match lookup "ph" ev with
+       | Some (Jout.Str "B") ->
+         Hashtbl.replace depth tid
+           (1 + Option.value ~default:0 (Hashtbl.find_opt depth tid))
+       | Some (Jout.Str "E") ->
+         let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+         if d <= 0 then Alcotest.fail "E without B on its tid";
+         Hashtbl.replace depth tid (d - 1)
+       | Some (Jout.Str "X") ->
+         if lookup "dur" ev = None then
+           Alcotest.fail "complete slice without dur"
+       | Some (Jout.Str ("s" | "t" | "f")) ->
+         incr flows;
+         (match lookup "id" ev with
+          | Some (Jout.Int id) when id > 0 -> ()
+          | _ -> Alcotest.fail "flow event without span id")
+       | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun tid d ->
+       Alcotest.(check int)
+         (Printf.sprintf "tid %d B/E balanced in export" tid)
+         0 d)
+    depth;
+  Alcotest.(check bool) "flow arrows present" true (!flows > 0);
+  (* Stats export round-trips too. *)
+  Alcotest.(check bool) "stats json valid" true
+    (json_ok (Jout.to_string (Export.stats_json tr)))
+
+(* ---- qcheck properties -------------------------------------------------- *)
+
+let gen_ops =
+  let open QCheck2 in
+  Gen.list_size (Gen.int_range 1 30)
+    (Gen.map
+       (fun n ->
+          if n < 40 then `Touch n
+          else if n < 48 then `Child_touch n
+          else `Pageout (n - 47))
+       (Gen.int_range 0 56))
+
+(* Wherever a random workload stops, every CPU's category totals sum
+   exactly to its clock: no cycle is ever double-counted or lost. *)
+let attribution_conserves =
+  let open QCheck2 in
+  Test.make ~name:"attribution partitions every CPU clock" ~count:30 gen_ops
+    (fun ops ->
+       let machine, _sys, tr = run_attr_workload ~traced:true ops in
+       let ok = ref true in
+       for cpu = 0 to Machine.cpu_count machine - 1 do
+         if Obs.attr_cpu_total tr ~cpu <> Machine.cycles machine ~cpu then
+           ok := false
+       done;
+       !ok)
+
+(* Tracing must be pure observation: the same workload with and without
+   a tracer lands on identical clocks and identical VM statistics. *)
+let tracing_transparent =
+  let open QCheck2 in
+  Test.make ~name:"tracing on/off leaves the simulation identical"
+    ~count:20 gen_ops
+    (fun ops ->
+       let probe traced =
+         let machine, sys, _tr = run_attr_workload ~traced ops in
+         let s = sys.Vm_sys.stats in
+         let ms = Machine.stats machine in
+         ( List.init (Machine.cpu_count machine) (fun cpu ->
+               Machine.cycles machine ~cpu),
+           ( s.Vm_sys.faults, s.Vm_sys.zero_fills, s.Vm_sys.cow_copies,
+             s.Vm_sys.pageouts ),
+           (ms.Machine.ipis, ms.Machine.shootdowns, ms.Machine.disk_ops) )
+       in
+       probe true = probe false)
+
 let () =
   Alcotest.run "obs"
     [ ( "hist",
         [ Alcotest.test_case "log2 bucketing" `Quick test_hist_bucketing;
-          Alcotest.test_case "percentiles" `Quick test_hist_percentiles ] );
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "exact small-sample percentiles" `Quick
+            test_hist_exact_percentiles ] );
       ( "ring",
         [ Alcotest.test_case "wraparound" `Quick test_ring_wraparound ] );
       ( "disabled",
@@ -310,4 +581,12 @@ let () =
         [ Alcotest.test_case "json checker sanity" `Quick
             test_json_checker_sanity;
           Alcotest.test_case "fork+touch end to end" `Quick
-            test_end_to_end ] ) ]
+            test_end_to_end ] );
+      ( "attribution",
+        [ Alcotest.test_case "totals conserve the clocks" `Quick
+            test_attribution_conservation;
+          Alcotest.test_case "span round trip through exporters" `Quick
+            test_span_roundtrip ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ attribution_conserves; tracing_transparent ] ) ]

@@ -32,6 +32,17 @@
 #   - machsim --chaos --async-disk must replay identically, stdout and
 #     stats JSON both (injection is decided at submit time, so replay
 #     cannot depend on when completions are reaped).
+#
+# And the cycle-attribution profiler:
+#   - machsim --profile must report exact conservation (every CPU's
+#     per-category totals sum to its clock) and drop no events at the
+#     default ring size;
+#   - the stats JSON must carry the attribution object with its
+#     aggregate totals, per-CPU breakdown and top spans;
+#   - the cluster bench's attribution cells must be present, with the
+#     async run showing a smaller disk-wait share than sync, and the
+#     tracing-off timing cells above must still match BENCH_vm.json to
+#     the digit (attribution is free when no tracer is installed).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -40,7 +51,9 @@ chaos_out=$(mktemp /tmp/bench_smoke_chaos.XXXXXX.json)
 cluster_out=$(mktemp /tmp/bench_smoke_cluster.XXXXXX.json)
 run_a=$(mktemp /tmp/bench_smoke_run_a.XXXXXX)
 run_b=$(mktemp /tmp/bench_smoke_run_b.XXXXXX)
-trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b"' EXIT
+prof_out=$(mktemp /tmp/bench_smoke_prof.XXXXXX)
+prof_stats=$(mktemp /tmp/bench_smoke_prof.XXXXXX.json)
+trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b" "$prof_out" "$prof_stats"' EXIT
 
 dune exec bench/main.exe -- -e shootdown -json "$out" >/dev/null
 
@@ -276,7 +289,60 @@ if ! cmp -s "$run_a.stats" "$run_b.stats"; then
 fi
 rm -f "$run_a.stats" "$run_b.stats"
 
+# ---- profiler smoke ------------------------------------------------------
+# machsim --profile must conserve cycles exactly (every CPU's category
+# totals sum to its clock), keep the attribution object in the stats
+# JSON, and drop nothing at the default ring size.
+dune exec bin/machsim.exe -- compile --profile --stats "$prof_stats" >"$prof_out" 2>&1
+
+if ! grep -q '^profile conservation: ok' "$prof_out"; then
+    echo "bench-smoke: FAIL machsim --profile did not report 'profile conservation: ok'" >&2
+    fail=1
+fi
+if ! grep -q '^profile: events seen=[0-9]* retained=[0-9]* dropped=0$' "$prof_out"; then
+    echo "bench-smoke: FAIL machsim --profile dropped events at the default ring size" >&2
+    fail=1
+fi
+for key in '"attribution":' '"clock_total":' '"conserved":true' '"per_cpu":' '"top_spans":' '"user_compute":' '"disk_wait":' '"events_dropped":0'; do
+    if ! grep -q "$key" "$prof_stats"; then
+        echo "bench-smoke: FAIL stats JSON missing $key" >&2
+        fail=1
+    fi
+done
+
+# The JSON must agree with itself: attribution total == sum of the CPU
+# clocks the exporter saw == machine max_cycles.
+attr_total=$(sed -n 's/.*"attribution":{"total":\([0-9]*\).*/\1/p' "$prof_stats")
+clock_total=$(sed -n 's/.*"clock_total":\([0-9]*\).*/\1/p' "$prof_stats")
+if [ -z "$attr_total" ] || [ "$attr_total" != "$clock_total" ]; then
+    echo "bench-smoke: FAIL attribution total ($attr_total) != clock total ($clock_total)" >&2
+    fail=1
+fi
+
+# Cluster attribution cells: present, conserved, and the async run must
+# spend a strictly smaller fraction of its cycles stalled on the disk.
+attr_sync=$(cluster_cell cluster/attr_disk_wait_frac/w8)
+attr_async=$(cluster_cell cluster/attr_disk_wait_frac/w8_async)
+attr_ok=$(cluster_cell cluster/attr_conserved/w8)
+if [ -z "$attr_sync" ] || [ -z "$attr_async" ] || [ -z "$attr_ok" ]; then
+    echo "bench-smoke: FAIL missing cluster attribution cells" >&2
+    fail=1
+else
+    if ! awk "BEGIN { exit !($attr_ok == 1) }"; then
+        echo "bench-smoke: FAIL cluster/attr_conserved/w8 = $attr_ok (attribution must partition the clock)" >&2
+        fail=1
+    fi
+    if ! awk "BEGIN { exit !($attr_async < $attr_sync) }"; then
+        echo "bench-smoke: FAIL async disk-wait share $attr_async not below sync $attr_sync" >&2
+        fail=1
+    fi
+    if ! awk "BEGIN { exit !(0 < $attr_sync && $attr_sync < 1) }"; then
+        echo "bench-smoke: FAIL cluster/attr_disk_wait_frac/w8 = $attr_sync out of (0,1)" >&2
+        fail=1
+    fi
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events)"
