@@ -1174,6 +1174,228 @@ let cluster () =
     (if sync_ok && async_ok then "ok" else "MISMATCH")
 
 (* ------------------------------------------------------------------ *)
+(* Multiprocessor fault scalability: object locks and burst faulting    *)
+(* ------------------------------------------------------------------ *)
+
+(* CPU counts the mpfault scaling sweep runs at; `-cpus N` trims the
+   list to counts <= N (the smoke test passes 4 to stay cheap). *)
+let mpfault_cpus = ref [ 1; 2; 4; 8; 16 ]
+
+type mp_result = {
+  mp_ms : float;              (* wall clock: max over the CPU clocks *)
+  mp_faults : int;
+  mp_stalls : int;            (* contended object-lock acquisitions *)
+  mp_stall_share : float;     (* lock-stall cycles / sum of CPU clocks *)
+  mp_burst_faults : int;
+  mp_burst_mapped : int;
+  mp_issued : int;            (* prefetch_issued (burst neighbours) *)
+  mp_hits : int;              (* prefetch_hits (neighbours touched) *)
+  mp_attr : (float * bool) option;
+      (* traced runs only: (Lock_wait share of all cycles, per-CPU
+         attribution sums equal the clocks) *)
+}
+
+(* One configuration: [cpus] processors each faulting an identical
+   per-CPU stream against one shared object (disjoint 32-page stripes)
+   or a private object per CPU, under burst limit [burst] (0 = the
+   pre-burst fault path).  The stream is a round-robin zero-fill sweep
+   of the stripe — writer sections, so they contend on the shared
+   object — followed by [rounds] rounds of dropping the pmap mappings
+   and re-touching every page (resident fast reloads, where bursting
+   applies).  Per-CPU work is fixed, so wall-clock differences across
+   CPU counts are contention, not extra work. *)
+let mpfault_run ?(traced = false) ~cpus ~shared ~burst () =
+  let stripe_pages = 32 in
+  let rounds = 4 in
+  let machine, kernel, _, _ = boot_mach ~mem:(32 * mb) ~cpus Arch.vax8200 in
+  let sys = Kernel.sys kernel in
+  sys.Vm_sys.burst_max <- burst;
+  let tr =
+    if not traced then None
+    else begin
+      let tr = Mach_obs.Obs.create ~capacity:(1 lsl 12) () in
+      Mach_obs.Obs.set_enabled tr true;
+      Machine.set_tracer machine tr;
+      Some tr
+    end
+  in
+  let ps = Kernel.page_size kernel in
+  let stripe = stripe_pages * ps in
+  let domain = kernel.Kernel.domain in
+  let alloc task size =
+    match Vm_user.allocate sys task ~size ~anywhere:true () with
+    | Ok a -> a
+    | Error e -> failwith (Kr.to_string e)
+  in
+  let pmap_of task =
+    match (Task.map task).Types.map_pmap with
+    | Some p -> p
+    | None -> assert false
+  in
+  (* stripes.(i): CPU i's address space and the base of its stripe. *)
+  let stripes =
+    if shared then begin
+      let task = Kernel.create_task kernel ~name:"shared" () in
+      for cpu = 0 to cpus - 1 do
+        Kernel.run_task kernel ~cpu task
+      done;
+      let addr = alloc task (cpus * stripe) in
+      Array.init cpus (fun i -> (pmap_of task, addr + (i * stripe)))
+    end
+    else
+      Array.init cpus (fun i ->
+          let task =
+            Kernel.create_task kernel ~name:(Printf.sprintf "p%d" i) ()
+          in
+          Kernel.run_task kernel ~cpu:i task;
+          (pmap_of task, alloc task stripe))
+  in
+  (* Measure from here: clocks, machine stats and attribution zeroed
+     together, so the traced run's conservation check is exact. *)
+  Machine.reset_clocks machine;
+  let s = sys.Vm_sys.stats in
+  let f0 = s.Vm_sys.faults in
+  let sweep ~write =
+    (* Page p on every CPU, then p+1: the interleave a multiprocessor
+       would see, so critical sections overlap across the clocks. *)
+    for p = 0 to stripe_pages - 1 do
+      Array.iteri
+        (fun cpu (_, base) ->
+           Machine.touch machine ~cpu ~va:(base + (p * ps)) ~write)
+        stripes
+    done
+  in
+  sweep ~write:true;
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun cpu (pmap, base) ->
+         Mach_pmap.Pmap_domain.set_current_cpu domain cpu;
+         pmap.Mach_pmap.Pmap.remove ~start_va:base ~end_va:(base + stripe))
+      stripes;
+    sweep ~write:true
+  done;
+  let total_cycles = ref 0 in
+  for cpu = 0 to Machine.cpu_count machine - 1 do
+    total_cycles := !total_cycles + Machine.cycles machine ~cpu
+  done;
+  let attr =
+    match tr with
+    | None -> None
+    | Some tr ->
+      let lw = Mach_obs.Obs.attr_grand_total tr Mach_obs.Obs.Lock_wait in
+      let conserved = ref true in
+      for cpu = 0 to Machine.cpu_count machine - 1 do
+        if
+          Mach_obs.Obs.attr_cpu_total tr ~cpu
+          <> Machine.cycles machine ~cpu
+        then conserved := false
+      done;
+      Some (float_of_int lw /. float_of_int (max 1 !total_cycles),
+            !conserved)
+  in
+  { mp_ms = Machine.elapsed_ms machine;
+    mp_faults = s.Vm_sys.faults - f0;
+    mp_stalls = s.Vm_sys.lock_stalls;
+    mp_stall_share =
+      float_of_int s.Vm_sys.lock_stall_cycles
+      /. float_of_int (max 1 !total_cycles);
+    mp_burst_faults = s.Vm_sys.burst_faults;
+    mp_burst_mapped = s.Vm_sys.burst_mapped;
+    mp_issued = s.Vm_sys.prefetch_issued;
+    mp_hits = s.Vm_sys.prefetch_hits;
+    mp_attr = attr }
+
+let mpfault () =
+  let counts = !mpfault_cpus in
+  let cell name v =
+    record_cell ~name:("mpfault/" ^ name) ~measured_ms:v
+      ~paper_mach_ms:None ~paper_unix_ms:None
+  in
+  let fps r = float_of_int r.mp_faults /. (r.mp_ms /. 1000.) in
+  let t =
+    Tablefmt.create
+      ~title:
+        "Multiprocessor fault scalability (VAX 8200): identical 32-page\n\
+         fault streams per CPU against private objects vs stripes of one\n\
+         shared object; object locks are free uncontended and charge\n\
+         stalls to Lock_wait when writer sections overlap"
+      ~columns:
+        [ "CPUs"; "object"; "faults"; "faults/sec"; "lock stalls";
+          "stall share"; "elapsed" ]
+  in
+  List.iter
+    (fun cpus ->
+       List.iter
+         (fun shared ->
+            let key = if shared then "shared" else "private" in
+            let r = mpfault_run ~cpus ~shared ~burst:8 () in
+            cell (Printf.sprintf "%s/c%d/faults_per_sec" key cpus) (fps r);
+            cell (Printf.sprintf "%s/c%d/elapsed_ms" key cpus) r.mp_ms;
+            cell
+              (Printf.sprintf "%s/c%d/lock_stall_share" key cpus)
+              r.mp_stall_share;
+            Tablefmt.row t
+              [ string_of_int cpus; key; string_of_int r.mp_faults;
+                Printf.sprintf "%.0f" (fps r);
+                string_of_int r.mp_stalls;
+                Printf.sprintf "%.1f%%" (100. *. r.mp_stall_share);
+                fmt_ms r.mp_ms ])
+         [ false; true ])
+    counts;
+  Tablefmt.print t;
+  (* Burst ablation at a fixed CPU count: burst=0 is the pre-burst
+     fault path, burst=1 runs the burst machinery but maps only the
+     demand page (it must match burst=0 to the cycle), larger limits
+     amortize fault overhead and flush exchanges over neighbours. *)
+  let bc = List.fold_left (fun a c -> if c <= 4 then max a c else a) 1 counts in
+  let t2 =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Burst faulting ablation (%d CPUs, private objects): neighbours\n\
+            mapped per resident fault ride the demand page's flush batch"
+           bc)
+      ~columns:
+        [ "burst"; "faults"; "burst faults"; "neighbours"; "hit rate";
+          "elapsed" ]
+  in
+  List.iter
+    (fun burst ->
+       let name = if burst = 0 then "legacy" else Printf.sprintf "b%d" burst in
+       let r = mpfault_run ~cpus:bc ~shared:false ~burst () in
+       cell (Printf.sprintf "burst/%s/elapsed_ms" name) r.mp_ms;
+       let hit_rate =
+         if r.mp_issued = 0 then 0.
+         else float_of_int r.mp_hits /. float_of_int r.mp_issued
+       in
+       if burst = 8 then begin
+         cell "burst/b8/hit_rate" hit_rate;
+         cell "burst/b8/mapped" (float_of_int r.mp_burst_mapped)
+       end;
+       Tablefmt.row t2
+         [ name; string_of_int r.mp_faults;
+           string_of_int r.mp_burst_faults;
+           string_of_int r.mp_burst_mapped;
+           Printf.sprintf "%d/%d" r.mp_hits r.mp_issued; fmt_ms r.mp_ms ])
+    [ 0; 1; 2; 4; 8; 16 ];
+  Tablefmt.print t2;
+  (* Attribution: a traced re-run of the shared configuration.  Separate
+     boot, so the untraced cells above are untouched. *)
+  let r = mpfault_run ~traced:true ~cpus:bc ~shared:true ~burst:8 () in
+  (match r.mp_attr with
+   | None -> assert false
+   | Some (lw_share, conserved) ->
+     cell (Printf.sprintf "attr_lock_wait_share/c%d_shared" bc) lw_share;
+     cell
+       (Printf.sprintf "attr_conserved/c%d_shared" bc)
+       (if conserved then 1.0 else 0.0);
+     Printf.printf
+       "mpfault attribution (%d CPUs, shared): lock_wait %.1f%% of all \
+        cycles, conservation %s\n\n"
+       bc (100. *. lw_share)
+       (if conserved then "ok" else "MISMATCH"))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall-clock of the simulator itself)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1239,12 +1461,16 @@ let experiments =
     ("mixed", mixed);
     ("net_memory", net_memory);
     ("chaos", chaos);
-    ("cluster", cluster) ]
+    ("cluster", cluster);
+    ("mpfault", mpfault) ]
 
 let usage () =
-  print_endline "usage: main.exe [-e EXPERIMENT] [-json PATH] | raw";
+  print_endline
+    "usage: main.exe [-e EXPERIMENT] [-cpus N] [-json PATH] | raw";
   print_endline
     "  measured cells are written as JSON (default BENCH_vm.json)";
+  print_endline
+    "  -cpus N limits the mpfault scaling sweep to CPU counts <= N";
   print_endline "experiments:";
   List.iter (fun (n, _) -> print_endline ("  " ^ n)) experiments
 
@@ -1253,6 +1479,15 @@ let () =
     | [] -> (json, List.rev exps)
     | "-json" :: path :: rest -> parse (Some path) exps rest
     | "-e" :: name :: rest -> parse json (name :: exps) rest
+    | "-cpus" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 ->
+         let kept = List.filter (fun c -> c <= n) !mpfault_cpus in
+         mpfault_cpus := (if kept = [] then [ n ] else kept)
+       | _ ->
+         usage ();
+         exit 1);
+      parse json exps rest
     | "raw" :: rest -> parse json ("raw" :: exps) rest
     | _ ->
       usage ();

@@ -80,6 +80,15 @@ and obj = {
   mutable obj_ra_window : int;
       (* current read-ahead window in pages: ramps 1->2->4->...->
          [cluster_max] while access stays sequential, resets on random *)
+  mutable obj_gen : int;
+      (* generation counter, bumped by every exclusive (writer) critical
+         section; the lock-free resident fast path validates it *)
+  mutable obj_lock_free : int;
+      (* absolute cycle stamp at which the last exclusive hold released;
+         a CPU whose clock is behind it contends and stalls *)
+  mutable obj_lock_epoch : int;
+      (* Machine.reset_epoch when obj_lock_free was stamped; stamps from
+         an older epoch are expired (the clocks were reset under them) *)
 }
 
 (* The kernel's machine-independent record of how a pager has been

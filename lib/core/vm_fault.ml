@@ -30,6 +30,38 @@ let new_page_in (sys : Vm_sys.t) obj ~offset =
   Resident.insert sys.Vm_sys.resident p ~obj ~offset;
   p
 
+(* Burst faulting: when the demand page was found resident in the first
+   object, scan forward for consecutive neighbours that are also resident
+   there and not yet mapped by this pmap, and map them in the same pass.
+   They ride the demand page's flush batch, so the whole burst costs one
+   consistency exchange instead of one fault (and one exchange) each.
+   The scan stops at the first page that does not qualify — past the map
+   entry's window, absent, busy, in transit, or already mapped here. *)
+let collect_burst (sys : Vm_sys.t) pmap entry obj ~page_va ~offset =
+  let ps = sys.Vm_sys.page_size in
+  let lim = entry.e_offset + entry_size entry in
+  let asid = pmap.Pmap.asid in
+  let domain = sys.Vm_sys.domain in
+  let rec loop i acc =
+    if i >= sys.Vm_sys.burst_max then List.rev acc
+    else begin
+      let off = offset + (i * ps) in
+      let va_n = page_va + (i * ps) in
+      if off >= lim || va_n >= entry.e_end then List.rev acc
+      else
+        match Vm_object.lookup_resident sys obj ~offset:off with
+        | Some q
+          when (not q.pg_busy) && q.pg_inflight = None
+               && not
+                    (List.exists
+                       (fun (a, _) -> a = asid)
+                       (Pmap_domain.mappings_of domain ~pfn:q.pfn)) ->
+          loop (i + 1) ((va_n, q) :: acc)
+        | _ -> List.rev acc
+    end
+  in
+  loop 1 []
+
 let fault sys map ~va ~write =
   (* Attribution: the whole handler runs under a [Fault_service] frame
      (redundant under [Machine.deliver_fault], which pushes the same
@@ -159,8 +191,13 @@ let fault sys map ~va ~write =
           if traced then Machine.cycles sys.Vm_sys.machine ~cpu else 0
         in
         (match
-           Vm_sys.with_cat sys Obs.Pager_wait (fun () ->
-               Vm_cluster.pagein sys obj ~offset:off ~limit:lim)
+           (* Pagein mutates the object's page list: a writer section.
+              The lock is held across the pager wait, so on a shared
+              object other CPUs faulting meanwhile stall behind the
+              disk time — the contention mpfault measures. *)
+           Vm_object.lock_write sys obj (fun () ->
+               Vm_sys.with_cat sys Obs.Pager_wait (fun () ->
+                   Vm_cluster.pagein sys obj ~offset:off ~limit:lim))
          with
          | `Data (p, bytes) ->
            paged_in := true;
@@ -189,20 +226,65 @@ let fault sys map ~va ~write =
          stats.Vm_sys.memory_errors <- stats.Vm_sys.memory_errors + 1;
          Error Kr.Memory_error
        | `Found (owner, p) when owner == first_obj ->
+         (* Resident fast path: an optimistic, generation-validated read
+            of the object — free unless a writer hold overlapped. *)
+         Vm_object.lock_read sys owner;
          stats.Vm_sys.fast_reloads <- stats.Vm_sys.fast_reloads + 1;
          resolution := Obs.Fast_reload;
-         finish p
-           ~prot:(mapped_prot ~cow:(entry.e_needs_copy || owner.obj_readonly))
+         let prot =
+           mapped_prot ~cow:(entry.e_needs_copy || owner.obj_readonly)
+         in
+         let burst =
+           if sys.Vm_sys.burst_max = 0 then []
+           else collect_burst sys pmap entry first_obj ~page_va ~offset
+         in
+         if burst = [] then finish p ~prot
+         else begin
+           stats.Vm_sys.burst_faults <- stats.Vm_sys.burst_faults + 1;
+           stats.Vm_sys.burst_mapped <-
+             stats.Vm_sys.burst_mapped + List.length burst;
+           let hw_frames = Resident.multiple sys.Vm_sys.resident in
+           (* One outer batch: the demand page's enters and every
+              neighbour's share a single consistency exchange. *)
+           Pmap_domain.batched sys.Vm_sys.domain (fun () ->
+               enter_page sys pmap ~page_va p ~prot;
+               List.iter
+                 (fun (va_n, q) ->
+                    enter_page sys pmap ~page_va:va_n q ~prot;
+                    if not q.pg_prefetched then begin
+                      q.pg_prefetched <- true;
+                      stats.Vm_sys.prefetch_issued <-
+                        stats.Vm_sys.prefetch_issued + 1
+                    end;
+                    (* The page will never re-fault here, so its first
+                       use must be seen as a referenced-bit transition:
+                       clear the bits and register for the first-touch
+                       hook. *)
+                    for i = 0 to hw_frames - 1 do
+                      Pmap_domain.clear_referenced sys.Vm_sys.domain
+                        ~pfn:(q.pfn + i)
+                    done;
+                    Vm_sys.burst_register sys q)
+                 burst);
+           if traced then
+             Vm_sys.emit sys
+               (Obs.Burst_enter
+                  { va = page_va; pages = 1 + List.length burst });
+           activate_page sys p;
+           Ok p
+         end
        | `Found (_, src) ->
          if write then begin
-           (* Copy the page up into the first object. *)
-           Vm_sys.with_cat sys Obs.Cow_copy (fun () ->
-               let p = new_page_in sys first_obj ~offset in
-               copy_mach_page sys ~src ~dst:p;
-               stats.Vm_sys.cow_copies <- stats.Vm_sys.cow_copies + 1;
-               resolution := Obs.Cow_copy;
-               invalidate_shared_source src;
-               Vm_object.collapse sys first_obj);
+           (* Copy the page up into the first object: a writer section
+              on the object gaining the page. *)
+           Vm_object.lock_write sys first_obj (fun () ->
+               Vm_sys.with_cat sys Obs.Cow_copy (fun () ->
+                   let p = new_page_in sys first_obj ~offset in
+                   copy_mach_page sys ~src ~dst:p;
+                   stats.Vm_sys.cow_copies <- stats.Vm_sys.cow_copies + 1;
+                   resolution := Obs.Cow_copy;
+                   invalidate_shared_source src;
+                   Vm_object.collapse sys first_obj));
            (* The copy may have moved the page up; look it up afresh. *)
            (match Vm_object.lookup_resident sys first_obj ~offset with
             | Some p -> finish p ~prot:(mapped_prot ~cow:false)
@@ -218,10 +300,11 @@ let fault sys map ~va ~write =
          (* Nothing anywhere in the chain: memory with no backing data is
             automatically zero filled, directly in the first object. *)
          let p =
-           Vm_sys.with_cat sys Obs.Zero_fill (fun () ->
-               let p = new_page_in sys first_obj ~offset in
-               zero_mach_page sys p;
-               p)
+           Vm_object.lock_write sys first_obj (fun () ->
+               Vm_sys.with_cat sys Obs.Zero_fill (fun () ->
+                   let p = new_page_in sys first_obj ~offset in
+                   zero_mach_page sys p;
+                   p))
          in
          stats.Vm_sys.zero_fills <- stats.Vm_sys.zero_fills + 1;
          resolution := Obs.Zero_fill;

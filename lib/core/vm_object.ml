@@ -20,7 +20,63 @@ let make_obj ~size ~pager ~temporary ~can_persist =
     obj_degrade = Degrade_zero_fill;
     obj_ra_next = min_int;
     obj_ra_window = 1;
+    obj_gen = 0;
+    obj_lock_free = 0;
+    obj_lock_epoch = 0;
   }
+
+(* --- Object locking, simulated on the virtual clock -------------------
+
+   The simulator is single-threaded, so an object lock never excludes
+   anyone; what it models is the *time* CPUs of a multiprocessor would
+   lose to contention.  Every exclusive (writer) critical section stamps
+   the object with the absolute cycle at which it released
+   ([obj_lock_free]) and bumps the generation counter [obj_gen].  A later
+   acquisition by a CPU whose own clock is still behind that stamp would,
+   on real hardware, have found the lock held: it stalls for the residue
+   and the cycles are attributed to [Lock_wait].  On a single CPU the
+   acquiring clock can never be behind the stamp, so every stall is zero
+   and the locking layer is cycle-invisible — exactly the uncontended
+   fast path.
+
+   Readers (the resident-fault fast path) are optimistic: they read
+   [obj_gen], do the lookup with no lock traffic, and validate the
+   generation afterwards.  Validation failure is indistinguishable here
+   from overlapping a writer hold in virtual time, so [lock_read] charges
+   the same residue a writer would have seen — the retry cost — and
+   nothing when uncontended.
+
+   Stamps are only meaningful within one [Machine.reset_clocks] epoch;
+   a stamp from an older epoch is expired (the clocks it was measured
+   against are gone). *)
+
+let lock_stall_residue (sys : Vm_sys.t) o =
+  if o.obj_lock_epoch = Mach_hw.Machine.reset_epoch sys.Vm_sys.machine then
+    max 0 (o.obj_lock_free - Vm_sys.now sys)
+  else 0
+
+let charge_stall (sys : Vm_sys.t) o cycles =
+  if cycles > 0 then begin
+    sys.Vm_sys.stats.Vm_sys.lock_stalls <-
+      sys.Vm_sys.stats.Vm_sys.lock_stalls + 1;
+    sys.Vm_sys.stats.Vm_sys.lock_stall_cycles <-
+      sys.Vm_sys.stats.Vm_sys.lock_stall_cycles + cycles;
+    Mach_hw.Machine.lock_stall sys.Vm_sys.machine
+      ~cpu:(Vm_sys.current_cpu sys) cycles;
+    Vm_sys.emit sys (Mach_obs.Obs.Lock_stall { obj = o.obj_id; cycles })
+  end
+
+let lock_read sys o = charge_stall sys o (lock_stall_residue sys o)
+
+let lock_write (sys : Vm_sys.t) o f =
+  charge_stall sys o (lock_stall_residue sys o);
+  Fun.protect
+    ~finally:(fun () ->
+      o.obj_gen <- o.obj_gen + 1;
+      o.obj_lock_epoch <-
+        Mach_hw.Machine.reset_epoch sys.Vm_sys.machine;
+      o.obj_lock_free <- Vm_sys.now sys)
+    f
 
 let create_anonymous (_sys : Vm_sys.t) ~size =
   make_obj ~size ~pager:None ~temporary:true ~can_persist:false
@@ -31,13 +87,19 @@ let lookup_resident (sys : Vm_sys.t) o ~offset =
 let free_page (sys : Vm_sys.t) p =
   (* No pmap may retain a mapping to a frame about to be recycled; this is
      a time-critical invalidation (case 1 of Section 5.2). *)
-  if p.pg_prefetched then
-    sys.Vm_sys.stats.Vm_sys.prefetch_wasted <-
-      sys.Vm_sys.stats.Vm_sys.prefetch_wasted + 1;
-  Pmap_domain.remove_all sys.Vm_sys.domain ~pfn:p.pfn ~urgent:true;
-  Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn:p.pfn;
-  Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn:p.pfn;
-  Resident.free_page sys.Vm_sys.resident p
+  let free () =
+    if p.pg_prefetched then
+      sys.Vm_sys.stats.Vm_sys.prefetch_wasted <-
+        sys.Vm_sys.stats.Vm_sys.prefetch_wasted + 1;
+    Vm_sys.burst_forget sys p;
+    Pmap_domain.remove_all sys.Vm_sys.domain ~pfn:p.pfn ~urgent:true;
+    Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn:p.pfn;
+    Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn:p.pfn;
+    Resident.free_page sys.Vm_sys.resident p
+  in
+  match p.pg_obj with
+  | Some o -> lock_write sys o free
+  | None -> free ()
 
 let reference o =
   assert (not o.obj_dead);
@@ -127,14 +189,20 @@ let chain_length o =
   loop 1 o
 
 let shadow sys o ~offset ~size =
-  let s = make_obj ~size ~pager:None ~temporary:true ~can_persist:false in
-  s.obj_shadow <- Some o; (* consumes the caller's reference to [o] *)
-  s.obj_shadow_offset <- offset;
-  sys.Vm_sys.stats.Vm_sys.shadows_created <-
-    sys.Vm_sys.stats.Vm_sys.shadows_created + 1;
-  if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
-    Vm_sys.emit sys (Mach_obs.Obs.Object_shadow { depth = chain_length s });
-  s
+  (* Interposing a shadow rewrites what faults on [o]'s range resolve to:
+     an exclusive section on [o]. *)
+  lock_write sys o (fun () ->
+      let s =
+        make_obj ~size ~pager:None ~temporary:true ~can_persist:false
+      in
+      s.obj_shadow <- Some o; (* consumes the caller's reference to [o] *)
+      s.obj_shadow_offset <- offset;
+      sys.Vm_sys.stats.Vm_sys.shadows_created <-
+        sys.Vm_sys.stats.Vm_sys.shadows_created + 1;
+      if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
+        Vm_sys.emit sys
+          (Mach_obs.Obs.Object_shadow { depth = chain_length s });
+      s)
 
 let chain_lookup sys o ~offset =
   assert (offset mod sys.Vm_sys.page_size = 0);

@@ -66,6 +66,9 @@ let clean_page (sys : Vm_sys.t) p =
   match p.pg_obj with
   | None -> true
   | Some o ->
+    (* Cleaning is a writer section on the owning object: faults on the
+       same object stall behind it on a multiprocessor. *)
+    Vm_object.lock_write sys o @@ fun () ->
     ensure_pager sys o;
     if Pager_guard.write sys o ~offset:p.pg_offset ~data:(page_bytes sys p)
     then begin
@@ -93,6 +96,7 @@ let clean_page (sys : Vm_sys.t) p =
    nothing was written and the caller must degrade to per-page
    {!clean_page} calls (which own the retry/failure accounting). *)
 let write_cluster (sys : Vm_sys.t) o pages =
+  Vm_object.lock_write sys o @@ fun () ->
   ensure_pager sys o;
   let n = List.length pages in
   let start = (List.hd pages).pg_offset in
@@ -241,6 +245,7 @@ let run (sys : Vm_sys.t) ~wanted =
           if p.pg_prefetched then
             sys.Vm_sys.stats.Vm_sys.prefetch_wasted <-
               sys.Vm_sys.stats.Vm_sys.prefetch_wasted + 1;
+          Vm_sys.burst_forget sys p;
           Resident.free_page res p;
           incr freed
         end

@@ -24,6 +24,10 @@ type stats = {
   mutable prefetch_hits : int;
   mutable prefetch_wasted : int;
   mutable clustered_pageouts : int;
+  mutable lock_stalls : int;
+  mutable lock_stall_cycles : int;
+  mutable burst_faults : int;
+  mutable burst_mapped : int;
 }
 
 type t = {
@@ -46,6 +50,14 @@ type t = {
   mutable cluster_max : int;
       (* upper bound on the read-ahead / pageout cluster, in pages;
          1 disables clustering entirely *)
+  mutable burst_max : int;
+      (* upper bound on pages a resident fault maps in one pass (demand
+         page included); 1 maps only the demand page, 0 bypasses the
+         burst machinery entirely (the pre-burst fault path) *)
+  burst_pending : (int, Types.page) Hashtbl.t;
+      (* pfn -> burst-mapped page whose first touch has not happened
+         yet; resolved by the pmap layer's first-touch hook so the
+         touch counts as a prefetch hit even though it never faults *)
   stats : stats;
 }
 
@@ -58,7 +70,43 @@ let fresh_stats () =
     rmw_bug_upgrades = 0; pager_retries = 0; pager_failures = 0;
     pager_deaths = 0; rescued_pages = 0; pageout_failures = 0;
     memory_errors = 0; prefetch_issued = 0; prefetch_hits = 0;
-    prefetch_wasted = 0; clustered_pageouts = 0 }
+    prefetch_wasted = 0; clustered_pageouts = 0;
+    lock_stalls = 0; lock_stall_cycles = 0;
+    burst_faults = 0; burst_mapped = 0 }
+
+(* --- Burst-mapped page tracking --------------------------------------
+
+   Burst faulting maps resident neighbour pages that were never demanded,
+   so their first use cannot be seen by the fault path (they no longer
+   fault).  Each burst-mapped page is registered here by frame number and
+   its referenced bits are cleared; the pmap layer's first-touch hook
+   reports the clear->set transition, at which point the touch counts as
+   a prefetch hit and the page is promoted like any other prefetch hit.
+   Pure bookkeeping: none of this charges cycles. *)
+
+let burst_register t p =
+  let m = Resident.multiple t.resident in
+  for i = 0 to m - 1 do
+    Hashtbl.replace t.burst_pending (p.Types.pfn + i) p
+  done
+
+let burst_forget t p =
+  let m = Resident.multiple t.resident in
+  for i = 0 to m - 1 do
+    Hashtbl.remove t.burst_pending (p.Types.pfn + i)
+  done
+
+let note_first_touch t ~pfn =
+  match Hashtbl.find_opt t.burst_pending pfn with
+  | None -> ()
+  | Some p ->
+    burst_forget t p;
+    if p.Types.pg_prefetched then begin
+      p.Types.pg_prefetched <- false;
+      t.stats.prefetch_hits <- t.stats.prefetch_hits + 1
+    end;
+    if p.Types.pg_queue = Types.Q_inactive && p.Types.pg_wire_count = 0 then
+      Resident.enqueue t.resident p Types.Q_active
 
 let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
   let arch = Machine.arch machine in
@@ -72,7 +120,7 @@ let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
       ~frame_limit ()
   in
   let total = Resident.total_pages resident in
-  {
+  let t = {
     machine;
     domain;
     resident;
@@ -90,8 +138,12 @@ let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
     pager_death_threshold = 3;
     pager_decorator = None;
     cluster_max = 8;
+    burst_max = 8;
+    burst_pending = Hashtbl.create 64;
     stats = fresh_stats ();
-  }
+  } in
+  Pmap_domain.set_on_first_touch domain (fun ~pfn -> note_first_touch t ~pfn);
+  t
 
 let current_cpu t = Pmap_domain.current_cpu t.domain
 

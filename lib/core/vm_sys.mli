@@ -43,6 +43,13 @@ type stats = {
                                        any reference *)
   mutable clustered_pageouts : int;(** multi-page writes issued by the
                                        pageout daemon / clean_request *)
+  mutable lock_stalls : int;       (** contended memory-object lock
+                                       acquisitions (multi-CPU only) *)
+  mutable lock_stall_cycles : int; (** cycles spent in those stalls *)
+  mutable burst_faults : int;      (** resident faults that mapped at least
+                                       one neighbour beyond the demand
+                                       page *)
+  mutable burst_mapped : int;      (** neighbour pages mapped by bursts *)
 }
 
 type t = {
@@ -82,6 +89,14 @@ type t = {
   mutable cluster_max : int;
       (** upper bound on pagein read-ahead and pageout clustering, in
           pages; 1 disables clustering (every disk request is one page) *)
+  mutable burst_max : int;
+      (** upper bound on pages a resident fault maps in one pass, demand
+          page included; 1 maps only the demand page, 0 bypasses the
+          burst machinery entirely (the pre-burst fault path) *)
+  burst_pending : (int, Types.page) Hashtbl.t;
+      (** burst-mapped pages (keyed by hardware frame) whose first touch
+          has not happened yet; resolved by the pmap layer's first-touch
+          hook, installed by {!create} *)
   stats : stats;
 }
 
@@ -132,3 +147,13 @@ val cost : t -> Mach_hw.Arch.cost
 
 val fresh_stats : unit -> stats
 (** All-zero counters. *)
+
+val burst_register : t -> Types.page -> unit
+(** [burst_register t p] records [p] as burst-mapped and awaiting its
+    first touch; the pmap layer's first-touch hook resolves it.  The
+    caller must clear the page's referenced bits so the next access is
+    seen as a transition.  Pure bookkeeping, charges nothing. *)
+
+val burst_forget : t -> Types.page -> unit
+(** [burst_forget t p] drops any pending first-touch record for [p];
+    called when the page is freed or repurposed before being touched. *)

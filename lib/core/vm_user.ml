@@ -24,6 +24,10 @@ type statistics = {
   vs_prefetch_hits : int;
   vs_prefetch_wasted : int;
   vs_clustered_pageouts : int;
+  vs_lock_stalls : int;
+  vs_lock_stall_cycles : int;
+  vs_burst_faults : int;
+  vs_burst_mapped : int;
 }
 
 let syscall (sys : Vm_sys.t) = Vm_sys.charge sys (Vm_sys.cost sys).Arch.syscall
@@ -166,4 +170,8 @@ let statistics (sys : Vm_sys.t) =
     vs_prefetch_hits = s.Vm_sys.prefetch_hits;
     vs_prefetch_wasted = s.Vm_sys.prefetch_wasted;
     vs_clustered_pageouts = s.Vm_sys.clustered_pageouts;
+    vs_lock_stalls = s.Vm_sys.lock_stalls;
+    vs_lock_stall_cycles = s.Vm_sys.lock_stall_cycles;
+    vs_burst_faults = s.Vm_sys.burst_faults;
+    vs_burst_mapped = s.Vm_sys.burst_mapped;
   }

@@ -28,6 +28,10 @@ type statistics = {
   vs_prefetch_hits : int;
   vs_prefetch_wasted : int;
   vs_clustered_pageouts : int;
+  vs_lock_stalls : int;
+  vs_lock_stall_cycles : int;
+  vs_burst_faults : int;
+  vs_burst_mapped : int;
 }
 (** What [vm_statistics] reports.  [vs_pager_retries] through
     [vs_memory_errors] are the failure counters: pager retries after
@@ -36,7 +40,11 @@ type statistics = {
     dirty), and faults that concluded [KERN_MEMORY_ERROR].  The last
     four are the clustering counters: pages brought in by read-ahead,
     how many of those were later referenced / reclaimed untouched, and
-    multi-page pageout writes. *)
+    multi-page pageout writes.  [vs_lock_stalls]/[vs_lock_stall_cycles]
+    count contended memory-object lock acquisitions and the cycles lost
+    to them (zero on one CPU); [vs_burst_faults]/[vs_burst_mapped] count
+    resident faults that burst-mapped neighbour pages and how many
+    neighbours they mapped. *)
 
 val allocate :
   Vm_sys.t -> Task.t -> ?at:int -> size:int -> anywhere:bool -> unit ->

@@ -68,6 +68,11 @@ type t = {
   mutable sampler : (unit -> unit) option;
   mutable sample_every : int;
   mutable next_sample : int;
+  (* Bumped by [reset_clocks].  Absolute-cycle stamps held outside the
+     machine (object lock release times) record the epoch they were
+     taken in; a stamp from an older epoch is dead, so resets cannot
+     manufacture phantom lock stalls. *)
+  mutable reset_epoch : int;
 }
 
 let fresh_stats () =
@@ -94,7 +99,8 @@ let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
     stats = fresh_stats (); fault_handler = None; on_translated = None;
     tracer = Mach_obs.Obs.null;
     disk_async = false; disk_queues = [];
-    sampler = None; sample_every = 0; next_sample = max_int }
+    sampler = None; sample_every = 0; next_sample = max_int;
+    reset_epoch = 0 }
 
 let arch t = t.arch
 let phys t = t.phys
@@ -159,6 +165,14 @@ let charge t ~cpu c = bump t (cpu_of t cpu) c
 
 let charge_category t ~cpu cat c = bump_as t (cpu_of t cpu) cat c
 
+let reset_epoch t = t.reset_epoch
+
+(* A CPU stalled on a contended (simulated) lock: the wait is real
+   simulated time, attributed to [Lock_wait] explicitly so it never
+   masquerades as the work the caller was trying to do. *)
+let lock_stall t ~cpu n =
+  if n > 0 then bump_as t (cpu_of t cpu) Mach_obs.Obs.Lock_wait n
+
 let with_category t ~cpu cat f =
   if Mach_obs.Obs.enabled t.tracer then begin
     Mach_obs.Obs.attr_push t.tracer ~cpu cat;
@@ -184,6 +198,8 @@ let clear_sampler t =
 
 let reset_clocks t =
   Array.iter (fun c -> c.clock <- 0) t.cpus;
+  (* Invalidate absolute-cycle lock stamps taken before the reset. *)
+  t.reset_epoch <- t.reset_epoch + 1;
   (* Queue stamps are absolute cycle counts; stale ones would make a
      post-reset wait charge a huge phantom residue. *)
   List.iter (fun q -> q.dq_free <- 0; q.dq_pending <- []) t.disk_queues;

@@ -134,6 +134,18 @@ val with_category : t -> cpu:int -> Mach_obs.Obs.category -> (unit -> 'a) -> 'a
     nested frame or explicit category overrides it.  Exception-safe; free
     when tracing is off. *)
 
+val lock_stall : t -> cpu:int -> int -> unit
+(** [lock_stall t ~cpu n] charges [n] cycles of contended-lock wait to
+    [cpu], attributed to {!Mach_obs.Obs.Lock_wait} explicitly (a stall
+    is wait time whatever kernel path suffered it).  A no-op when
+    [n <= 0], so uncontended acquisitions are free. *)
+
+val reset_epoch : t -> int
+(** [reset_epoch t] counts how many times {!reset_clocks} has run.
+    Subsystems holding absolute-cycle stamps (object lock release
+    times) tag them with the epoch and treat stamps from an older epoch
+    as expired, so a clock reset cannot manufacture phantom stalls. *)
+
 val cycles : t -> cpu:int -> int
 (** [cycles t ~cpu] is that CPU's clock. *)
 

@@ -64,6 +64,10 @@ let args_of_event (ev : Obs.event) =
       ("depth", Jout.Int depth); ("latency", Jout.Int latency) ]
   | Obs.Disk_wait { cycles; overlap } ->
     [ ("cycles", Jout.Int cycles); ("overlap", Jout.Int overlap) ]
+  | Obs.Lock_stall { obj; cycles } ->
+    [ ("obj", Jout.Int obj); ("cycles", Jout.Int cycles) ]
+  | Obs.Burst_enter { va; pages } ->
+    [ ("va", Jout.Int va); ("pages", Jout.Int pages) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in
@@ -195,7 +199,9 @@ let stats_json ?(extra = []) tr =
        ("pageout_cluster_pages", hist_json (Obs.pageout_cluster tr));
        ("disk_queue_depth", hist_json (Obs.disk_queue_depth tr));
        ("disk_completion_latency", hist_json (Obs.disk_completion tr));
-       ("disk_wait_residue", hist_json (Obs.disk_wait tr)) ]
+       ("disk_wait_residue", hist_json (Obs.disk_wait tr));
+       ("lock_stall_cycles", hist_json (Obs.lock_stall tr));
+       ("burst_pages", hist_json (Obs.burst_pages tr)) ]
      @ extra)
 
 let write_stats ~path ?extra tr =
@@ -241,6 +247,8 @@ let summary_tables tr =
   hist_row "disk queue depth" (Obs.disk_queue_depth tr);
   hist_row "disk completion latency" (Obs.disk_completion tr);
   hist_row "disk wait residue" (Obs.disk_wait tr);
+  hist_row "lock stall cycles" (Obs.lock_stall tr);
+  hist_row "burst pages" (Obs.burst_pages tr);
   [ counts; lat ]
 
 let print_summary tr = List.iter Tablefmt.print (summary_tables tr)

@@ -57,8 +57,14 @@ type event =
   | Disk_wait of { cycles : int; overlap : int }
       (* a CPU blocked on an async completion: [cycles] residue charged,
          [overlap] device cycles it had already hidden behind work *)
+  | Lock_stall of { obj : int; cycles : int }
+      (* a CPU contended on a memory object's simulated lock: [cycles]
+         charged waiting out the holder's critical section *)
+  | Burst_enter of { va : int; pages : int }
+      (* a resident fault burst-mapped [pages] consecutive resident
+         neighbours alongside the demand page at [va] *)
 
-let kind_count = 21
+let kind_count = 23
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -82,6 +88,8 @@ let kind_index = function
   | Cluster_pageout _ -> 18
   | Disk_submit _ -> 19
   | Disk_wait _ -> 20
+  | Lock_stall _ -> 21
+  | Burst_enter _ -> 22
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -105,6 +113,8 @@ let kind_name_of_index = function
   | 18 -> "cluster_pageout"
   | 19 -> "disk_submit"
   | 20 -> "disk_wait"
+  | 21 -> "lock_stall"
+  | 22 -> "burst_enter"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -127,12 +137,14 @@ type category =
   | Zero_fill
   | Cow_copy
   | Pageout_daemon
+  | Lock_wait
 
 let categories =
   [ User_compute; Fault_service; Pmap; Shootdown_ipi; Pager_wait;
-    Retry_backoff; Disk_wait; Zero_fill; Cow_copy; Pageout_daemon ]
+    Retry_backoff; Disk_wait; Zero_fill; Cow_copy; Pageout_daemon;
+    Lock_wait ]
 
-let category_count = 10
+let category_count = 11
 
 let category_index = function
   | User_compute -> 0
@@ -145,6 +157,7 @@ let category_index = function
   | Zero_fill -> 7
   | Cow_copy -> 8
   | Pageout_daemon -> 9
+  | Lock_wait -> 10
 
 let category_name = function
   | User_compute -> "user_compute"
@@ -157,6 +170,7 @@ let category_name = function
   | Zero_fill -> "zero_fill"
   | Cow_copy -> "cow_copy"
   | Pageout_daemon -> "pageout_daemon"
+  | Lock_wait -> "lock_wait"
 
 (* Per-CPU attribution state: a category stack (innermost frame last),
    per-category cycle totals, and the stack of open fault-span ids.
@@ -205,6 +219,8 @@ type t = {
   disk_queue_depth : Hist.t;   (* in-flight requests at each async submit *)
   disk_completion : Hist.t;    (* submit-to-completion latency, cycles *)
   disk_wait : Hist.t;          (* residue charged at each async wait *)
+  lock_stall : Hist.t;         (* cycles charged per contended object lock *)
+  burst_pages : Hist.t;        (* neighbours mapped per burst fault *)
   mutable open_faults : int;
 }
 
@@ -227,6 +243,8 @@ let make ~capacity ~is_null =
     disk_queue_depth = Hist.create ();
     disk_completion = Hist.create ();
     disk_wait = Hist.create ();
+    lock_stall = Hist.create ();
+    burst_pages = Hist.create ();
     open_faults = 0 }
 
 let create ?(capacity = 65536) () = make ~capacity ~is_null:false
@@ -369,6 +387,8 @@ let record t ~ts ~cpu ev =
     Hist.add t.disk_queue_depth depth;
     Hist.add t.disk_completion latency
   | Disk_wait { cycles; _ } -> Hist.add t.disk_wait cycles
+  | Lock_stall { cycles; _ } -> Hist.add t.lock_stall cycles
+  | Burst_enter { pages; _ } -> Hist.add t.burst_pages pages
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
   | Object_shadow _ | Task_switch _
   | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _ -> ()
@@ -393,6 +413,8 @@ let pageout_cluster t = t.pageout_cluster
 let disk_queue_depth t = t.disk_queue_depth
 let disk_completion t = t.disk_completion
 let disk_wait t = t.disk_wait
+let lock_stall t = t.lock_stall
+let burst_pages t = t.burst_pages
 
 let reset t =
   Ring.clear t.ring;
@@ -410,4 +432,6 @@ let reset t =
   Hist.clear t.disk_queue_depth;
   Hist.clear t.disk_completion;
   Hist.clear t.disk_wait;
+  Hist.clear t.lock_stall;
+  Hist.clear t.burst_pages;
   t.open_faults <- 0

@@ -85,6 +85,15 @@ type event =
           of residue; [overlap] is the device time it had already hidden
           behind computation ([service - residue], counted once per
           request). *)
+  | Lock_stall of { obj : int; cycles : int }
+      (** A CPU contended on memory object [obj]'s simulated
+          reader/writer lock: [cycles] were charged waiting out the
+          holder's critical section.  Uncontended acquisitions emit
+          nothing (and cost nothing). *)
+  | Burst_enter of { va : int; pages : int }
+      (** A resident fault burst-mapped [pages] consecutive resident
+          neighbours alongside the demand page at [va], all in one
+          pmap batch (one shootdown exchange). *)
 
 val kind_count : int
 val kind_index : event -> int
@@ -102,6 +111,7 @@ type category =
   | Zero_fill       (** zero-filling fresh pages *)
   | Cow_copy        (** copying pages up shadow chains on write faults *)
   | Pageout_daemon  (** page reclaim: scanning, cleaning, clustered writes *)
+  | Lock_wait       (** stalls on contended memory-object locks *)
 (** Where a CPU's cycles go, kernel-wide; see {!attr_push}. *)
 
 val categories : category list
@@ -246,6 +256,14 @@ val disk_completion : t -> Hist.t
 val disk_wait : t -> Hist.t
 (** Residue charged at each blocking wait on an async completion; zero
     entries are fully overlapped requests. *)
+
+val lock_stall : t -> Hist.t
+(** Cycles charged per contended object-lock acquisition; its [count]
+    is the number of stalls (uncontended acquisitions feed nothing). *)
+
+val burst_pages : t -> Hist.t
+(** Neighbour pages mapped per burst fault (demand page excluded); its
+    [count] is the number of faults that burst at all. *)
 
 val reset : t -> unit
 (** Drop all recorded events and aggregates; keeps the enabled flag. *)

@@ -4,6 +4,10 @@ type t = {
   ctx : Backend.ctx;
   factory : Backend.factory;
   registry : (int, Pmap.t) Hashtbl.t;
+  mutable on_first_touch : (pfn:int -> unit) option;
+      (* fired when a frame's referenced bit transitions clear -> set;
+         the VM layer uses it to observe the first touch of pages it
+         mapped speculatively (burst faulting).  Charges nothing. *)
 }
 
 let create machine =
@@ -16,11 +20,19 @@ let create machine =
     | Arch.Ns32082 -> Pmap_ns32082.make_domain ctx
     | Arch.Tlb_only -> Pmap_tlbonly.make_domain ctx
   in
-  let t = { ctx; factory; registry = Hashtbl.create 16 } in
+  let t =
+    { ctx; factory; registry = Hashtbl.create 16; on_first_touch = None }
+  in
   Machine.set_on_translated machine (fun ~pfn ~write ->
-      Pv.set_referenced ctx.Backend.pv ~pfn;
-      if write then Pv.set_modified ctx.Backend.pv ~pfn);
+      let pv = ctx.Backend.pv in
+      (match t.on_first_touch with
+       | Some f when not (Pv.is_referenced pv ~pfn) -> f ~pfn
+       | _ -> ());
+      Pv.set_referenced pv ~pfn;
+      if write then Pv.set_modified pv ~pfn);
   t
+
+let set_on_first_touch t f = t.on_first_touch <- Some f
 
 let machine t = t.ctx.Backend.machine
 

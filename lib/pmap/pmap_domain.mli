@@ -39,6 +39,15 @@ val set_current_cpu : t -> int -> unit
 val current_cpu : t -> int
 (** The CPU recorded by {!set_current_cpu} (initially 0). *)
 
+val set_on_first_touch : t -> (pfn:int -> unit) -> unit
+(** [set_on_first_touch t f] arranges for [f ~pfn] to run whenever a
+    frame's referenced bit transitions from clear to set (i.e. on the
+    first access since the bit was last cleared), before the bit is
+    set.  The VM layer uses this to observe the first touch of pages it
+    mapped speculatively (burst faulting): such pages never re-fault, so
+    the fault path cannot see their first use.  The hook must not charge
+    cycles — it runs on the translation fast path. *)
+
 (** {1 Flush batching}
 
     Machine-independent code can bracket a burst of pmap mutations so all

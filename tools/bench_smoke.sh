@@ -33,6 +33,18 @@
 #     stats JSON both (injection is decided at submit time, so replay
 #     cannot depend on when completions are reaped).
 #
+# And the multiprocessor fault bench:
+#   - the private-object configuration must scale: faults/sec monotone
+#     non-decreasing from 1 to 2 to 4 CPUs (per-CPU work is fixed, so
+#     flat elapsed time means linear throughput);
+#   - the shared-object configuration must show contention: a non-zero
+#     lock-stall share at 4 CPUs;
+#   - burst=1 (machinery on, demand page only) must cost exactly what
+#     the legacy fault path costs, to the digit, and burst=8 must beat
+#     legacy;
+#   - every cell the -cpus 4 subset produces must match the committed
+#     BENCH_vm.json to the digit (the run is deterministic).
+#
 # And the cycle-attribution profiler:
 #   - machsim --profile must report exact conservation (every CPU's
 #     per-category totals sum to its clock) and drop no events at the
@@ -53,7 +65,8 @@ run_a=$(mktemp /tmp/bench_smoke_run_a.XXXXXX)
 run_b=$(mktemp /tmp/bench_smoke_run_b.XXXXXX)
 prof_out=$(mktemp /tmp/bench_smoke_prof.XXXXXX)
 prof_stats=$(mktemp /tmp/bench_smoke_prof.XXXXXX.json)
-trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b" "$prof_out" "$prof_stats"' EXIT
+mp_out=$(mktemp /tmp/bench_smoke_mp.XXXXXX.json)
+trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b" "$prof_out" "$prof_stats" "$mp_out"' EXIT
 
 dune exec bench/main.exe -- -e shootdown -json "$out" >/dev/null
 
@@ -342,7 +355,81 @@ else
     fi
 fi
 
+# ---- multiprocessor faults -----------------------------------------------
+# The cheap 1/2/4-CPU subset; each configuration runs independently, so
+# its cells must match the full committed run to the digit.
+dune exec bench/main.exe -- -e mpfault -cpus 4 -json "$mp_out" >/dev/null
+
+mp_cell() {
+    sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$mp_out"
+}
+
+for share in private shared; do
+    for c in 1 2 4; do
+        for metric in faults_per_sec elapsed_ms lock_stall_share; do
+            name="mpfault/$share/c$c/$metric"
+            if [ -z "$(mp_cell "$name")" ]; then
+                echo "bench-smoke: FAIL missing cell $name" >&2
+                fail=1
+            fi
+        done
+    done
+done
+
+# Weak scaling on private objects: fixed per-CPU work, so faults/sec
+# must be monotone non-decreasing as CPUs are added.
+fps1=$(mp_cell mpfault/private/c1/faults_per_sec)
+fps2=$(mp_cell mpfault/private/c2/faults_per_sec)
+fps4=$(mp_cell mpfault/private/c4/faults_per_sec)
+if ! awk "BEGIN { exit !($fps1 <= $fps2 && $fps2 <= $fps4) }"; then
+    echo "bench-smoke: FAIL private mpfault throughput not monotone: c1=$fps1 c2=$fps2 c4=$fps4" >&2
+    fail=1
+fi
+
+# Sharing one object must cost something: non-zero lock-stall share at
+# 4 CPUs (and exactly zero with private objects, where no two CPUs ever
+# take the same object lock).
+stall_shared=$(mp_cell mpfault/shared/c4/lock_stall_share)
+stall_private=$(mp_cell mpfault/private/c4/lock_stall_share)
+if ! awk "BEGIN { exit !($stall_shared > 0) }"; then
+    echo "bench-smoke: FAIL shared-object run shows no lock stalls at 4 CPUs ($stall_shared)" >&2
+    fail=1
+fi
+if ! awk "BEGIN { exit !($stall_private == 0) }"; then
+    echo "bench-smoke: FAIL private-object run shows lock stalls ($stall_private); private locks are never contended" >&2
+    fail=1
+fi
+
+# Burst faulting must be free when it maps nothing: burst=1 runs the
+# collection machinery but only the demand page, so it must cost what
+# the legacy path costs, to the digit.  The full window must then pay.
+b_legacy=$(mp_cell mpfault/burst/legacy/elapsed_ms)
+b1=$(mp_cell mpfault/burst/b1/elapsed_ms)
+b8=$(mp_cell mpfault/burst/b8/elapsed_ms)
+if [ -z "$b_legacy" ] || [ "$b1" != "$b_legacy" ]; then
+    echo "bench-smoke: FAIL mpfault burst=1 ($b1 ms) != legacy ($b_legacy ms); bursting must be free when off" >&2
+    fail=1
+fi
+if ! awk "BEGIN { exit !($b8 < $b_legacy) }"; then
+    echo "bench-smoke: FAIL mpfault burst=8 = $b8 not below legacy = $b_legacy" >&2
+    fail=1
+fi
+
+# Determinism: every cell the subset produced must match the committed
+# BENCH_vm.json to the digit.
+for name in $(tr ',' '\n' <"$mp_out" | sed -n 's/.*"name":"\(mpfault\/[^"]*\)".*/\1/p'); do
+    now=$(mp_cell "$name")
+    base=$(baseline_cell "$name")
+    if [ -z "$base" ]; then
+        echo "bench-smoke: FAIL no committed baseline for $name" >&2
+        fail=1
+    elif [ "$now" != "$base" ]; then
+        echo "bench-smoke: FAIL $name = $now drifted from committed $base (mpfault must replay to the digit)" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events, mpfault scales on private objects and stalls on shared ones with burst=1 free to the digit)"
