@@ -1396,6 +1396,163 @@ let mpfault () =
        (if conserved then "ok" else "MISMATCH"))
 
 (* ------------------------------------------------------------------ *)
+(* Memory pressure: overcommit sweep against finite memory and swap     *)
+(* ------------------------------------------------------------------ *)
+
+(* 2 MB of memory and 2 MB of swap on the uVAX II: 512 VM pages
+   resident, 512 more on the default pager.  The sweep scales total
+   anonymous demand from 1x to 4x of physical memory across 8 tasks; at
+   1x everything fits (the reserves and backpressure machinery must
+   stay silent — those cells are the determinism guard), past 2x the
+   dirty set exceeds memory + swap and the OOM policy has to kill to
+   keep the kernel making progress. *)
+let pressure_mem = 2 * mb
+
+type pr_result = {
+  pr_ms : float;
+  pr_oom_kills : int;
+  pr_alloc_waits : int;
+  pr_pageouts : int;
+  pr_swap_full : int;
+  pr_survivors : int;
+  pr_attr : (float * bool) option;
+      (* traced runs only: (Mem_wait share of all cycles, per-CPU
+         attribution sums equal the clocks) *)
+}
+
+let pressure_run ?(traced = false) ~factor () =
+  let tasks_n = 8 in
+  let machine, kernel, _, _ = boot_mach ~mem:pressure_mem Arch.uvax2 in
+  let sys = Kernel.sys kernel in
+  Vm_sys.set_swap_capacity sys (Some pressure_mem);
+  let tr =
+    if not traced then None
+    else begin
+      let tr = Mach_obs.Obs.create ~capacity:(1 lsl 12) () in
+      Mach_obs.Obs.set_enabled tr true;
+      Machine.set_tracer machine tr;
+      Some tr
+    end
+  in
+  let ps = Kernel.page_size kernel in
+  let total_pages = pressure_mem / ps in
+  let per_task_pages = total_pages * factor / tasks_n in
+  let size = per_task_pages * ps in
+  let tasks =
+    Array.init tasks_n (fun i ->
+        Kernel.create_task kernel ~name:(Printf.sprintf "pr%d" i) ())
+  in
+  let addrs =
+    Array.map
+      (fun task ->
+         Kernel.run_task kernel ~cpu:0 task;
+         match Vm_user.allocate sys task ~size ~anywhere:true () with
+         | Ok a -> a
+         | Error e -> failwith (Kr.to_string e))
+      tasks
+  in
+  (* Measure from here: clocks and attribution zeroed together, so the
+     traced run's conservation check is exact. *)
+  Machine.reset_clocks machine;
+  let s = sys.Vm_sys.stats in
+  let oom0 = s.Vm_sys.oom_kills and aw0 = s.Vm_sys.alloc_waits in
+  let po0 = s.Vm_sys.pageouts and sf0 = s.Vm_sys.swap_full_failures in
+  let alive = Array.make tasks_n true in
+  (* Page p of every task, then p+1 — the round-robin interleave keeps
+     all the working sets hot at once, so the daemon can never get ahead
+     by evicting a task that is simply done.  A touch on a task the OOM
+     policy killed mid-sweep answers KERN_MEMORY_ERROR; the workload
+     notes the death and carries on, exactly like a user program. *)
+  let sweep () =
+    for p = 0 to per_task_pages - 1 do
+      Array.iteri
+        (fun i task ->
+           if task.Task.task_oom_killed then alive.(i) <- false
+           else if alive.(i) then begin
+             Kernel.run_task kernel ~cpu:0 task;
+             try
+               Machine.touch machine ~cpu:0 ~va:(addrs.(i) + (p * ps))
+                 ~write:true
+             with Machine.Memory_violation _ -> alive.(i) <- false
+           end)
+        tasks
+    done
+  in
+  (* Two passes: the second re-touches what the first paged out, so the
+     dirty set keeps cycling through memory, swap and the reserves. *)
+  sweep ();
+  sweep ();
+  let attr =
+    match tr with
+    | None -> None
+    | Some tr ->
+      let mw = Mach_obs.Obs.attr_grand_total tr Mach_obs.Obs.Mem_wait in
+      let conserved =
+        Mach_obs.Obs.attr_cpu_total tr ~cpu:0 = Machine.cycles machine ~cpu:0
+      in
+      Some
+        (float_of_int mw /. float_of_int (max 1 (Machine.max_cycles machine)),
+         conserved)
+  in
+  { pr_ms = Machine.elapsed_ms machine;
+    pr_oom_kills = s.Vm_sys.oom_kills - oom0;
+    pr_alloc_waits = s.Vm_sys.alloc_waits - aw0;
+    pr_pageouts = s.Vm_sys.pageouts - po0;
+    pr_swap_full = s.Vm_sys.swap_full_failures - sf0;
+    pr_survivors =
+      Array.fold_left (fun n t -> if t.Task.task_oom_killed then n else n + 1)
+        0 tasks;
+    pr_attr = attr }
+
+let pressure () =
+  let cell name v =
+    record_cell ~name:("pressure/" ^ name) ~measured_ms:v
+      ~paper_mach_ms:None ~paper_unix_ms:None
+  in
+  let t =
+    Tablefmt.create
+      ~title:
+        "Memory pressure (uVAX II, 2 MB memory + 2 MB swap, 8 tasks):\n\
+         anonymous demand swept from 1x to 4x of physical memory; past\n\
+         memory + swap the OOM policy kills the largest task and the\n\
+         kernel keeps serving the survivors"
+      ~columns:
+        [ "demand"; "pageouts"; "alloc waits"; "swap full"; "oom kills";
+          "survivors"; "elapsed" ]
+  in
+  List.iter
+    (fun factor ->
+       let r = pressure_run ~factor () in
+       let c name v = cell (Printf.sprintf "x%d/%s" factor name) v in
+       c "elapsed_ms" r.pr_ms;
+       c "oom_kills" (float_of_int r.pr_oom_kills);
+       c "alloc_waits" (float_of_int r.pr_alloc_waits);
+       c "pageouts" (float_of_int r.pr_pageouts);
+       c "survivors" (float_of_int r.pr_survivors);
+       Tablefmt.row t
+         [ Printf.sprintf "%dx" factor; string_of_int r.pr_pageouts;
+           string_of_int r.pr_alloc_waits; string_of_int r.pr_swap_full;
+           string_of_int r.pr_oom_kills; string_of_int r.pr_survivors;
+           fmt_ms r.pr_ms ])
+    [ 1; 2; 3; 4 ];
+  Tablefmt.print t;
+  (* Attribution: a traced re-run of the 4x point.  Separate boot, so
+     the untraced cells above are untouched; Mem_wait is the cycles
+     allocations spent blocked on the pageout daemon, and conservation
+     must stay exact with the new category in the ledger. *)
+  let r = pressure_run ~traced:true ~factor:4 () in
+  (match r.pr_attr with
+   | None -> assert false
+   | Some (mw_share, conserved) ->
+     cell "attr_mem_wait_share/x4" mw_share;
+     cell "attr_conserved/x4" (if conserved then 1.0 else 0.0);
+     Printf.printf
+       "pressure attribution (4x): mem_wait %.1f%% of all cycles, \
+        conservation %s\n\n"
+       (100. *. mw_share)
+       (if conserved then "ok" else "MISMATCH"))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall-clock of the simulator itself)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1462,7 +1619,8 @@ let experiments =
     ("net_memory", net_memory);
     ("chaos", chaos);
     ("cluster", cluster);
-    ("mpfault", mpfault) ]
+    ("mpfault", mpfault);
+    ("pressure", pressure) ]
 
 let usage () =
   print_endline

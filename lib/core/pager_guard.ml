@@ -36,7 +36,7 @@ let declare_dead (sys : Vm_sys.t) o pager =
          | Write_completed ->
            incr rescued;
            stats.Vm_sys.rescued_pages <- stats.Vm_sys.rescued_pages + 1
-         | Write_error -> ())
+         | Write_error | Write_no_space -> ())
     (Resident.object_pages o);
   if Obs.enabled (Vm_sys.tracer sys) then
     Vm_sys.emit sys
@@ -188,51 +188,58 @@ let await_page (sys : Vm_sys.t) p =
 
 (* One-shot clustered write, same policy: a failure is reported without
    retries or health damage and the caller degrades to single-page
-   [write] calls. *)
+   [write] calls.  [`No_space] — the backing store is full — is
+   permanent until space is released, so it is reported distinctly (no
+   retries either, and no health damage: the pager is fine, the disk is
+   full) and the caller escalates to the memory-pressure state. *)
 let write_range (sys : Vm_sys.t) o ~offset ~data =
   match o.obj_pager with
-  | None -> false
+  | None -> `Failed
   | Some pager ->
     Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
     if o.obj_health.ph_dead then
       (match o.obj_rescue with
-       | None -> false
+       | None -> `Failed
        | Some r ->
          (match r.pgr_write ~offset ~data with
-          | Write_completed -> true
-          | Write_error -> false))
+          | Write_completed -> `Ok
+          | Write_error -> `Failed
+          | Write_no_space -> `No_space))
     else begin
       match pager.pgr_write ~offset ~data with
       | Write_completed ->
         o.obj_health.ph_consecutive <- 0;
-        true
-      | Write_error -> false
+        `Ok
+      | Write_error -> `Failed
+      | Write_no_space -> `No_space
     end
 
 let write sys o ~offset ~data =
   match o.obj_pager with
-  | None -> false
+  | None -> `Failed
   | Some pager ->
     Vm_sys.with_cat sys Obs.Pager_wait @@ fun () ->
     if o.obj_health.ph_dead then
       (match o.obj_rescue with
-       | None -> false
+       | None -> `Failed
        | Some r ->
          (match r.pgr_write ~offset ~data with
-          | Write_completed -> true
-          | Write_error -> false))
+          | Write_completed -> `Ok
+          | Write_error -> `Failed
+          | Write_no_space -> `No_space))
     else begin
       match
         with_retries sys o ~offset (fun () ->
             match pager.pgr_write ~offset ~data with
-            | Write_completed -> `Done ()
+            | Write_completed -> `Done `Ok
+            | Write_no_space -> `Done `No_space
             | Write_error -> `Failed)
       with
-      | Some () -> true
+      | Some r -> r
       | None ->
         (* If the exhausted budget just killed the pager, [declare_dead]
            already rescued this page along with the rest; returning
-           [false] still makes the caller keep it dirty, so the rescue
+           [`Failed] still makes the caller keep it dirty, so the rescue
            copy is refreshed by the next pageout pass. *)
-        false
+        `Failed
     end

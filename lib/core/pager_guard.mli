@@ -61,16 +61,26 @@ val await_page : Vm_sys.t -> Types.page -> unit
     The inflight record is shared across a cluster's pages; the overlap
     and residue are accounted once no matter how many sharers wait. *)
 
-val write_range : Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t -> bool
+val write_range :
+  Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t ->
+  [ `Ok | `Failed | `No_space ]
 (** [write_range] is the clustered-pageout variant of {!write}: one
-    attempt, no retries, no health damage.  [false] means nothing was
-    written and the caller must degrade to per-page {!write} calls. *)
+    attempt, no retries, no health damage.  On [`Failed] nothing was
+    written and the caller must degrade to per-page {!write} calls;
+    [`No_space] means the backing store is full ([Write_no_space]) —
+    also nothing written, also no health damage, but permanent until
+    space is released: the caller should escalate to the
+    memory-pressure state rather than retry. *)
 
-val write : Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t -> bool
+val write :
+  Vm_sys.t -> Types.obj -> offset:int -> data:Bytes.t ->
+  [ `Ok | `Failed | `No_space ]
 (** [write sys obj ~offset ~data] writes a page back to the object's
-    pager (or its rescue pager once dead) with the same policy.
-    [false] means the write ultimately failed and the caller must keep
-    the page dirty. *)
+    pager (or its rescue pager once dead) with the same policy.  On
+    [`Failed] the write exhausted its retry budget and the caller must
+    keep the page dirty; [`No_space] reports a full backing store
+    without burning retries or damaging the pager's health (the pager
+    is fine, the disk is full). *)
 
 val pager_dead : Types.obj -> bool
 (** Whether the object's pager has been declared dead. *)

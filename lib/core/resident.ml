@@ -51,6 +51,7 @@ let create ~phys ~multiple ?(frame_limit = max_int) () =
           pg_queue = Q_free;
           pg_queue_node = None;
           pg_obj_node = None;
+          pg_requeues = 0;
         }
       in
       p.pg_queue_node <- Some (Dlist.push_back t.free p);
@@ -123,6 +124,7 @@ let free_page t p =
   p.pg_prefetched <- false;
   p.pg_inflight <- None;
   p.pg_wire_count <- 0;
+  p.pg_requeues <- 0;
   set_queue t p Q_free
 
 let enqueue t p q =

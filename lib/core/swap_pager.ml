@@ -1,13 +1,22 @@
 open Types
 
-(* Registry of swap stores by pager id, so [stored_bytes] can answer for a
-   pager without widening the pager record. *)
-let stores : (int, (int, Bytes.t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+(* One swap store: its chunks plus the [Vm_sys.t] whose shared swap pool
+   they are committed against, so [release] can credit the pool back
+   when the owning object dies.  Registered by pager id, so
+   [stored_bytes]/[release] answer for a pager without widening the
+   pager record (and keep working when the pager is wrapped by a
+   decorator — wrapping preserves [pgr_id]). *)
+type store = {
+  st_sys : Vm_sys.t;
+  st_chunks : (int, Bytes.t) Hashtbl.t; (* offset -> page-size chunk *)
+}
+
+let stores : (int, store) Hashtbl.t = Hashtbl.create 16
 
 let make (sys : Vm_sys.t) ~name =
   let id = fresh_pager_id () in
   let store : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
-  Hashtbl.add stores id store;
+  Hashtbl.add stores id { st_sys = sys; st_chunks = store };
   let machine = sys.Vm_sys.machine in
   (* Each swap pager models its own paging partition with a private
      service queue, so swap traffic queues behind itself, not behind
@@ -37,6 +46,18 @@ let make (sys : Vm_sys.t) ~name =
       loop ();
       Some (Bytes.concat Bytes.empty (List.rev !parts), !got)
   in
+  (* Bytes of [data] landing on offsets not yet stored: only new chunks
+     commit pool space — rewriting a paged-out page in place is free. *)
+  let new_bytes ~offset ~data =
+    let len = Bytes.length data in
+    let fresh = ref 0 and pos = ref 0 in
+    while !pos < len do
+      let take = min ps (len - !pos) in
+      if not (Hashtbl.mem store (offset + !pos)) then fresh := !fresh + take;
+      pos := !pos + take
+    done;
+    !fresh
+  in
   let scatter ~offset ~data =
     (* Stored in page-size chunks so later single-page requests find
        their piece. *)
@@ -47,6 +68,13 @@ let make (sys : Vm_sys.t) ~name =
       Hashtbl.replace store (offset + !pos) (Bytes.sub data !pos take);
       pos := !pos + take
     done
+  in
+  (* All-or-nothing capacity check against the shared pool: either the
+     whole (possibly clustered) write fits and is committed, or nothing
+     is stored and the kernel hears [Write_no_space] — it may then fall
+     back to single-page writes, which need less fresh space. *)
+  let reserve ~offset ~data =
+    Vm_sys.swap_charge sys (new_bytes ~offset ~data)
   in
   {
     pgr_id = id;
@@ -61,11 +89,14 @@ let make (sys : Vm_sys.t) ~name =
            Data_provided data);
     pgr_write =
       (fun ~offset ~data ->
-         (* One disk charge for the whole (possibly clustered) write. *)
-         Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:true
-           ~bytes:(Bytes.length data);
-         scatter ~offset ~data;
-         Write_completed);
+         if not (reserve ~offset ~data) then Write_no_space
+         else begin
+           (* One disk charge for the whole (possibly clustered) write. *)
+           Mach_hw.Machine.charge_disk machine ~cpu:(cpu ()) ~write:true
+             ~bytes:(Bytes.length data);
+           scatter ~offset ~data;
+           Write_completed
+         end);
     pgr_submit =
       (fun ~offset ~length ->
          if not (Mach_hw.Machine.disk_async machine) then None
@@ -82,6 +113,10 @@ let make (sys : Vm_sys.t) ~name =
     pgr_submit_write =
       (fun ~offset ~data ->
          if not (Mach_hw.Machine.disk_async machine) then None
+         else if not (reserve ~offset ~data) then
+           (* No space: fall back to the synchronous path, whose
+              [Write_no_space] reply carries the escalation. *)
+           None
          else begin
            let completion, service =
              Mach_hw.Machine.submit_disk machine queue ~cpu:(cpu ())
@@ -96,4 +131,18 @@ let make (sys : Vm_sys.t) ~name =
 let stored_bytes p =
   match Hashtbl.find_opt stores p.pgr_id with
   | None -> 0
-  | Some store -> Hashtbl.fold (fun _ b acc -> acc + Bytes.length b) store 0
+  | Some s ->
+    Hashtbl.fold (fun _ b acc -> acc + Bytes.length b) s.st_chunks 0
+
+(* Drop a dead object's swap store and credit its chunks back to the
+   pool.  Keyed by pager id; a no-op for pagers that are not swap
+   pagers, so object termination can call it unconditionally. *)
+let release p =
+  match Hashtbl.find_opt stores p.pgr_id with
+  | None -> ()
+  | Some s ->
+    let bytes =
+      Hashtbl.fold (fun _ b acc -> acc + Bytes.length b) s.st_chunks 0
+    in
+    Vm_sys.swap_release s.st_sys bytes;
+    Hashtbl.remove stores p.pgr_id

@@ -5,7 +5,12 @@
     4.3bsd file systems, eliminating separate paging partitions).  Here
     the backing store is an in-memory table whose transfers are charged as
     disk I/O, so evicted anonymous pages survive and cost what swap
-    costs. *)
+    costs.
+
+    Capacity is finite when the owning {!Vm_sys} configures a swap pool
+    ([Vm_sys.set_swap_capacity]): every store commits new chunks against
+    the shared pool and answers [Write_no_space] — all or nothing, no
+    partial scatter — when a write does not fit. *)
 
 val make : Vm_sys.t -> name:string -> Types.pager
 (** [make sys ~name] is a fresh default-pager instance for one memory
@@ -15,3 +20,9 @@ val make : Vm_sys.t -> name:string -> Types.pager
 val stored_bytes : Types.pager -> int
 (** [stored_bytes p] is how much backing store [p] currently holds; 0 for
     pagers not made by this module.  Used by tests. *)
+
+val release : Types.pager -> unit
+(** [release p] drops [p]'s swap store and credits its chunks back to
+    the shared pool.  Keyed by pager id (which decorators preserve), and
+    a no-op for pagers not made by this module, so object termination
+    calls it unconditionally. *)

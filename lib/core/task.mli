@@ -15,12 +15,21 @@ type t = {
   task_map : Types.vmap;
   task_pmap : Mach_pmap.Pmap.t;
   mutable task_dead : bool;
+  mutable task_oom_killed : bool;
+      (** killed by the out-of-memory policy: the address space is gone
+          and every fault or Vm_user call answers KERN_MEMORY_ERROR *)
 }
 
 val create : Vm_sys.t -> ?name:string -> unit -> t
 (** [create sys ()] is a task with an empty address space covering one
     page above address 0 (so null dereferences fault) up to the
-    architecture's user address limit. *)
+    architecture's user address limit.  The task is registered as an
+    OOM candidate until terminated. *)
+
+val anon_resident : t -> int
+(** Anonymous resident pages the task holds — the OOM policy's victim
+    metric: each anonymous entry's shadow chain counted down to the
+    first object something else also references. *)
 
 val fork : Vm_sys.t -> t -> t
 (** [fork sys parent] builds the child task per the parent map's
@@ -28,7 +37,8 @@ val fork : Vm_sys.t -> t -> t
 
 val terminate : Vm_sys.t -> t -> unit
 (** [terminate sys t] deallocates the address space (releasing every
-    backing reference and destroying the pmap). *)
+    backing reference and destroying the pmap) and withdraws the task
+    from the OOM candidate list. *)
 
 val map : t -> Types.vmap
 val pmap : t -> Mach_pmap.Pmap.t

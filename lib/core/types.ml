@@ -39,6 +39,11 @@ type page = {
   mutable pg_queue : pageq;
   mutable pg_queue_node : page Dlist.node option;
   mutable pg_obj_node : page Dlist.node option;
+  mutable pg_requeues : int;
+      (* consecutive pageout attempts on which this page's write failed
+         and it was requeued still dirty; reset when a clean succeeds or
+         the page is freed.  Crossing the requeue limit flips the system
+         into the memory-pressure state instead of spinning forever *)
 }
 
 (* One async disk request, shared by every page of its cluster.  The
@@ -167,6 +172,11 @@ and pager_write_reply =
   | Write_completed
   | Write_error                (* the page was NOT cleaned; the kernel
                                   must keep it dirty *)
+  | Write_no_space             (* the backing store is full: permanent
+                                  until space is released, so retrying is
+                                  pointless (no health damage); the page
+                                  stays dirty and the kernel enters its
+                                  memory-pressure state *)
 
 and backing =
   | No_backing     (* allocated but never touched; object made at fault *)

@@ -59,6 +59,11 @@ let plan (sys : Vm_sys.t) obj ~offset ~limit =
       incr i
     done;
     let n = !i in
+    (* Speculation gets only the pages above the free target: clipping
+       there (not at [free_reserved]) means prefetch never even triggers
+       reclaim, let alone touches the reserve — the reserve floor is
+       enforced again at allocation time in [install_tail], where the
+       free list may have dropped since this plan. *)
     let headroom =
       Resident.free_count sys.Vm_sys.resident - sys.Vm_sys.free_target
     in
@@ -97,14 +102,22 @@ let commit_single obj ~offset ~ps =
    async pages stay busy until awaited.  Returns how many pages were
    actually installed ([plan] skipped resident pages, but the demand
    grab may have run the reclaimer in between; re-check and never steal
-   from the free target). *)
+   from the free target).  Allocation is raw [Resident.alloc] behind a
+   hard [free_reserved] floor: prefetch must never wait, reclaim, OOM
+   or dip into the reserve on behalf of speculation — pages that do not
+   fit are simply dropped from the tail. *)
 let install_tail (sys : Vm_sys.t) obj ~tail_off ~got ~data ~inflight =
   let ps = sys.Vm_sys.page_size in
   let issued = ref 0 in
+  let alloc_above_reserve () =
+    if Resident.free_count sys.Vm_sys.resident > sys.Vm_sys.free_reserved
+    then Resident.alloc sys.Vm_sys.resident
+    else None
+  in
   for i = 0 to got - 1 do
     let off = tail_off + (i * ps) in
     if Resident.lookup sys.Vm_sys.resident ~obj ~offset:off = None then
-      match Resident.alloc sys.Vm_sys.resident with
+      match alloc_above_reserve () with
       | None -> ()
       | Some p ->
         Resident.insert sys.Vm_sys.resident p ~obj ~offset:off;

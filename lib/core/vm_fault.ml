@@ -69,6 +69,15 @@ let fault sys map ~va ~write =
      here directly).  Narrower frames below re-attribute the interesting
      sub-costs: pager traffic, zero fills, COW copies. *)
   Vm_sys.with_cat sys Obs.Fault_service @@ fun () ->
+  (* While this fault is in flight its map's task is exempt from the OOM
+     policy: killing it would deallocate the very structures (entry,
+     objects, source pages) this handler is holding.  Saved/restored so
+     nested faults keep the innermost map exempt. *)
+  let saved_exempt = sys.Vm_sys.oom_exempt_map in
+  sys.Vm_sys.oom_exempt_map <- Some map.map_id;
+  Fun.protect
+    ~finally:(fun () -> sys.Vm_sys.oom_exempt_map <- saved_exempt)
+  @@ fun () ->
   let stats = sys.Vm_sys.stats in
   stats.Vm_sys.faults <- stats.Vm_sys.faults + 1;
   (* Trace bracketing: one Fault_begin/Fault_end pair per invocation,
@@ -216,7 +225,16 @@ let fault sys map ~va ~write =
                 (lim + obj.obj_shadow_offset)
             | None -> `Bottom))
     in
-    conclude
+    (* Allocation backpressure almost never fails: grab_page waits on
+       the daemon and falls back to the OOM policy first.  When it does
+       raise — swap full and every candidate exempt or empty, i.e. this
+       very task is the last one standing — the kernel survives and the
+       fault concludes with a resource-shortage error the caller can
+       surface. *)
+    let no_memory (f : unit -> (Types.page, Kr.t) result) =
+      try f () with Vm_sys.Out_of_memory -> Error Kr.Resource_shortage
+    in
+    conclude @@ no_memory @@ fun () ->
       (match search first_obj offset (entry.e_offset + entry_size entry) with
        | `Failed ->
          (* The backing pager failed for good (retry budget exhausted, or

@@ -111,8 +111,15 @@ let rec terminate sys o =
   assert (not o.obj_dead);
   o.obj_dead <- true;
   List.iter (fun p -> free_page sys p) (Resident.object_pages o);
+  (* A dead object's swap chunks are garbage: credit them back to the
+     swap pool ([Swap_pager.release] is a no-op for non-swap pagers). *)
   (match o.obj_pager with
-   | Some pager -> Hashtbl.remove sys.Vm_sys.pager_objects pager.pgr_id
+   | Some pager ->
+     Hashtbl.remove sys.Vm_sys.pager_objects pager.pgr_id;
+     Swap_pager.release pager
+   | None -> ());
+  (match o.obj_rescue with
+   | Some rescue -> Swap_pager.release rescue
    | None -> ());
   match o.obj_shadow with
   | None -> ()

@@ -58,6 +58,24 @@ let ensure_pager (sys : Vm_sys.t) o =
     in
     o.obj_pager <- Some pg
 
+(* The backing store refused a pageout for lack of space: the write was
+   not transient (retrying cannot help until space is released), so the
+   system enters the memory-pressure state — allocation backpressure
+   escalates to the OOM policy instead of waiting on a daemon that
+   cannot progress. *)
+let note_no_space (sys : Vm_sys.t) =
+  sys.Vm_sys.stats.Vm_sys.swap_full_failures <-
+    sys.Vm_sys.stats.Vm_sys.swap_full_failures + 1;
+  sys.Vm_sys.mem_pressure <- true;
+  if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
+    Vm_sys.emit sys
+      (Mach_obs.Obs.Swap_full
+         { used = sys.Vm_sys.swap_used;
+           capacity =
+             (match sys.Vm_sys.swap_capacity with
+              | Some c -> c
+              | None -> 0) })
+
 (* Write a dirty page to its object's pager, attaching a default pager to
    anonymous objects on their first pageout.  Returns whether the page
    was actually cleaned; on [false] the page is still dirty and the
@@ -70,9 +88,14 @@ let clean_page (sys : Vm_sys.t) p =
        same object stall behind it on a multiprocessor. *)
     Vm_object.lock_write sys o @@ fun () ->
     ensure_pager sys o;
-    if Pager_guard.write sys o ~offset:p.pg_offset ~data:(page_bytes sys p)
-    then begin
+    match
+      Pager_guard.write sys o ~offset:p.pg_offset ~data:(page_bytes sys p)
+    with
+    | `Ok ->
       clear_modified sys p;
+      p.pg_requeues <- 0;
+      (* A successful write is progress: pressure, if any, has lifted. *)
+      sys.Vm_sys.mem_pressure <- false;
       sys.Vm_sys.stats.Vm_sys.pageouts <-
         sys.Vm_sys.stats.Vm_sys.pageouts + 1;
       if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
@@ -82,12 +105,13 @@ let clean_page (sys : Vm_sys.t) p =
                inactive_depth =
                  Resident.inactive_count sys.Vm_sys.resident });
       true
-    end
-    else begin
+    | `Failed ->
       sys.Vm_sys.stats.Vm_sys.pageout_failures <-
         sys.Vm_sys.stats.Vm_sys.pageout_failures + 1;
       false
-    end
+    | `No_space ->
+      note_no_space sys;
+      false
 
 (* One-shot clustered write of [pages] — contiguous, ascending, same
    object, length >= 2.  Write permission is revoked on every page first
@@ -108,6 +132,8 @@ let write_cluster (sys : Vm_sys.t) o pages =
   let data = Bytes.concat Bytes.empty (List.map (page_bytes sys) pages) in
   let finish () =
     List.iter (clear_modified sys) pages;
+    List.iter (fun q -> q.pg_requeues <- 0) pages;
+    sys.Vm_sys.mem_pressure <- false;
     sys.Vm_sys.stats.Vm_sys.pageouts <-
       sys.Vm_sys.stats.Vm_sys.pageouts + n;
     sys.Vm_sys.stats.Vm_sys.clustered_pageouts <-
@@ -141,11 +167,18 @@ let write_cluster (sys : Vm_sys.t) o pages =
         pages;
       finish ()
     | None ->
-      if Pager_guard.write_range sys o ~offset:start ~data then finish ()
-      else false
+      (match Pager_guard.write_range sys o ~offset:start ~data with
+       | `Ok -> finish ()
+       | `Failed | `No_space ->
+         (* Nothing was written; the per-page fallback owns the failure
+            accounting (and the no-space escalation, page by page — one
+            page may still fit where the cluster did not). *)
+         false)
   end
-  else if Pager_guard.write_range sys o ~offset:start ~data then finish ()
-  else false
+  else
+    match Pager_guard.write_range sys o ~offset:start ~data with
+    | `Ok -> finish ()
+    | `Failed | `No_space -> false
 
 (* Clean [p] together with its contiguous dirty neighbours: grow the run
    left and right over resident, unwired, non-busy modified pages of the
@@ -225,13 +258,20 @@ let run (sys : Vm_sys.t) ~wanted =
         each_frame sys p (fun pfn ->
             Pmap_domain.remove_all sys.Vm_sys.domain ~pfn ~urgent:false);
         Machine.tick sys.Vm_sys.machine;
-        if is_modified sys p && not (clean_cluster sys p) then
+        if is_modified sys p && not (clean_cluster sys p) then begin
           (* The pageout write failed after its retry budget: the data
              exists nowhere but this frame, so it must stay dirty and
              resident.  Requeue it at the back of the active queue — the
              backoff — so it ages through both queues again before the
-             next write attempt. *)
+             next write attempt.  Requeues are bounded: a page that
+             keeps failing flips the system into the pressure state so
+             allocation backpressure escalates to the OOM policy
+             instead of spinning the daemon against a wall. *)
+          p.pg_requeues <- p.pg_requeues + 1;
+          if p.pg_requeues > sys.Vm_sys.pageout_requeue_limit then
+            sys.Vm_sys.mem_pressure <- true;
           Resident.enqueue res p Q_active
+        end
         else if p.pg_inflight <> None then
           (* [clean_cluster] just submitted this page's writeback: put it
              back at the tail of the inactive queue so the transfer can

@@ -28,6 +28,23 @@ type stats = {
   mutable lock_stall_cycles : int;
   mutable burst_faults : int;
   mutable burst_mapped : int;
+  mutable alloc_waits : int;
+  mutable alloc_wait_cycles : int;
+  mutable swap_full_failures : int;
+  mutable oom_kills : int;
+}
+
+(* A task the out-of-memory policy may kill.  Registered by Task.create
+   through closures so this module stays below Task in the dependency
+   order; the ids are the task's, the map id identifies the address map
+   so the task faulting right now can be exempted (killing it would pull
+   the map out from under its own in-progress fault). *)
+type oom_candidate = {
+  oc_id : int;
+  oc_name : string;
+  oc_map_id : int;
+  oc_resident : unit -> int;   (* anonymous resident pages right now *)
+  oc_kill : unit -> unit;      (* reclaim everything and mark the task *)
 }
 
 type t = {
@@ -43,6 +60,30 @@ type t = {
   mutable pager_objects : (int, Types.obj) Hashtbl.t;
   mutable reclaim : (t -> wanted:int -> unit) option;
   mutable free_target : int;
+  mutable free_min : int;
+      (* below this many free pages the system is under pressure:
+         allocations start waiting on the daemon instead of merely
+         triggering it *)
+  mutable free_reserved : int;
+      (* hard floor: only the pageout/cleaning path ([grab_page
+         ~reserve:true]) may allocate out of the last [free_reserved]
+         pages, so cleaning never deadlocks on needing a page *)
+  mutable alloc_backoff_cycles : int;
+      (* cycles one backpressure wait on the pageout daemon charges *)
+  mutable pageout_requeue_limit : int;
+      (* dirty-page requeues after failed writes before the daemon
+         escalates to the pressure state instead of spinning *)
+  mutable swap_capacity : int option;
+      (* bytes of backing store the swap pool may commit; [None] is
+         unbounded (the pre-pressure behaviour) *)
+  mutable swap_used : int;     (* bytes currently committed to swap *)
+  mutable mem_pressure : bool;
+      (* set when pageout cannot make progress (swap full, or a page
+         exceeded the requeue limit); cleared when a pageout write
+         succeeds again or an OOM kill frees memory *)
+  mutable oom_candidates : oom_candidate list;
+  mutable oom_exempt_map : int option;
+      (* map id currently being faulted on; its task is never selected *)
   mutable pager_retry_limit : int;
   mutable pager_backoff_cycles : int;
   mutable pager_death_threshold : int;
@@ -72,7 +113,9 @@ let fresh_stats () =
     memory_errors = 0; prefetch_issued = 0; prefetch_hits = 0;
     prefetch_wasted = 0; clustered_pageouts = 0;
     lock_stalls = 0; lock_stall_cycles = 0;
-    burst_faults = 0; burst_mapped = 0 }
+    burst_faults = 0; burst_mapped = 0;
+    alloc_waits = 0; alloc_wait_cycles = 0;
+    swap_full_failures = 0; oom_kills = 0 }
 
 (* --- Burst-mapped page tracking --------------------------------------
 
@@ -133,6 +176,15 @@ let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
     pager_objects = Hashtbl.create 64;
     reclaim = None;
     free_target = max 4 (total / 16);
+    free_min = max 2 (total / 32);
+    free_reserved = max 2 (total / 64);
+    alloc_backoff_cycles = 2000;
+    pageout_requeue_limit = 3;
+    swap_capacity = None;
+    swap_used = 0;
+    mem_pressure = false;
+    oom_candidates = [];
+    oom_exempt_map = None;
     pager_retry_limit = 3;
     pager_backoff_cycles = 500;
     pager_death_threshold = 3;
@@ -168,7 +220,74 @@ let emit t ev =
 
 let cost t = (Machine.arch t.machine).Arch.cost
 
-let grab_page t =
+(* --- Swap pool accounting --------------------------------------------
+
+   One shared pool models the paging partition: every Swap_pager (the
+   daemon's default pagers, rescue pagers) commits new chunks against it
+   and credits it back when its object dies.  Unbounded by default, so
+   nothing changes until a capacity is configured. *)
+
+let set_swap_capacity t cap = t.swap_capacity <- cap
+
+let swap_charge t bytes =
+  match t.swap_capacity with
+  | None -> true
+  | Some cap ->
+    if t.swap_used + bytes <= cap then begin
+      t.swap_used <- t.swap_used + bytes;
+      true
+    end
+    else false
+
+let swap_release t bytes = t.swap_used <- max 0 (t.swap_used - bytes)
+
+(* --- Out-of-memory policy --------------------------------------------
+
+   Deterministic: the victim is the candidate with the most anonymous
+   resident pages, ties broken by the smaller task id.  The task whose
+   map is being faulted right now is exempt — killing it would free
+   pages out from under its own in-progress fault. *)
+
+let oom_register t c = t.oom_candidates <- c :: t.oom_candidates
+
+let oom_unregister t ~id =
+  t.oom_candidates <- List.filter (fun c -> c.oc_id <> id) t.oom_candidates
+
+let oom_kill t =
+  let viable =
+    List.filter_map
+      (fun c ->
+         let exempt =
+           match t.oom_exempt_map with
+           | Some m -> c.oc_map_id = m
+           | None -> false
+         in
+         if exempt then None
+         else
+           let r = c.oc_resident () in
+           if r > 0 then Some (r, c) else None)
+      t.oom_candidates
+  in
+  match viable with
+  | [] -> false
+  | first :: rest ->
+    let resident, victim =
+      List.fold_left
+        (fun (rb, b) (r, c) ->
+           if r > rb || (r = rb && c.oc_id < b.oc_id) then (r, c)
+           else (rb, b))
+        first rest
+    in
+    t.stats.oom_kills <- t.stats.oom_kills + 1;
+    emit t (Mach_obs.Obs.Oom_kill { task = victim.oc_name; resident });
+    oom_unregister t ~id:victim.oc_id;
+    victim.oc_kill ();
+    (* The kill freed memory (and possibly swap): pressure is relieved
+       until pageout reports otherwise. *)
+    t.mem_pressure <- false;
+    true
+
+let grab_page ?(reserve = false) t =
   let try_reclaim wanted =
     match t.reclaim with
     | None -> ()
@@ -176,10 +295,50 @@ let grab_page t =
   in
   if Resident.free_count t.resident < t.free_target then
     try_reclaim (t.free_target - Resident.free_count t.resident);
-  match Resident.alloc t.resident with
+  (* Only the pageout/cleaning path may dip into the reserve; ordinary
+     allocations treat the free list as empty at [free_reserved]. *)
+  let floor_pages = if reserve then 0 else t.free_reserved in
+  let take () =
+    if Resident.free_count t.resident > floor_pages then
+      Resident.alloc t.resident
+    else None
+  in
+  match take () with
   | Some p -> p
   | None ->
-    try_reclaim 1;
-    (match Resident.alloc t.resident with
-     | Some p -> p
-     | None -> raise Out_of_memory)
+    (* Allocation backpressure: wait on the pageout daemon on the
+       virtual clocks instead of raising.  Each round reclaims toward
+       the target and, when the free list is still at the floor, charges
+       one backoff to [Mem_wait].  Two consecutive rounds without
+       progress mean reclaim is stuck (everything dirty and the swap
+       full, say): the OOM policy runs, and only when it finds no
+       viable victim does the allocation fail for real. *)
+    let stats = t.stats in
+    let stalled = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let before = Resident.free_count t.resident in
+      try_reclaim (max 1 (t.free_target - before));
+      match take () with
+      | Some p -> result := Some p
+      | None ->
+        let free = Resident.free_count t.resident in
+        let backoff = t.alloc_backoff_cycles in
+        stats.alloc_waits <- stats.alloc_waits + 1;
+        stats.alloc_wait_cycles <- stats.alloc_wait_cycles + backoff;
+        charge_cat t Mach_obs.Obs.Mem_wait backoff;
+        if Mach_obs.Obs.enabled (tracer t) then
+          emit t
+            (Mach_obs.Obs.Alloc_wait
+               { free; wanted = max 1 (t.free_target - free);
+                 cycles = backoff });
+        if free > before then stalled := 0 else incr stalled;
+        (* Escalate when reclaim is demonstrably stuck: either the
+           daemon itself reported it (swap full, a page over the
+           requeue limit) or two waits in a row freed nothing. *)
+        if t.mem_pressure || !stalled >= 2 then begin
+          stalled := 0;
+          if not (oom_kill t) then raise Out_of_memory
+        end
+    done;
+    (match !result with Some p -> p | None -> assert false)

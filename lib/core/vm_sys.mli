@@ -50,7 +50,29 @@ type stats = {
                                        one neighbour beyond the demand
                                        page *)
   mutable burst_mapped : int;      (** neighbour pages mapped by bursts *)
+  mutable alloc_waits : int;       (** allocation backpressure waits on the
+                                       pageout daemon (free list at the
+                                       reserve) *)
+  mutable alloc_wait_cycles : int; (** cycles charged by those waits
+                                       ([mem_wait] attribution) *)
+  mutable swap_full_failures : int;(** pageout writes refused because the
+                                       swap pool is full; the page stayed
+                                       dirty and pressure was raised *)
+  mutable oom_kills : int;         (** tasks killed by the out-of-memory
+                                       policy *)
 }
+
+type oom_candidate = {
+  oc_id : int;                     (** task id; deterministic tie-break *)
+  oc_name : string;
+  oc_map_id : int;                 (** the task's address map; exempt while
+                                       a fault on it is in progress *)
+  oc_resident : unit -> int;       (** anonymous resident pages right now *)
+  oc_kill : unit -> unit;          (** reclaim everything, mark the task *)
+}
+(** A task the out-of-memory policy may kill, registered by [Task.create]
+    as closures so this module stays below Task in the dependency
+    order. *)
 
 type t = {
   machine : Mach_hw.Machine.t;
@@ -74,7 +96,32 @@ type t = {
   mutable reclaim : (t -> wanted:int -> unit) option;
       (** pageout hook, installed by {!Vm_pageout}; called when the free
           list runs low *)
-  mutable free_target : int;       (** keep at least this many pages free *)
+  mutable free_target : int;       (** keep at least this many pages free;
+                                       reclaim aims here *)
+  mutable free_min : int;
+      (** below this many free pages the system is under pressure:
+          allocations start waiting on the daemon instead of merely
+          triggering it (free_reserved <= free_min <= free_target) *)
+  mutable free_reserved : int;
+      (** hard floor: only [grab_page ~reserve:true] (the pageout/
+          cleaning path) may allocate out of the last [free_reserved]
+          pages, so cleaning never deadlocks on needing a page *)
+  mutable alloc_backoff_cycles : int;
+      (** cycles one backpressure wait on the pageout daemon charges *)
+  mutable pageout_requeue_limit : int;
+      (** failed-write requeues per dirty page before the daemon
+          escalates to the pressure state instead of spinning *)
+  mutable swap_capacity : int option;
+      (** bytes the swap pool may commit; [None] is unbounded *)
+  mutable swap_used : int;         (** bytes currently committed to swap *)
+  mutable mem_pressure : bool;
+      (** pageout cannot make progress (swap full, or a dirty page
+          exceeded the requeue limit); cleared when a pageout write
+          succeeds again or an OOM kill frees memory *)
+  mutable oom_candidates : oom_candidate list;
+  mutable oom_exempt_map : int option;
+      (** map id currently being faulted on ({!Vm_fault} maintains it);
+          its task is never selected as the OOM victim *)
   mutable pager_retry_limit : int;
       (** transient pager failures retried per request before giving up *)
   mutable pager_backoff_cycles : int;
@@ -101,8 +148,9 @@ type t = {
 }
 
 exception Out_of_memory
-(** Raised when a page is needed, the free list is empty, and reclaiming
-    produced nothing. *)
+(** Raised when a page is needed, backpressure made no progress, and the
+    OOM policy found no viable victim (every candidate exempt or without
+    resident pages). *)
 
 val create :
   machine:Mach_hw.Machine.t -> domain:Mach_pmap.Pmap_domain.t ->
@@ -111,10 +159,40 @@ val create :
     machine-independent page size is [page_multiple] hardware pages.  The
     resident table honours the architecture's physical address limit. *)
 
-val grab_page : t -> Types.page
+val grab_page : ?reserve:bool -> t -> Types.page
 (** [grab_page t] allocates a free page, invoking the pageout hook if the
-    free list is low, raising {!Out_of_memory} if nothing can be
-    reclaimed.  The returned page is on no queue and in no object. *)
+    free list is low.  Ordinary allocations never take the free list
+    below [free_reserved]; at the floor they wait on the daemon
+    (allocation backpressure: reclaim rounds interleaved with
+    [alloc_backoff_cycles] charges to the [mem_wait] category) and
+    escalate to the OOM policy when reclaim stalls, raising
+    {!Out_of_memory} only when no victim remains.  [~reserve:true] — the
+    pageout/cleaning path's privilege — may dip into the reserve down to
+    an empty list.  The returned page is on no queue and in no object. *)
+
+val set_swap_capacity : t -> int option -> unit
+(** Configure the shared swap pool: [Some bytes] bounds what every
+    {!Swap_pager} together may commit; [None] (the default) is
+    unbounded. *)
+
+val swap_charge : t -> int -> bool
+(** [swap_charge t bytes] commits [bytes] of new swap chunks against the
+    pool; [false] (nothing committed) when that would exceed the
+    capacity. *)
+
+val swap_release : t -> int -> unit
+(** Credit the pool back, e.g. when a swap store's object dies. *)
+
+val oom_register : t -> oom_candidate -> unit
+val oom_unregister : t -> id:int -> unit
+(** Maintain the OOM candidate list (Task.create/terminate do). *)
+
+val oom_kill : t -> bool
+(** Run the out-of-memory policy once: kill the candidate with the most
+    anonymous resident pages (ties to the smaller task id; the task
+    whose map is in [oom_exempt_map] is never chosen), count it in
+    [oom_kills], emit [Oom_kill], and clear [mem_pressure].  [false]
+    when no viable victim exists. *)
 
 val charge : t -> int -> unit
 (** [charge t c] adds [c] cycles to the current CPU's clock. *)

@@ -28,17 +28,31 @@ type statistics = {
   vs_lock_stall_cycles : int;
   vs_burst_faults : int;
   vs_burst_mapped : int;
+  vs_alloc_waits : int;
+  vs_alloc_wait_cycles : int;
+  vs_swap_full_failures : int;
+  vs_oom_kills : int;
+  vs_swap_used : int;
+  vs_swap_capacity : int option;
 }
 
 let syscall (sys : Vm_sys.t) = Vm_sys.charge sys (Vm_sys.cost sys).Arch.syscall
 
+(* A task killed by the OOM policy has no address space left; every
+   operation on it answers KERN_MEMORY_ERROR, the same code its faults
+   report, so user programs see one consistent story. *)
+let check_alive (task : Task.t) f =
+  if task.Task.task_oom_killed then Error Kr.Memory_error else f ()
+
 let allocate sys task ?at ~size ~anywhere () =
   syscall sys;
+  check_alive task @@ fun () ->
   Vm_map.allocate sys (Task.map task) ?at ~size ~anywhere ()
 
 let allocate_with_pager sys task ~pager ~offset ?at ~size ~anywhere
     ?(copy = false) () =
   syscall sys;
+  check_alive task @@ fun () ->
   if offset < 0 || offset mod sys.Vm_sys.page_size <> 0 then
     Error Kr.Invalid_argument
   else begin
@@ -58,18 +72,22 @@ let allocate_with_pager sys task ~pager ~offset ?at ~size ~anywhere
 
 let deallocate sys task ~addr ~size =
   syscall sys;
+  check_alive task @@ fun () ->
   Vm_map.deallocate_range sys (Task.map task) ~addr ~size
 
 let protect sys task ~addr ~size ~set_max ~prot =
   syscall sys;
+  check_alive task @@ fun () ->
   Vm_map.protect sys (Task.map task) ~addr ~size ~set_max ~prot
 
 let inherit_ sys task ~addr ~size inh =
   syscall sys;
+  check_alive task @@ fun () ->
   Vm_map.set_inheritance sys (Task.map task) ~addr ~size inh
 
 let copy sys task ~src ~dst ~size =
   syscall sys;
+  check_alive task @@ fun () ->
   let map = Task.map task in
   match Vm_map.extract_copy sys map ~addr:src ~size with
   | Error _ as e -> e
@@ -128,6 +146,7 @@ let move sys task ~addr ~len ~f =
 
 let read sys task ~addr ~size =
   syscall sys;
+  check_alive task @@ fun () ->
   if size < 0 then Error Kr.Invalid_argument
   else begin
     let buf = Bytes.create size in
@@ -138,6 +157,7 @@ let read sys task ~addr ~size =
 
 let write sys task ~addr ~data =
   syscall sys;
+  check_alive task @@ fun () ->
   move sys task ~addr ~len:(Bytes.length data) ~f:(`Into_task data)
 
 let regions sys task =
@@ -174,4 +194,10 @@ let statistics (sys : Vm_sys.t) =
     vs_lock_stall_cycles = s.Vm_sys.lock_stall_cycles;
     vs_burst_faults = s.Vm_sys.burst_faults;
     vs_burst_mapped = s.Vm_sys.burst_mapped;
+    vs_alloc_waits = s.Vm_sys.alloc_waits;
+    vs_alloc_wait_cycles = s.Vm_sys.alloc_wait_cycles;
+    vs_swap_full_failures = s.Vm_sys.swap_full_failures;
+    vs_oom_kills = s.Vm_sys.oom_kills;
+    vs_swap_used = sys.Vm_sys.swap_used;
+    vs_swap_capacity = sys.Vm_sys.swap_capacity;
   }

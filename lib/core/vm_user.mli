@@ -32,6 +32,12 @@ type statistics = {
   vs_lock_stall_cycles : int;
   vs_burst_faults : int;
   vs_burst_mapped : int;
+  vs_alloc_waits : int;
+  vs_alloc_wait_cycles : int;
+  vs_swap_full_failures : int;
+  vs_oom_kills : int;
+  vs_swap_used : int;
+  vs_swap_capacity : int option;
 }
 (** What [vm_statistics] reports.  [vs_pager_retries] through
     [vs_memory_errors] are the failure counters: pager retries after
@@ -44,7 +50,13 @@ type statistics = {
     count contended memory-object lock acquisitions and the cycles lost
     to them (zero on one CPU); [vs_burst_faults]/[vs_burst_mapped] count
     resident faults that burst-mapped neighbour pages and how many
-    neighbours they mapped. *)
+    neighbours they mapped.  The memory-pressure counters:
+    [vs_alloc_waits]/[vs_alloc_wait_cycles] are allocations that had to
+    wait on the pageout daemon and the cycles spent waiting,
+    [vs_swap_full_failures] pageout writes refused by a full swap pool,
+    [vs_oom_kills] tasks killed by the out-of-memory policy.
+    [vs_swap_used] is the backing-store bytes occupied;
+    [vs_swap_capacity] the configured limit ([None] = unbounded). *)
 
 val allocate :
   Vm_sys.t -> Task.t -> ?at:int -> size:int -> anywhere:bool -> unit ->

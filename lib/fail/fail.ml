@@ -154,7 +154,19 @@ let profiles =
           With_probability (0.05, Delay 1200) ]) ]);
     ("pagerdeath",
      [ ("pager.write", [ After (4, Always Fail) ]);
-       ("pager.request", [ After (32, Always Fail) ]) ]) ]
+       ("pager.request", [ After (32, Always Fail) ]) ]);
+    (* Memory-pressure companion: runs alongside a small --mem/--swap
+       configuration and leans on the paths pressure exercises hardest —
+       pageout writes fail or crawl (dirty pages bounce back to the
+       active queue, driving the requeue-limit escalation), and pageins
+       are occasionally slow, stretching the time allocations spend
+       waiting on the daemon. *)
+    ("lowmem",
+     [ ("pager.write",
+        [ With_probability (0.10, Fail); With_probability (0.05, Delay 900) ]);
+       ("disk.write", [ With_probability (0.05, Delay 700) ]);
+       ("disk.read", [ With_probability (0.03, Delay 500) ]);
+       ("pager.request", [ With_probability (0.02, Fail) ]) ]) ]
 
 let profile name = List.assoc_opt name profiles
 let profile_names = List.map fst profiles

@@ -93,7 +93,9 @@ val profile : string -> (string * plan) list option
     errors and latency spikes), ["disk"] (disk errors + latency only),
     ["net"] (drops and a transient partition), ["pagerdeath"] (pager
     writes fail permanently after a warm-up, reads follow — drives the
-    death/rescue path). *)
+    death/rescue path), ["lowmem"] (pageout writes fail or crawl and
+    pageins stall — pairs with a small [--mem]/[--swap] configuration to
+    drive backpressure, requeue escalation and the OOM policy). *)
 
 val profile_names : string list
 

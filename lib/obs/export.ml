@@ -68,6 +68,13 @@ let args_of_event (ev : Obs.event) =
     [ ("obj", Jout.Int obj); ("cycles", Jout.Int cycles) ]
   | Obs.Burst_enter { va; pages } ->
     [ ("va", Jout.Int va); ("pages", Jout.Int pages) ]
+  | Obs.Alloc_wait { free; wanted; cycles } ->
+    [ ("free", Jout.Int free); ("wanted", Jout.Int wanted);
+      ("cycles", Jout.Int cycles) ]
+  | Obs.Swap_full { used; capacity } ->
+    [ ("used", Jout.Int used); ("capacity", Jout.Int capacity) ]
+  | Obs.Oom_kill { task; resident } ->
+    [ ("task", Jout.Str task); ("resident", Jout.Int resident) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in

@@ -63,8 +63,17 @@ type event =
   | Burst_enter of { va : int; pages : int }
       (* a resident fault burst-mapped [pages] consecutive resident
          neighbours alongside the demand page at [va] *)
+  | Alloc_wait of { free : int; wanted : int; cycles : int }
+      (* an allocation found the free list at the reserve and waited
+         [cycles] on the pageout daemon; [free] pages were free at entry *)
+  | Swap_full of { used : int; capacity : int }
+      (* a pageout write was refused because the swap partition is full:
+         [used] of [capacity] bytes committed *)
+  | Oom_kill of { task : string; resident : int }
+      (* the out-of-memory policy killed [task], reclaiming [resident]
+         anonymous resident pages *)
 
-let kind_count = 23
+let kind_count = 26
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -90,6 +99,9 @@ let kind_index = function
   | Disk_wait _ -> 20
   | Lock_stall _ -> 21
   | Burst_enter _ -> 22
+  | Alloc_wait _ -> 23
+  | Swap_full _ -> 24
+  | Oom_kill _ -> 25
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -115,6 +127,9 @@ let kind_name_of_index = function
   | 20 -> "disk_wait"
   | 21 -> "lock_stall"
   | 22 -> "burst_enter"
+  | 23 -> "alloc_wait"
+  | 24 -> "swap_full"
+  | 25 -> "oom_kill"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -138,13 +153,14 @@ type category =
   | Cow_copy
   | Pageout_daemon
   | Lock_wait
+  | Mem_wait
 
 let categories =
   [ User_compute; Fault_service; Pmap; Shootdown_ipi; Pager_wait;
     Retry_backoff; Disk_wait; Zero_fill; Cow_copy; Pageout_daemon;
-    Lock_wait ]
+    Lock_wait; Mem_wait ]
 
-let category_count = 11
+let category_count = 12
 
 let category_index = function
   | User_compute -> 0
@@ -158,6 +174,7 @@ let category_index = function
   | Cow_copy -> 8
   | Pageout_daemon -> 9
   | Lock_wait -> 10
+  | Mem_wait -> 11
 
 let category_name = function
   | User_compute -> "user_compute"
@@ -171,6 +188,7 @@ let category_name = function
   | Cow_copy -> "cow_copy"
   | Pageout_daemon -> "pageout_daemon"
   | Lock_wait -> "lock_wait"
+  | Mem_wait -> "mem_wait"
 
 (* Per-CPU attribution state: a category stack (innermost frame last),
    per-category cycle totals, and the stack of open fault-span ids.
@@ -221,6 +239,8 @@ type t = {
   disk_wait : Hist.t;          (* residue charged at each async wait *)
   lock_stall : Hist.t;         (* cycles charged per contended object lock *)
   burst_pages : Hist.t;        (* neighbours mapped per burst fault *)
+  mem_wait : Hist.t;           (* cycles charged per allocation backpressure
+                                  wait on the pageout daemon *)
   mutable open_faults : int;
 }
 
@@ -245,6 +265,7 @@ let make ~capacity ~is_null =
     disk_wait = Hist.create ();
     lock_stall = Hist.create ();
     burst_pages = Hist.create ();
+    mem_wait = Hist.create ();
     open_faults = 0 }
 
 let create ?(capacity = 65536) () = make ~capacity ~is_null:false
@@ -389,9 +410,11 @@ let record t ~ts ~cpu ev =
   | Disk_wait { cycles; _ } -> Hist.add t.disk_wait cycles
   | Lock_stall { cycles; _ } -> Hist.add t.lock_stall cycles
   | Burst_enter { pages; _ } -> Hist.add t.burst_pages pages
+  | Alloc_wait { cycles; _ } -> Hist.add t.mem_wait cycles
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
   | Object_shadow _ | Task_switch _
-  | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _ -> ()
+  | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _
+  | Swap_full _ | Oom_kill _ -> ()
 
 let ring t = t.ring
 
@@ -415,6 +438,7 @@ let disk_completion t = t.disk_completion
 let disk_wait t = t.disk_wait
 let lock_stall t = t.lock_stall
 let burst_pages t = t.burst_pages
+let mem_wait t = t.mem_wait
 
 let reset t =
   Ring.clear t.ring;
@@ -434,4 +458,5 @@ let reset t =
   Hist.clear t.disk_wait;
   Hist.clear t.lock_stall;
   Hist.clear t.burst_pages;
+  Hist.clear t.mem_wait;
   t.open_faults <- 0

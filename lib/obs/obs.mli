@@ -94,6 +94,19 @@ type event =
       (** A resident fault burst-mapped [pages] consecutive resident
           neighbours alongside the demand page at [va], all in one
           pmap batch (one shootdown exchange). *)
+  | Alloc_wait of { free : int; wanted : int; cycles : int }
+      (** An allocation found the free list down to the reserve and
+          waited on the pageout daemon (allocation backpressure):
+          [cycles] were charged to [Mem_wait], [free] pages were free
+          when the wait began, [wanted] is the deficit to the target. *)
+  | Swap_full of { used : int; capacity : int }
+      (** A pageout write was refused because the swap partition is
+          full ([used] of [capacity] bytes committed); the page stayed
+          dirty and the system entered the memory-pressure state. *)
+  | Oom_kill of { task : string; resident : int }
+      (** The out-of-memory policy killed [task] — the largest
+          anonymous-resident task — reclaiming its [resident] resident
+          pages; the task sees [KERN_MEMORY_ERROR] from then on. *)
 
 val kind_count : int
 val kind_index : event -> int
@@ -112,6 +125,8 @@ type category =
   | Cow_copy        (** copying pages up shadow chains on write faults *)
   | Pageout_daemon  (** page reclaim: scanning, cleaning, clustered writes *)
   | Lock_wait       (** stalls on contended memory-object locks *)
+  | Mem_wait        (** allocation backpressure: a CPU waiting on the
+                        pageout daemon for a free page *)
 (** Where a CPU's cycles go, kernel-wide; see {!attr_push}. *)
 
 val categories : category list
@@ -264,6 +279,10 @@ val lock_stall : t -> Hist.t
 val burst_pages : t -> Hist.t
 (** Neighbour pages mapped per burst fault (demand page excluded); its
     [count] is the number of faults that burst at all. *)
+
+val mem_wait : t -> Hist.t
+(** Cycles charged per allocation backpressure wait; its [count] is the
+    number of waits. *)
 
 val reset : t -> unit
 (** Drop all recorded events and aggregates; keeps the enabled flag. *)

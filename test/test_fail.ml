@@ -240,6 +240,158 @@ let chaos_qcheck =
       pair (int_range 0 1_000_000) (list_size (int_range 20 80) op_gen))
     chaos_invariants
 
+(* ---- qcheck: memory pressure under lowmem chaos -------------------------- *)
+
+(* Scarce memory, a finite swap pool, and the [lowmem] chaos profile:
+   whatever the op mix, the kernel itself never fails — nothing escapes
+   beyond the architectural Memory_violation — the injector fingerprint
+   and the set of OOM victims replay exactly under the same seed, and
+   every surviving task's memory is byte-for-byte what the same op
+   sequence produces on an unpressured machine.  The fidelity claim is
+   sound because pressure never loses data silently: a no-space or
+   failed pageout keeps the page dirty, and a live pager's read failure
+   surfaces as an error rather than zero fill. *)
+
+let pr_tasks = 3
+let pr_pages = 24
+
+type pr_op =
+  | P_write of int * int * char (* task, page, byte *)
+  | P_read of int * int
+  | P_deactivate of int
+  | P_pageout of int
+
+(* Write-heavy: dirty pages are what fills the swap pool and forces the
+   OOM policy, so the mix must actually reach 4x overcommit in dirt. *)
+let pr_op_gen =
+  QCheck2.Gen.(
+    frequency
+      [ ( 4,
+          map3
+            (fun t i c -> P_write (t, i, Char.chr (Char.code 'a' + c)))
+            (int_range 0 (pr_tasks - 1))
+            (int_range 0 (pr_pages - 1))
+            (int_range 0 25) );
+        ( 2,
+          map2
+            (fun t i -> P_read (t, i))
+            (int_range 0 (pr_tasks - 1))
+            (int_range 0 (pr_pages - 1)) );
+        (1, map (fun n -> P_deactivate n) (int_range 1 24));
+        (1, map (fun n -> P_pageout n) (int_range 1 24)) ])
+
+type pr_outcome = {
+  pro_fingerprint : string;
+  pro_killed : bool list;
+  pro_contents : string option list; (* [None] = OOM victim *)
+  pro_clean : bool; (* invariant checker over the surviving maps *)
+}
+
+let lowmem_run ~pressured (seed, ops) =
+  let machine, kernel, sys =
+    boot ~frames:(if pressured then 256 else 4096) ()
+  in
+  let ps = Kernel.page_size kernel in
+  let inj =
+    if not pressured then None
+    else begin
+      Vm_sys.set_swap_capacity sys (Some (8 * ps));
+      let inj = Fail.create ~seed in
+      (match Fail.profile "lowmem" with
+       | Some sites ->
+         List.iter (fun (site, plan) -> Fail.attach inj ~site plan) sites
+       | None -> Alcotest.fail "lowmem profile missing");
+      sys.Vm_sys.pager_decorator <- Some (Chaos_pager.wrap sys inj);
+      Some inj
+    end
+  in
+  let tasks = Array.init pr_tasks (fun _ -> Kernel.create_task kernel ()) in
+  let addrs =
+    Array.map
+      (fun t ->
+         Kernel.run_task kernel ~cpu:0 t;
+         ok (Vm_user.allocate sys t ~size:(pr_pages * ps) ~anywhere:true ()))
+      tasks
+  in
+  let alive i = not tasks.(i).Task.task_oom_killed in
+  let apply op =
+    try
+      match op with
+      | P_write (ti, i, c) ->
+        if alive ti then begin
+          Kernel.run_task kernel ~cpu:0 tasks.(ti);
+          Machine.write_byte machine ~cpu:0 ~va:(addrs.(ti) + (i * ps)) c
+        end
+      | P_read (ti, i) ->
+        if alive ti then begin
+          Kernel.run_task kernel ~cpu:0 tasks.(ti);
+          ignore (Machine.read_byte machine ~cpu:0 ~va:(addrs.(ti) + (i * ps)))
+        end
+      | P_deactivate n -> Vm_pageout.deactivate_some sys ~count:n
+      | P_pageout n -> Vm_pageout.run sys ~wanted:n
+    with
+    | Machine.Memory_violation _ -> ()
+    | Vm_sys.Out_of_memory -> ()
+  in
+  List.iter apply ops;
+  (* Read every survivor back.  A transient injected read fault can
+     surface as Memory_violation; retrying draws fresh decisions from
+     the plan, so data is only ever unavailable, never lost. *)
+  let contents ti =
+    if not (alive ti) then None
+    else begin
+      Kernel.run_task kernel ~cpu:0 tasks.(ti);
+      let buf = Bytes.create pr_pages in
+      for i = 0 to pr_pages - 1 do
+        let rec rd attempt =
+          try Machine.read_byte machine ~cpu:0 ~va:(addrs.(ti) + (i * ps))
+          with Machine.Memory_violation _ when attempt < 4 -> rd (attempt + 1)
+        in
+        Bytes.set buf i (rd 0)
+      done;
+      Some (Bytes.to_string buf)
+    end
+  in
+  let cont = List.init pr_tasks contents in
+  let maps =
+    Array.to_list tasks
+    |> List.filteri (fun i _ -> alive i)
+    |> List.map Task.map
+  in
+  {
+    pro_fingerprint =
+      (match inj with Some i -> Fail.fingerprint i | None -> "");
+    pro_killed = List.init pr_tasks (fun i -> not (alive i));
+    pro_contents = cont;
+    pro_clean = Vm_debug.check_all sys ~maps = [];
+  }
+
+let lowmem_resilience (seed, ops) =
+  let p1 = lowmem_run ~pressured:true (seed, ops) in
+  let p2 = lowmem_run ~pressured:true (seed, ops) in
+  let calm = lowmem_run ~pressured:false (seed, ops) in
+  let survivors_match =
+    List.for_all2
+      (fun p c ->
+         match (p, c) with
+         | None, _ -> true (* OOM victim: nothing left to compare *)
+         | Some got, Some want -> got = want
+         | Some _, None -> false)
+      p1.pro_contents calm.pro_contents
+  in
+  p1 = p2 (* fingerprint, victims, and bytes replay under the seed *)
+  && p1.pro_clean && calm.pro_clean
+  && (not (List.exists Fun.id calm.pro_killed))
+  && survivors_match
+
+let lowmem_qcheck =
+  QCheck2.Test.make
+    ~name:"lowmem chaos: kernel survives, replays, and keeps survivor bytes"
+    ~count:15
+    QCheck2.Gen.(
+      pair (int_range 0 1_000_000) (list_size (int_range 60 150) pr_op_gen))
+    lowmem_resilience
+
 (* ---- wasted transfers are charged at run length -------------------------- *)
 
 (* A transient failure on a clustered run wastes the *whole* transfer —
@@ -385,7 +537,9 @@ let () =
             test_scramble;
           Alcotest.test_case "profiles and --chaos spec parsing" `Quick
             test_profiles_and_spec ] );
-      ("properties", [ QCheck_alcotest.to_alcotest chaos_qcheck ]);
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest chaos_qcheck;
+          QCheck_alcotest.to_alcotest lowmem_qcheck ] );
       ( "disk",
         [ Alcotest.test_case "wasted retry charged at run length" `Quick
             test_disk_retry_charges_full_run ] );

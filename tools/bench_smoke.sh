@@ -66,7 +66,8 @@ run_b=$(mktemp /tmp/bench_smoke_run_b.XXXXXX)
 prof_out=$(mktemp /tmp/bench_smoke_prof.XXXXXX)
 prof_stats=$(mktemp /tmp/bench_smoke_prof.XXXXXX.json)
 mp_out=$(mktemp /tmp/bench_smoke_mp.XXXXXX.json)
-trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b" "$prof_out" "$prof_stats" "$mp_out"' EXIT
+pr_out=$(mktemp /tmp/bench_smoke_pr.XXXXXX.json)
+trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b" "$prof_out" "$prof_stats" "$mp_out" "$pr_out"' EXIT
 
 dune exec bench/main.exe -- -e shootdown -json "$out" >/dev/null
 
@@ -429,7 +430,65 @@ for name in $(tr ',' '\n' <"$mp_out" | sed -n 's/.*"name":"\(mpfault\/[^"]*\)".*
     fi
 done
 
+# ---- memory pressure -----------------------------------------------------
+# The overcommit sweep must complete without any uncaught exception (a
+# raised Out_of_memory would kill the bench process before it writes its
+# cells); at 1x demand the reserves and OOM policy must stay silent; at
+# 4x the policy must have killed at least one task and left at least one
+# survivor; and every pressure cell must match the committed
+# BENCH_vm.json to the digit — the whole escalation (backpressure,
+# swap exhaustion, victim choice) replays deterministically.
+dune exec bench/main.exe -- -e pressure -json "$pr_out" >/dev/null
+
+pr_cell() {
+    sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$pr_out"
+}
+
+for x in 1 2 3 4; do
+    for metric in elapsed_ms oom_kills alloc_waits pageouts survivors; do
+        name="pressure/x$x/$metric"
+        if [ -z "$(pr_cell "$name")" ]; then
+            echo "bench-smoke: FAIL missing cell $name" >&2
+            fail=1
+        fi
+    done
+done
+
+oom1=$(pr_cell pressure/x1/oom_kills)
+oom4=$(pr_cell pressure/x4/oom_kills)
+surv4=$(pr_cell pressure/x4/survivors)
+if ! awk "BEGIN { exit !($oom1 == 0) }"; then
+    echo "bench-smoke: FAIL pressure/x1/oom_kills = $oom1; the OOM policy must be silent when demand fits" >&2
+    fail=1
+fi
+if ! awk "BEGIN { exit !($oom4 > 0) }"; then
+    echo "bench-smoke: FAIL pressure/x4/oom_kills = $oom4; 4x overcommit past memory+swap must kill" >&2
+    fail=1
+fi
+if ! awk "BEGIN { exit !($surv4 >= 1) }"; then
+    echo "bench-smoke: FAIL pressure/x4/survivors = $surv4; the kernel must keep serving someone" >&2
+    fail=1
+fi
+
+pr_attr=$(pr_cell pressure/attr_conserved/x4)
+if [ -z "$pr_attr" ] || ! awk "BEGIN { exit !($pr_attr == 1) }"; then
+    echo "bench-smoke: FAIL pressure/attr_conserved/x4 = $pr_attr (Mem_wait must stay inside the cycle ledger)" >&2
+    fail=1
+fi
+
+for name in $(tr ',' '\n' <"$pr_out" | sed -n 's/.*"name":"\(pressure\/[^"]*\)".*/\1/p'); do
+    now=$(pr_cell "$name")
+    base=$(baseline_cell "$name")
+    if [ -z "$base" ]; then
+        echo "bench-smoke: FAIL no committed baseline for $name" >&2
+        fail=1
+    elif [ "$now" != "$base" ]; then
+        echo "bench-smoke: FAIL $name = $now drifted from committed $base (pressure must replay to the digit)" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events, mpfault scales on private objects and stalls on shared ones with burst=1 free to the digit)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events, mpfault scales on private objects and stalls on shared ones with burst=1 free to the digit, pressure sweep survives 4x overcommit with deterministic OOM kills)"
