@@ -1193,7 +1193,30 @@ type mp_result = {
   mp_attr : (float * bool) option;
       (* traced runs only: (Lock_wait share of all cycles, per-CPU
          attribution sums equal the clocks) *)
+  mp_numa_local : int;        (* queue allocations from the home domain *)
+  mp_numa_borrows : int;      (* queue allocations borrowed cross-domain *)
+  mp_steals : int;            (* pages stolen from another CPU's magazine *)
 }
+
+(* Free-page allocator variants for the ablation.  [`Seed] leaves the
+   allocator exactly as booted — the scaling sweep and burst cells run
+   there, so they are untouched by this table.  Every other variant
+   turns on queue-lock contention simulation; [`Global] is the seed
+   topology with that cost made visible (the column to beat), and the
+   rest climb the hierarchy of the colored/per-CPU/NUMA allocator. *)
+let apply_alloc_variant machine sys = function
+  | `Seed -> ()
+  | `Global -> Resident.set_lock_sim sys.Vm_sys.resident true
+  | `Colored ->
+    Vm_sys.configure_allocator ~colors:16 sys;
+    Resident.set_lock_sim sys.Vm_sys.resident true
+  | `Colored_pcpu ->
+    Vm_sys.configure_allocator ~colors:16 ~cache:8 sys;
+    Resident.set_lock_sim sys.Vm_sys.resident true
+  | `Numa d ->
+    Machine.set_numa_domains machine d;
+    Vm_sys.configure_allocator ~colors:16 ~cache:8 sys;
+    Resident.set_lock_sim sys.Vm_sys.resident true
 
 (* One configuration: [cpus] processors each faulting an identical
    per-CPU stream against one shared object (disjoint 32-page stripes)
@@ -1204,12 +1227,13 @@ type mp_result = {
    and re-touching every page (resident fast reloads, where bursting
    applies).  Per-CPU work is fixed, so wall-clock differences across
    CPU counts are contention, not extra work. *)
-let mpfault_run ?(traced = false) ~cpus ~shared ~burst () =
+let mpfault_run ?(traced = false) ?(alloc = `Seed) ~cpus ~shared ~burst () =
   let stripe_pages = 32 in
   let rounds = 4 in
   let machine, kernel, _, _ = boot_mach ~mem:(32 * mb) ~cpus Arch.vax8200 in
   let sys = Kernel.sys kernel in
   sys.Vm_sys.burst_max <- burst;
+  apply_alloc_variant machine sys alloc;
   let tr =
     if not traced then None
     else begin
@@ -1303,7 +1327,13 @@ let mpfault_run ?(traced = false) ~cpus ~shared ~burst () =
     mp_burst_mapped = s.Vm_sys.burst_mapped;
     mp_issued = s.Vm_sys.prefetch_issued;
     mp_hits = s.Vm_sys.prefetch_hits;
-    mp_attr = attr }
+    mp_attr = attr;
+    mp_numa_local =
+      (Resident.counters sys.Vm_sys.resident).Resident.numa_local;
+    mp_numa_borrows =
+      (Resident.counters sys.Vm_sys.resident).Resident.numa_borrows;
+    mp_steals =
+      (Resident.counters sys.Vm_sys.resident).Resident.page_steals }
 
 let mpfault () =
   let counts = !mpfault_cpus in
@@ -1393,7 +1423,64 @@ let mpfault () =
        "mpfault attribution (%d CPUs, shared): lock_wait %.1f%% of all \
         cycles, conservation %s\n\n"
        bc (100. *. lw_share)
-       (if conserved then "ok" else "MISMATCH"))
+       (if conserved then "ok" else "MISMATCH"));
+  (* Free-page allocator ablation: the same shared-object interleave,
+     burst=8, but with queue-lock contention simulated.  "global" is
+     the seed's single free queue with that cost made visible; colors
+     split it 16 ways, magazines batch the lock traffic 8 pages per
+     trip, and the NUMA split adds home-domain locality.  The scaling
+     sweep above runs with the cost invisible ([`Seed]), so its cells
+     are untouched by this table. *)
+  let t3 =
+    Tablefmt.create
+      ~title:
+        "Free-page allocator ablation (shared object, burst=8, queue-lock\n\
+         contention simulated): one global queue vs 16 colored queues vs\n\
+         colors + 8-page per-CPU magazines vs 2 NUMA domains on top"
+      ~columns:
+        [ "CPUs"; "allocator"; "faults/sec"; "stall share"; "steals";
+          "local/borrowed"; "elapsed" ]
+  in
+  List.iter
+    (fun cpus ->
+       List.iter
+         (fun (name, alloc) ->
+            let r = mpfault_run ~cpus ~shared:true ~burst:8 ~alloc () in
+            cell (Printf.sprintf "alloc/%s/c%d/faults_per_sec" name cpus)
+              (fps r);
+            cell (Printf.sprintf "alloc/%s/c%d/stall_share" name cpus)
+              r.mp_stall_share;
+            Tablefmt.row t3
+              [ string_of_int cpus; name; Printf.sprintf "%.0f" (fps r);
+                Printf.sprintf "%.1f%%" (100. *. r.mp_stall_share);
+                string_of_int r.mp_steals;
+                Printf.sprintf "%d/%d" r.mp_numa_local r.mp_numa_borrows;
+                fmt_ms r.mp_ms ])
+         [ ("global", `Global); ("colored", `Colored);
+           ("colored_pcpu", `Colored_pcpu); ("numa2", `Numa 2) ])
+    counts;
+  Tablefmt.print t3;
+  (* NUMA locality: private per-CPU objects under the 2-domain split.
+     Each CPU's demand is small against its home domain's share, so
+     nearly every allocation should stay local. *)
+  List.iter
+    (fun cpus ->
+       let r =
+         mpfault_run ~cpus ~shared:false ~burst:8 ~alloc:(`Numa 2) ()
+       in
+       let local_frac =
+         float_of_int r.mp_numa_local
+         /. float_of_int (max 1 (r.mp_numa_local + r.mp_numa_borrows))
+       in
+       cell
+         (Printf.sprintf "alloc/numa2/private/c%d/local_frac" cpus)
+         local_frac;
+       Printf.printf
+         "mpfault numa locality (%d CPUs, private, 2 domains): %.1f%% \
+          local (%d local, %d borrowed)\n"
+         cpus (100. *. local_frac) r.mp_numa_local r.mp_numa_borrows)
+    counts;
+  print_newline ()
 
 (* ------------------------------------------------------------------ *)
 (* Memory pressure: overcommit sweep against finite memory and swap     *)
@@ -1420,11 +1507,12 @@ type pr_result = {
          attribution sums equal the clocks) *)
 }
 
-let pressure_run ?(traced = false) ~factor () =
+let pressure_run ?(traced = false) ?(alloc = `Seed) ~factor () =
   let tasks_n = 8 in
   let machine, kernel, _, _ = boot_mach ~mem:pressure_mem Arch.uvax2 in
   let sys = Kernel.sys kernel in
   Vm_sys.set_swap_capacity sys (Some pressure_mem);
+  apply_alloc_variant machine sys alloc;
   let tr =
     if not traced then None
     else begin
@@ -1550,7 +1638,21 @@ let pressure () =
        "pressure attribution (4x): mem_wait %.1f%% of all cycles, \
         conservation %s\n\n"
        (100. *. mw_share)
-       (if conserved then "ok" else "MISMATCH"))
+       (if conserved then "ok" else "MISMATCH"));
+  (* Allocator ablation under pressure: the colored + per-CPU hierarchy
+     must come through the reclaim/OOM gauntlet with the same policy
+     outcome — magazines are drained when pressure is declared, so
+     cached pages cannot strand below the watermarks and change who
+     gets killed. *)
+  let rs = pressure_run ~factor:3 () in
+  let rc = pressure_run ~alloc:`Colored_pcpu ~factor:3 () in
+  cell "alloc/colored_pcpu/x3/oom_kills" (float_of_int rc.pr_oom_kills);
+  cell "alloc/colored_pcpu/x3/survivors" (float_of_int rc.pr_survivors);
+  cell "alloc/colored_pcpu/x3/elapsed_ms" rc.pr_ms;
+  Printf.printf
+    "pressure allocator ablation (3x, colored+pcpu): %d oom kills / %d \
+     survivors (seed: %d / %d)\n\n"
+    rc.pr_oom_kills rc.pr_survivors rs.pr_oom_kills rs.pr_survivors
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (wall-clock of the simulator itself)       *)

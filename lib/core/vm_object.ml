@@ -95,7 +95,7 @@ let free_page (sys : Vm_sys.t) p =
     Pmap_domain.remove_all sys.Vm_sys.domain ~pfn:p.pfn ~urgent:true;
     Pmap_domain.clear_modified sys.Vm_sys.domain ~pfn:p.pfn;
     Pmap_domain.clear_referenced sys.Vm_sys.domain ~pfn:p.pfn;
-    Resident.free_page sys.Vm_sys.resident p
+    Resident.free_page ~cpu:(Vm_sys.current_cpu sys) sys.Vm_sys.resident p
   in
   match p.pg_obj with
   | Some o -> lock_write sys o free

@@ -66,7 +66,7 @@ let ensure_pager (sys : Vm_sys.t) o =
 let note_no_space (sys : Vm_sys.t) =
   sys.Vm_sys.stats.Vm_sys.swap_full_failures <-
     sys.Vm_sys.stats.Vm_sys.swap_full_failures + 1;
-  sys.Vm_sys.mem_pressure <- true;
+  Vm_sys.set_mem_pressure sys true;
   if Mach_obs.Obs.enabled (Vm_sys.tracer sys) then
     Vm_sys.emit sys
       (Mach_obs.Obs.Swap_full
@@ -269,7 +269,7 @@ let run (sys : Vm_sys.t) ~wanted =
              instead of spinning the daemon against a wall. *)
           p.pg_requeues <- p.pg_requeues + 1;
           if p.pg_requeues > sys.Vm_sys.pageout_requeue_limit then
-            sys.Vm_sys.mem_pressure <- true;
+            Vm_sys.set_mem_pressure sys true;
           Resident.enqueue res p Q_active
         end
         else if p.pg_inflight <> None then
@@ -286,7 +286,7 @@ let run (sys : Vm_sys.t) ~wanted =
             sys.Vm_sys.stats.Vm_sys.prefetch_wasted <-
               sys.Vm_sys.stats.Vm_sys.prefetch_wasted + 1;
           Vm_sys.burst_forget sys p;
-          Resident.free_page res p;
+          Resident.free_page ~cpu:(Vm_sys.current_cpu sys) res p;
           incr freed
         end
       end;

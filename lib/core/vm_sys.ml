@@ -195,7 +195,52 @@ let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
     stats = fresh_stats ();
   } in
   Pmap_domain.set_on_first_touch domain (fun ~pfn -> note_first_touch t ~pfn);
+  (* Simulation services for the page allocator: virtual time, queue-lock
+     charges (stalls land in the same [lock_stalls] counters and
+     [Lock_wait] category as memory-object locks, with obj = -1 marking
+     an allocator queue), clock-reset epochs, and steal tracing.  The
+     allocator's own counters reset with the clocks. *)
+  Resident.set_hooks resident
+    { Resident.hk_now = (fun ~cpu -> Machine.cycles machine ~cpu);
+      hk_charge = (fun ~cpu n -> Machine.charge machine ~cpu n);
+      hk_stall =
+        (fun ~cpu n ->
+           t.stats.lock_stalls <- t.stats.lock_stalls + 1;
+           t.stats.lock_stall_cycles <- t.stats.lock_stall_cycles + n;
+           Machine.lock_stall machine ~cpu n;
+           let tr = Machine.tracer machine in
+           if Mach_obs.Obs.enabled tr then
+             Mach_obs.Obs.record tr ~ts:(Machine.cycles machine ~cpu) ~cpu
+               (Mach_obs.Obs.Lock_stall { obj = -1; cycles = n }));
+      hk_epoch = (fun () -> Machine.reset_epoch machine);
+      hk_steal =
+        (fun ~cpu ~victim ~page ->
+           let tr = Machine.tracer machine in
+           if Mach_obs.Obs.enabled tr then
+             Mach_obs.Obs.record tr ~ts:(Machine.cycles machine ~cpu) ~cpu
+               (Mach_obs.Obs.Page_steal { victim; pfn = page.Types.pfn })) };
+  Machine.add_reset_hook machine (fun () -> Resident.reset_counters resident);
   t
+
+(* Rebuild the page allocator to match the machine's topology: NUMA
+   domains from [Machine.numa_domains], a magazine of [cache] pages per
+   CPU, [colors] colored queues per domain.  Per-domain borrow
+   thresholds re-derive from [free_min]: a domain is poor below its
+   equal share. *)
+let configure_allocator ?colors ?cache ?refill t =
+  let domains = Machine.numa_domains t.machine in
+  Resident.configure t.resident ?colors ~domains
+    ~cpus:(Machine.cpu_count t.machine) ?cache ?refill ();
+  Resident.set_free_min_share t.resident
+    (if domains > 1 then max 1 (t.free_min / domains) else 0)
+
+(* Declare or clear memory pressure.  Declaring it flushes the per-CPU
+   magazines back to the shared queues: pages cached for one CPU must
+   not strand below [free_min] while the daemon or another CPU's
+   backpressure wait starves. *)
+let set_mem_pressure t on =
+  if on && not t.mem_pressure then Resident.drain_caches t.resident;
+  t.mem_pressure <- on
 
 let current_cpu t = Pmap_domain.current_cpu t.domain
 
@@ -283,11 +328,14 @@ let oom_kill t =
     oom_unregister t ~id:victim.oc_id;
     victim.oc_kill ();
     (* The kill freed memory (and possibly swap): pressure is relieved
-       until pageout reports otherwise. *)
+       until pageout reports otherwise.  Magazines are flushed so every
+       page the kill liberated is visible on the shared queues to
+       whoever was starving. *)
+    Resident.drain_caches t.resident;
     t.mem_pressure <- false;
     true
 
-let grab_page ?(reserve = false) t =
+let grab_page ?(reserve = false) ?color t =
   let try_reclaim wanted =
     match t.reclaim with
     | None -> ()
@@ -296,11 +344,14 @@ let grab_page ?(reserve = false) t =
   if Resident.free_count t.resident < t.free_target then
     try_reclaim (t.free_target - Resident.free_count t.resident);
   (* Only the pageout/cleaning path may dip into the reserve; ordinary
-     allocations treat the free list as empty at [free_reserved]. *)
+     allocations treat the free list as empty at [free_reserved].  The
+     floor is global: magazine-cached pages count toward [free_count]
+     and the allocator steals them back when the queues run dry, so the
+     reserve cannot be hidden inside a magazine. *)
   let floor_pages = if reserve then 0 else t.free_reserved in
   let take () =
     if Resident.free_count t.resident > floor_pages then
-      Resident.alloc t.resident
+      Resident.alloc ~cpu:(current_cpu t) ?color t.resident
     else None
   in
   match take () with
@@ -322,6 +373,10 @@ let grab_page ?(reserve = false) t =
       match take () with
       | Some p -> result := Some p
       | None ->
+        (* The wait path is the one place a free-accounting leak would
+           deadlock the system, so audit the hierarchy here: free_count
+           must equal queued plus magazine-cached pages exactly. *)
+        assert (Resident.check_conservation t.resident);
         let free = Resident.free_count t.resident in
         let backoff = t.alloc_backoff_cycles in
         stats.alloc_waits <- stats.alloc_waits + 1;

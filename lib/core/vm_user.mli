@@ -38,6 +38,18 @@ type statistics = {
   vs_oom_kills : int;
   vs_swap_used : int;
   vs_swap_capacity : int option;
+  vs_shadows_created : int;
+  vs_collapses : int;
+  vs_fast_reloads : int;
+  vs_rmw_bug_upgrades : int;
+  vs_pager_failures : int;
+  vs_color_hits : int;
+  vs_color_misses : int;
+  vs_pcpu_hits : int;
+  vs_pcpu_refills : int;
+  vs_numa_local : int;
+  vs_numa_borrows : int;
+  vs_page_steals : int;
 }
 (** What [vm_statistics] reports.  [vs_pager_retries] through
     [vs_memory_errors] are the failure counters: pager retries after
@@ -56,7 +68,21 @@ type statistics = {
     [vs_swap_full_failures] pageout writes refused by a full swap pool,
     [vs_oom_kills] tasks killed by the out-of-memory policy.
     [vs_swap_used] is the backing-store bytes occupied;
-    [vs_swap_capacity] the configured limit ([None] = unbounded). *)
+    [vs_swap_capacity] the configured limit ([None] = unbounded).
+    [vs_shadows_created] through [vs_pager_failures] are the object
+    machinery counters: shadow objects interposed by copy-on-write,
+    shadow chains collapsed away, faults resolved from a still-resident
+    page without pager traffic, read-modify-write protection upgrades,
+    and pager requests that returned errors.  The allocator counters
+    describe the colored per-CPU free-page allocator:
+    [vs_color_hits]/[vs_color_misses] are allocations served from the
+    requested color queue vs. widened to a neighbour,
+    [vs_pcpu_hits]/[vs_pcpu_refills] per-CPU magazine hits and batch
+    refill trips to the shared queues, [vs_numa_local]/[vs_numa_borrows]
+    queue allocations satisfied by the faulting CPU's home NUMA domain
+    vs. borrowed cross-domain, and [vs_page_steals] pages stolen from
+    another CPU's magazine when the shared queues ran dry.  All are
+    zero under the default single-queue configuration. *)
 
 val allocate :
   Vm_sys.t -> Task.t -> ?at:int -> size:int -> anywhere:bool -> unit ->

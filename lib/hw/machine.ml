@@ -73,6 +73,15 @@ type t = {
      taken in; a stamp from an older epoch is dead, so resets cannot
      manufacture phantom lock stalls. *)
   mutable reset_epoch : int;
+  (* NUMA topology: the machine's physical memory is split into this
+     many contiguous domains and CPUs round-robin across them.  Pure
+     description — the VM layer's allocator reads it; nothing here
+     charges differently. *)
+  mutable numa_domains : int;
+  (* Run after [reset_clocks] zeroes the clocks and stats, so subsystems
+     holding their own counters (the page allocator) reset with the
+     measurement window. *)
+  mutable reset_hooks : (unit -> unit) list;
 }
 
 let fresh_stats () =
@@ -100,7 +109,7 @@ let create ~arch ~memory_frames ?(holes = []) ?(cpus = 1)
     tracer = Mach_obs.Obs.null;
     disk_async = false; disk_queues = [];
     sampler = None; sample_every = 0; next_sample = max_int;
-    reset_epoch = 0 }
+    reset_epoch = 0; numa_domains = 1; reset_hooks = [] }
 
 let arch t = t.arch
 let phys t = t.phys
@@ -167,6 +176,18 @@ let charge_category t ~cpu cat c = bump_as t (cpu_of t cpu) cat c
 
 let reset_epoch t = t.reset_epoch
 
+let numa_domains t = t.numa_domains
+
+let set_numa_domains t d =
+  if d < 1 then invalid_arg "Machine.set_numa_domains";
+  t.numa_domains <- d
+
+(* CPUs round-robin across domains: with D domains, CPU i is local to
+   domain [i mod D] — the mapping both the allocator and workloads use. *)
+let domain_of_cpu t ~cpu = cpu mod t.numa_domains
+
+let add_reset_hook t f = t.reset_hooks <- f :: t.reset_hooks
+
 (* A CPU stalled on a contended (simulated) lock: the wait is real
    simulated time, attributed to [Lock_wait] explicitly so it never
    masquerades as the work the caller was trying to do. *)
@@ -212,7 +233,8 @@ let reset_clocks t =
   s.stale_tlb_uses <- 0; s.disk_ops <- 0; s.disk_bytes <- 0;
   s.disk_errors <- 0; s.disk_retries <- 0;
   s.disk_waits <- 0; s.disk_wait_cycles <- 0; s.disk_overlap_cycles <- 0;
-  s.tlb_hit_count <- 0; s.tlb_miss_count <- 0
+  s.tlb_hit_count <- 0; s.tlb_miss_count <- 0;
+  List.iter (fun f -> f ()) t.reset_hooks
 
 let disk_service_cycles t ~bytes =
   let cost = t.arch.Arch.cost in

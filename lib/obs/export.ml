@@ -75,6 +75,8 @@ let args_of_event (ev : Obs.event) =
     [ ("used", Jout.Int used); ("capacity", Jout.Int capacity) ]
   | Obs.Oom_kill { task; resident } ->
     [ ("task", Jout.Str task); ("resident", Jout.Int resident) ]
+  | Obs.Page_steal { victim; pfn } ->
+    [ ("victim", Jout.Int victim); ("pfn", Jout.Int pfn) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in

@@ -72,8 +72,11 @@ type event =
   | Oom_kill of { task : string; resident : int }
       (* the out-of-memory policy killed [task], reclaiming [resident]
          anonymous resident pages *)
+  | Page_steal of { victim : int; pfn : int }
+      (* the shared free queues were dry, so the allocating CPU stole
+         page [pfn] out of CPU [victim]'s per-CPU magazine *)
 
-let kind_count = 26
+let kind_count = 27
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -102,6 +105,7 @@ let kind_index = function
   | Alloc_wait _ -> 23
   | Swap_full _ -> 24
   | Oom_kill _ -> 25
+  | Page_steal _ -> 26
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -130,6 +134,7 @@ let kind_name_of_index = function
   | 23 -> "alloc_wait"
   | 24 -> "swap_full"
   | 25 -> "oom_kill"
+  | 26 -> "page_steal"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -414,7 +419,7 @@ let record t ~ts ~cpu ev =
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
   | Object_shadow _ | Task_switch _
   | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _
-  | Swap_full _ | Oom_kill _ -> ()
+  | Swap_full _ | Oom_kill _ | Page_steal _ -> ()
 
 let ring t = t.ring
 

@@ -107,6 +107,9 @@ type event =
       (** The out-of-memory policy killed [task] — the largest
           anonymous-resident task — reclaiming its [resident] resident
           pages; the task sees [KERN_MEMORY_ERROR] from then on. *)
+  | Page_steal of { victim : int; pfn : int }
+      (** The shared free queues were dry, so the allocating CPU stole
+          page [pfn] out of CPU [victim]'s per-CPU magazine. *)
 
 val kind_count : int
 val kind_index : event -> int

@@ -303,6 +303,26 @@ if ! cmp -s "$run_a.stats" "$run_b.stats"; then
 fi
 rm -f "$run_a.stats" "$run_b.stats"
 
+# And with the NUMA/colored/per-CPU allocator widened: the hierarchy
+# sits on the same virtual clocks, so chaos injection must still replay
+# identically, stdout and stats JSON both.
+dune exec bin/machsim.exe -- compile --chaos 42:flaky --numa 2 --colors 16 \
+    --alloc-cache 8 --stats "$run_a.stats" 2>&1 |
+    grep -v '^stats: ->' >"$run_a"
+dune exec bin/machsim.exe -- compile --chaos 42:flaky --numa 2 --colors 16 \
+    --alloc-cache 8 --stats "$run_b.stats" 2>&1 |
+    grep -v '^stats: ->' >"$run_b"
+if ! cmp -s "$run_a" "$run_b"; then
+    echo "bench-smoke: FAIL machsim --chaos --numa 2 is not replay-identical" >&2
+    diff "$run_a" "$run_b" >&2 || true
+    fail=1
+fi
+if ! cmp -s "$run_a.stats" "$run_b.stats"; then
+    echo "bench-smoke: FAIL machsim --chaos --numa 2 stats JSON differs between replays" >&2
+    fail=1
+fi
+rm -f "$run_a.stats" "$run_b.stats"
+
 # ---- profiler smoke ------------------------------------------------------
 # machsim --profile must conserve cycles exactly (every CPU's category
 # totals sum to its clock), keep the attribution object in the stats
@@ -357,9 +377,11 @@ else
 fi
 
 # ---- multiprocessor faults -----------------------------------------------
-# The cheap 1/2/4-CPU subset; each configuration runs independently, so
-# its cells must match the full committed run to the digit.
-dune exec bench/main.exe -- -e mpfault -cpus 4 -json "$mp_out" >/dev/null
+# The 1/2/4/8-CPU subset (8 CPUs so the free-page allocator ablation is
+# exercised where contention bites); each configuration runs
+# independently, so its cells must match the full committed run to the
+# digit.
+dune exec bench/main.exe -- -e mpfault -cpus 8 -json "$mp_out" >/dev/null
 
 mp_cell() {
     sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$mp_out"
@@ -416,8 +438,50 @@ if ! awk "BEGIN { exit !($b8 < $b_legacy) }"; then
     fail=1
 fi
 
+# ---- free-page allocator ablation ----------------------------------------
+# Every allocator variant's cells must be present, and the hierarchy
+# must actually pay off where contention bites: at 8 CPUs the colored +
+# per-CPU-magazine allocator must meet or beat the single contended
+# queue on throughput and never stall more.
+for variant in global colored colored_pcpu numa2; do
+    for c in 1 2 4 8; do
+        for metric in faults_per_sec stall_share; do
+            name="mpfault/alloc/$variant/c$c/$metric"
+            if [ -z "$(mp_cell "$name")" ]; then
+                echo "bench-smoke: FAIL missing cell $name" >&2
+                fail=1
+            fi
+        done
+    done
+done
+
+fps_global=$(mp_cell mpfault/alloc/global/c8/faults_per_sec)
+fps_pcpu=$(mp_cell mpfault/alloc/colored_pcpu/c8/faults_per_sec)
+if ! awk "BEGIN { exit !($fps_pcpu >= $fps_global) }"; then
+    echo "bench-smoke: FAIL colored+pcpu throughput $fps_pcpu below global $fps_global at 8 CPUs" >&2
+    fail=1
+fi
+stall_global=$(mp_cell mpfault/alloc/global/c8/stall_share)
+stall_pcpu=$(mp_cell mpfault/alloc/colored_pcpu/c8/stall_share)
+if ! awk "BEGIN { exit !($stall_pcpu <= $stall_global) }"; then
+    echo "bench-smoke: FAIL colored+pcpu stall share $stall_pcpu above global $stall_global at 8 CPUs" >&2
+    fail=1
+fi
+
+# NUMA locality: private per-CPU working sets under the 2-domain split
+# must allocate almost entirely from their home domain.
+local_frac=$(mp_cell mpfault/alloc/numa2/private/c8/local_frac)
+if [ -z "$local_frac" ]; then
+    echo "bench-smoke: FAIL missing cell mpfault/alloc/numa2/private/c8/local_frac" >&2
+    fail=1
+elif ! awk "BEGIN { exit !($local_frac > 0.9) }"; then
+    echo "bench-smoke: FAIL numa2 private local fraction $local_frac not above 0.9" >&2
+    fail=1
+fi
+
 # Determinism: every cell the subset produced must match the committed
-# BENCH_vm.json to the digit.
+# BENCH_vm.json to the digit.  This includes every 1-CPU allocator cell:
+# the flat default and the widened hierarchy must both replay exactly.
 for name in $(tr ',' '\n' <"$mp_out" | sed -n 's/.*"name":"\(mpfault\/[^"]*\)".*/\1/p'); do
     now=$(mp_cell "$name")
     base=$(baseline_cell "$name")
@@ -491,4 +555,4 @@ done
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events, mpfault scales on private objects and stalls on shared ones with burst=1 free to the digit, pressure sweep survives 4x overcommit with deterministic OOM kills)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages — also under --numa 2, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events, mpfault scales on private objects and stalls on shared ones with burst=1 free to the digit, colored+pcpu allocator meets or beats the global queue at 8 CPUs with >90% NUMA locality, pressure sweep survives 4x overcommit with deterministic OOM kills)"
