@@ -1704,6 +1704,91 @@ let run_bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent streams: shared-object read-ahead interference            *)
+(* ------------------------------------------------------------------ *)
+
+(* Reader counts for the interference sweep; `-cpus N` trims the list
+   the same way it trims mpfault's. *)
+let streams_ks = ref [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* K tasks stream disjoint 256 KB stripes of ONE shared file, one 4 KB
+   chunk per reader per turn (round robin), each on its own CPU.  With a
+   single shared cursor every reader's miss lands where no other
+   reader's cluster ended, so the window resets to one page on every
+   fault and nobody ever ramps; with per-(map,entry) stream slots each
+   reader ramps 1->2->4->8 independently and per-reader cost stays flat
+   in K until the readers outnumber the slots.  The fb configuration
+   additionally deactivates each stream's wake (free-behind). *)
+let streams () =
+  let stripe_pages = 64 in
+  let run ~k ~slots ~fb =
+    let machine, kernel, fs, _os =
+      boot_mach ~mem:(64 * mb) ~cpus:k Arch.vax8200
+    in
+    let sys = Kernel.sys kernel in
+    sys.Vm_sys.stream_slots <- slots;
+    sys.Vm_sys.free_behind_min <- fb;
+    let ps = sys.Vm_sys.page_size in
+    let stripe = stripe_pages * ps in
+    Mach_pagers.Simfs.install_file fs ~name:"/shared"
+      ~data:(Bytes.make (k * stripe) 'D');
+    Machine.reset_clocks machine;
+    for turn = 0 to stripe_pages - 1 do
+      for r = 0 to k - 1 do
+        Mach_pmap.Pmap_domain.set_current_cpu kernel.Kernel.domain r;
+        Vm_sys.charge sys (Vm_sys.cost sys).Arch.syscall;
+        ignore
+          (Mach_pagers.Vnode_pager.read_through_object sys ~stream:(r, 0)
+             fs ~name:"/shared"
+             ~offset:((r * stripe) + (turn * ps))
+             ~len:ps)
+      done
+    done;
+    let s = sys.Vm_sys.stats in
+    ( Machine.elapsed_ms machine, s.Vm_sys.pager_reads,
+      s.Vm_sys.stream_hits, s.Vm_sys.stream_resets,
+      s.Vm_sys.free_behind_pages )
+  in
+  let t =
+    Tablefmt.create
+      ~title:
+        "Concurrent streams: K readers x 256K stripes of one shared file\n\
+         (elapsed = slowest reader; slotted = 8 stream slots, unslotted =\n\
+         the single shared cursor, fb = slotted + free-behind)"
+      ~columns:
+        [ "readers"; "slotted"; "unslotted"; "fb"; "pager reqs s/u";
+          "hits"; "resets"; "fb pages" ]
+  in
+  let cell name ms =
+    record_cell ~name:(Printf.sprintf "streams/%s" name) ~measured_ms:ms
+      ~paper_mach_ms:None ~paper_unix_ms:None
+  in
+  List.iter
+    (fun k ->
+       let sl_ms, sl_reads, sl_hits, sl_resets, _ =
+         run ~k ~slots:8 ~fb:0
+       in
+       let un_ms, un_reads, _, _, _ = run ~k ~slots:1 ~fb:0 in
+       let fb_ms, _, _, _, fb_pages = run ~k ~slots:8 ~fb:4 in
+       cell (Printf.sprintf "k%d/slotted" k) sl_ms;
+       cell (Printf.sprintf "k%d/unslotted" k) un_ms;
+       cell (Printf.sprintf "k%d/fb" k) fb_ms;
+       if k = 8 then begin
+         cell "stream_hits/k8_slotted" (float_of_int sl_hits);
+         cell "stream_resets/k8_slotted" (float_of_int sl_resets);
+         cell "pager_reads/k8_slotted" (float_of_int sl_reads);
+         cell "pager_reads/k8_unslotted" (float_of_int un_reads);
+         cell "free_behind_pages/k8_fb" (float_of_int fb_pages)
+       end;
+       Tablefmt.row t
+         [ string_of_int k; fmt_ms sl_ms; fmt_ms un_ms; fmt_ms fb_ms;
+           Printf.sprintf "%d/%d" sl_reads un_reads;
+           string_of_int sl_hits; string_of_int sl_resets;
+           string_of_int fb_pages ])
+    !streams_ks;
+  Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1721,6 +1806,7 @@ let experiments =
     ("net_memory", net_memory);
     ("chaos", chaos);
     ("cluster", cluster);
+    ("streams", streams);
     ("mpfault", mpfault);
     ("pressure", pressure) ]
 
@@ -1730,7 +1816,7 @@ let usage () =
   print_endline
     "  measured cells are written as JSON (default BENCH_vm.json)";
   print_endline
-    "  -cpus N limits the mpfault scaling sweep to CPU counts <= N";
+    "  -cpus N limits the mpfault and streams sweeps to CPU counts <= N";
   print_endline "experiments:";
   List.iter (fun (n, _) -> print_endline ("  " ^ n)) experiments
 
@@ -1742,8 +1828,12 @@ let () =
     | "-cpus" :: n :: rest ->
       (match int_of_string_opt n with
        | Some n when n >= 1 ->
-         let kept = List.filter (fun c -> c <= n) !mpfault_cpus in
-         mpfault_cpus := (if kept = [] then [ n ] else kept)
+         let trim l =
+           let kept = List.filter (fun c -> c <= n) !l in
+           l := (if kept = [] then [ n ] else kept)
+         in
+         trim mpfault_cpus;
+         trim streams_ks
        | _ ->
          usage ();
          exit 1);

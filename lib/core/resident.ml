@@ -442,6 +442,14 @@ let enqueue t p q =
   assert (q <> Q_free);
   set_queue t p q
 
+(* Free-behind: a page deactivated behind a streaming read goes to the
+   *head* of the inactive queue — the next page the daemon reclaims —
+   so the stream eats its own wake before anyone else's working set. *)
+let enqueue_inactive_front t p =
+  unlink_queue t p;
+  p.pg_queue <- Q_inactive;
+  p.pg_queue_node <- Some (Dlist.push_front t.inactive p)
+
 let take_pop t lst =
   match Dlist.first lst with
   | None -> None

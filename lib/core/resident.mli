@@ -165,6 +165,12 @@ val enqueue : t -> Types.page -> Types.pageq -> unit
 (** [enqueue t p q] moves [p] to queue [q] (removing it from its current
     queue).  [Q_free] must be reached via {!free_page} instead. *)
 
+val enqueue_inactive_front : t -> Types.page -> unit
+(** [enqueue_inactive_front t p] moves [p] to the {e head} of the
+    inactive queue — the position {!take_inactive} pops next — used by
+    free-behind so a streaming read's spent pages are reclaimed before
+    anyone else's working set. *)
+
 val take_inactive : t -> Types.page option
 (** [take_inactive t] pops the oldest inactive page for the pageout
     daemon; the page ends up on no queue. *)

@@ -79,12 +79,13 @@ and obj = {
   mutable obj_degrade : degrade_policy;
       (* what a fault sees when the pager is dead and the rescue pager
          has no copy of the page *)
-  mutable obj_ra_next : int;
-      (* adaptive read-ahead: the offset one byte past the last cluster we
-         paged in; a miss exactly here is sequential access *)
-  mutable obj_ra_window : int;
-      (* current read-ahead window in pages: ramps 1->2->4->...->
-         [cluster_max] while access stays sequential, resets on random *)
+  mutable obj_streams : stream array;
+      (* adaptive read-ahead state, one slot per concurrent sequential
+         reader (the DragonFly cluster_cache shape): sized lazily to
+         [Vm_sys.stream_slots] on first pagein, [| |] until then so
+         anonymous objects pay nothing.  A pager miss matches the slot
+         whose cursor equals its offset; misses recycle the reader's own
+         slot, an expired slot, or the least recently used one *)
   mutable obj_gen : int;
       (* generation counter, bumped by every exclusive (writer) critical
          section; the lock-free resident fast path validates it *)
@@ -94,6 +95,29 @@ and obj = {
   mutable obj_lock_epoch : int;
       (* Machine.reset_epoch when obj_lock_free was stamped; stamps from
          an older epoch are expired (the clocks were reset under them) *)
+}
+
+(* One read-ahead stream through a memory object.  The key (map id,
+   entry start) names the reader so concurrent streams over one shared
+   object cannot reset each other's ramp; the cursor/window pair is
+   exactly the old per-object state, now per stream.  Stamps from an
+   older [Machine.reset_clocks] epoch are expired, mirroring
+   [obj_lock_epoch]: a recycled object or a fresh measurement interval
+   never inherits a dead stream's cursor. *)
+and stream = {
+  mutable st_map : int;         (* map id of the reader; -1 anonymous *)
+  mutable st_entry : int;       (* map entry start va; 0 anonymous *)
+  mutable st_next : int;
+      (* offset one byte past the last cluster this stream paged in; a
+         miss exactly here is sequential access ([min_int] = never) *)
+  mutable st_window : int;
+      (* current window in pages: ramps 1->2->4->...->[cluster_max]
+         while the stream stays sequential, resets on random *)
+  mutable st_use : int;
+      (* last-use stamp from [Vm_sys.stream_clock] (monotonic, not the
+         cycle clock, so clock resets cannot scramble LRU order) *)
+  mutable st_epoch : int;       (* Machine.reset_epoch at the last
+                                   commit; older epochs are expired *)
 }
 
 (* The kernel's machine-independent record of how a pager has been

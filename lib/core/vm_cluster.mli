@@ -1,4 +1,4 @@
-(** Clustered pagein with per-object adaptive read-ahead.
+(** Clustered pagein with per-stream adaptive read-ahead.
 
     The machine-independent half of the Table 7-1 fix: when a fault (or
     a file read through {!Vnode_pager.read_through_object}) misses on a
@@ -8,9 +8,26 @@
     resets on random access; prefetched pages go on the {e inactive}
     queue so wrong guesses are reclaimed first.
 
+    Window state lives in a small per-object array of {e stream slots}
+    ([Vm_sys.stream_slots] of them), each keyed by the reading (map,
+    entry), so several tasks streaming one shared object ramp
+    independently instead of resetting each other through a single
+    cursor.  A miss matches the slot whose cursor equals its offset
+    ([Vm_sys.stats.stream_hits]); otherwise it reuses the reader's own
+    slot, an expired one, or recycles the least recently used
+    ([stream_resets]).  Slots expire with the [Machine.reset_clocks]
+    epoch and die with their object.
+
+    Once a stream has ramped to [Vm_sys.free_behind_min] pages (0
+    disables, the default), the clean pages behind its cursor are
+    deactivated to the {e head} of the inactive queue (free-behind), so
+    a file larger than memory reclaims its own wake instead of flushing
+    other tasks' working sets; dirty, wired, busy, in-flight pages and
+    pages ahead of another live stream are left alone.
+
     Clustering never weakens the failure policy: the range request is
     one-shot, and any error or truncated reply falls back to the
-    classical single-page {!Pager_guard.request} path.  The window state
+    classical single-page {!Pager_guard.request} path.  The slot state
     is committed only after a successful issue, at the size actually
     issued — failed or clipped clusters cannot leave a phantom ramp —
     and a successful fallback read still advances the sequence point, so
@@ -25,16 +42,20 @@
     time ({!note_hit} → {!Pager_guard.await_page}). *)
 
 val pagein :
-  Vm_sys.t -> Types.obj -> offset:int -> limit:int ->
+  Vm_sys.t -> ?stream:int * int -> Types.obj -> offset:int -> limit:int ->
   [ `Data of Types.page * int | `Absent | `Error ]
-(** [pagein sys obj ~offset ~limit] services a pager miss at [offset]
-    (page aligned).  [limit] bounds the cluster in this object's offset
-    space (the map entry's window; pass [max_int] for none — object
-    size always applies).  [`Data (p, bytes)] returns the resident,
-    filled demand page and the total bytes the pager supplied (for the
-    Pagein trace event); prefetched pages beyond the demand page are
-    inserted into the object directly.  [`Absent] and [`Error] mean
-    what they mean for {!Pager_guard.request}. *)
+(** [pagein sys ~stream obj ~offset ~limit] services a pager miss at
+    [offset] (page aligned) on behalf of the reader identified by
+    [stream = (map id, entry start)] — the stream-slot key; the default
+    [(-1, 0)] is the anonymous reader, so unkeyed callers share one
+    slot exactly like the old per-object cursor.  [limit] bounds the
+    cluster in this object's offset space (the map entry's window; pass
+    [max_int] for none — object size always applies).  [`Data (p,
+    bytes)] returns the resident, filled demand page and the total
+    bytes the pager supplied (for the Pagein trace event); prefetched
+    pages beyond the demand page are inserted into the object directly.
+    [`Absent] and [`Error] mean what they mean for
+    {!Pager_guard.request}. *)
 
 val note_hit : Vm_sys.t -> Types.page -> unit
 (** Tell the read-ahead machinery a resident-page lookup hit [p]; if

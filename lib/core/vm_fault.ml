@@ -206,7 +206,12 @@ let fault sys map ~va ~write =
               disk time — the contention mpfault measures. *)
            Vm_object.lock_write sys obj (fun () ->
                Vm_sys.with_cat sys Obs.Pager_wait (fun () ->
-                   Vm_cluster.pagein sys obj ~offset:off ~limit:lim))
+                   (* The stream-slot key: which reader this miss belongs
+                      to.  Map id + entry start distinguishes concurrent
+                      sequential readers of one shared object. *)
+                   Vm_cluster.pagein sys
+                     ~stream:(fl.Vm_map.fl_map.map_id, entry.e_start)
+                     obj ~offset:off ~limit:lim))
          with
          | `Data (p, bytes) ->
            paged_in := true;

@@ -18,8 +18,7 @@ let make_obj ~size ~pager ~temporary ~can_persist =
     obj_health = fresh_health ();
     obj_rescue = None;
     obj_degrade = Degrade_zero_fill;
-    obj_ra_next = min_int;
-    obj_ra_window = 1;
+    obj_streams = [||];
     obj_gen = 0;
     obj_lock_free = 0;
     obj_lock_epoch = 0;
@@ -110,6 +109,12 @@ let rec terminate sys o =
   assert (o.obj_ref = 0);
   assert (not o.obj_dead);
   o.obj_dead <- true;
+  (* Read-ahead streams die with the object: the slot array carries
+     reader cursors, and a recycled object id must never inherit them.
+     (Cache *eviction* comes through here too; only [cache_revive]
+     keeps streams alive, so a cached file's window survives between
+     reads but never survives termination.) *)
+  o.obj_streams <- [||];
   List.iter (fun p -> free_page sys p) (Resident.object_pages o);
   (* A dead object's swap chunks are garbage: credit them back to the
      swap pool ([Swap_pager.release] is a no-op for non-swap pagers). *)
@@ -261,6 +266,10 @@ let rec collapse sys o =
           backing.obj_shadow <- None;
           backing.obj_ref <- 0;
           backing.obj_dead <- true;
+          (* The merged-away backing is dead without passing through
+             [terminate]: drop its stream slots the same way, so a
+             stale cursor cannot ride along if the record is reused. *)
+          backing.obj_streams <- [||];
           sys.Vm_sys.stats.Vm_sys.collapses <-
             sys.Vm_sys.stats.Vm_sys.collapses + 1;
           step ()

@@ -32,6 +32,9 @@ type stats = {
   mutable alloc_wait_cycles : int;
   mutable swap_full_failures : int;
   mutable oom_kills : int;
+  mutable stream_hits : int;
+  mutable stream_resets : int;
+  mutable free_behind_pages : int;
 }
 
 (* A task the out-of-memory policy may kill.  Registered by Task.create
@@ -91,6 +94,16 @@ type t = {
   mutable cluster_max : int;
       (* upper bound on the read-ahead / pageout cluster, in pages;
          1 disables clustering entirely *)
+  mutable stream_slots : int;
+      (* concurrent read-ahead streams tracked per object; 1 is the
+         legacy single shared cursor *)
+  mutable free_behind_min : int;
+      (* deactivate the pages behind a stream's cursor once its window
+         has ramped to at least this many pages; 0 disables free-behind
+         entirely (the default: streaming never touches the queues) *)
+  mutable stream_clock : int;
+      (* monotonic last-use stamp source for stream-slot LRU; not the
+         cycle clock, so [Machine.reset_clocks] cannot scramble it *)
   mutable burst_max : int;
       (* upper bound on pages a resident fault maps in one pass (demand
          page included); 1 maps only the demand page, 0 bypasses the
@@ -115,7 +128,8 @@ let fresh_stats () =
     lock_stalls = 0; lock_stall_cycles = 0;
     burst_faults = 0; burst_mapped = 0;
     alloc_waits = 0; alloc_wait_cycles = 0;
-    swap_full_failures = 0; oom_kills = 0 }
+    swap_full_failures = 0; oom_kills = 0;
+    stream_hits = 0; stream_resets = 0; free_behind_pages = 0 }
 
 (* --- Burst-mapped page tracking --------------------------------------
 
@@ -190,6 +204,9 @@ let create ~machine ~domain ~page_multiple ?(object_cache_limit = 64) () =
     pager_death_threshold = 3;
     pager_decorator = None;
     cluster_max = 8;
+    stream_slots = 8;
+    free_behind_min = 0;
+    stream_clock = 0;
     burst_max = 8;
     burst_pending = Hashtbl.create 64;
     stats = fresh_stats ();

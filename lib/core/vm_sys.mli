@@ -60,6 +60,14 @@ type stats = {
                                        dirty and pressure was raised *)
   mutable oom_kills : int;         (** tasks killed by the out-of-memory
                                        policy *)
+  mutable stream_hits : int;       (** pager misses matched to an existing
+                                       read-ahead stream slot (sequential
+                                       continuation) *)
+  mutable stream_resets : int;     (** live stream slots recycled for a
+                                       new reader (LRU victim taken while
+                                       its cursor was still current) *)
+  mutable free_behind_pages : int; (** clean pages deactivated behind a
+                                       ramped stream's cursor *)
 }
 
 type oom_candidate = {
@@ -136,6 +144,19 @@ type t = {
   mutable cluster_max : int;
       (** upper bound on pagein read-ahead and pageout clustering, in
           pages; 1 disables clustering (every disk request is one page) *)
+  mutable stream_slots : int;
+      (** concurrent read-ahead streams tracked per object ({!Vm_cluster});
+          1 is the legacy single shared cursor, which concurrent readers
+          of a shared object permanently reset against each other *)
+  mutable free_behind_min : int;
+      (** once a stream's window has ramped to at least this many pages,
+          the clean pages behind its cursor are deactivated to the head
+          of the inactive queue (free-behind) so a streaming read larger
+          than memory cannot flush the working set; 0 disables it *)
+  mutable stream_clock : int;
+      (** monotonic last-use stamp source for the stream-slot LRU; not
+          the cycle clock, so {!Mach_hw.Machine.reset_clocks} cannot
+          scramble the victim order *)
   mutable burst_max : int;
       (** upper bound on pages a resident fault maps in one pass, demand
           page included; 1 maps only the demand page, 0 bypasses the

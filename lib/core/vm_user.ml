@@ -23,6 +23,9 @@ type statistics = {
   vs_prefetch_issued : int;
   vs_prefetch_hits : int;
   vs_prefetch_wasted : int;
+  vs_stream_hits : int;
+  vs_stream_resets : int;
+  vs_free_behind_pages : int;
   vs_clustered_pageouts : int;
   vs_lock_stalls : int;
   vs_lock_stall_cycles : int;
@@ -201,6 +204,9 @@ let statistics (sys : Vm_sys.t) =
     vs_prefetch_issued = s.Vm_sys.prefetch_issued;
     vs_prefetch_hits = s.Vm_sys.prefetch_hits;
     vs_prefetch_wasted = s.Vm_sys.prefetch_wasted;
+    vs_stream_hits = s.Vm_sys.stream_hits;
+    vs_stream_resets = s.Vm_sys.stream_resets;
+    vs_free_behind_pages = s.Vm_sys.free_behind_pages;
     vs_clustered_pageouts = s.Vm_sys.clustered_pageouts;
     vs_lock_stalls = s.Vm_sys.lock_stalls;
     vs_lock_stall_cycles = s.Vm_sys.lock_stall_cycles;

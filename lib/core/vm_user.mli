@@ -27,6 +27,9 @@ type statistics = {
   vs_prefetch_issued : int;
   vs_prefetch_hits : int;
   vs_prefetch_wasted : int;
+  vs_stream_hits : int;
+  vs_stream_resets : int;
+  vs_free_behind_pages : int;
   vs_clustered_pageouts : int;
   vs_lock_stalls : int;
   vs_lock_stall_cycles : int;
@@ -55,10 +58,12 @@ type statistics = {
     [vs_memory_errors] are the failure counters: pager retries after
     transient errors, pagers declared dead, dirty pages rescued to the
     default pager at death, pageout writes that failed (page kept
-    dirty), and faults that concluded [KERN_MEMORY_ERROR].  The last
-    four are the clustering counters: pages brought in by read-ahead,
-    how many of those were later referenced / reclaimed untouched, and
-    multi-page pageout writes.  [vs_lock_stalls]/[vs_lock_stall_cycles]
+    dirty), and faults that concluded [KERN_MEMORY_ERROR].  The
+    clustering counters: pages brought in by read-ahead, how many of
+    those were later referenced / reclaimed untouched, pager misses
+    matched to an existing read-ahead stream slot, live stream slots
+    recycled for a new reader, clean pages deactivated behind a ramped
+    stream's cursor (free-behind), and multi-page pageout writes.  [vs_lock_stalls]/[vs_lock_stall_cycles]
     count contended memory-object lock acquisitions and the cycles lost
     to them (zero on one CPU); [vs_burst_faults]/[vs_burst_mapped] count
     resident faults that burst-mapped neighbour pages and how many

@@ -77,6 +77,11 @@ let args_of_event (ev : Obs.event) =
     [ ("task", Jout.Str task); ("resident", Jout.Int resident) ]
   | Obs.Page_steal { victim; pfn } ->
     [ ("victim", Jout.Int victim); ("pfn", Jout.Int pfn) ]
+  | Obs.Stream_reset { obj; offset } ->
+    [ ("obj", Jout.Int obj); ("offset", Jout.Int offset) ]
+  | Obs.Free_behind { obj; offset; pages } ->
+    [ ("obj", Jout.Int obj); ("offset", Jout.Int offset);
+      ("pages", Jout.Int pages) ]
 
 let chrome_trace ?(cycles_per_us = 1.0) tr =
   let ts_of cycles = Jout.Float (float_of_int cycles /. cycles_per_us) in

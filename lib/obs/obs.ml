@@ -75,8 +75,16 @@ type event =
   | Page_steal of { victim : int; pfn : int }
       (* the shared free queues were dry, so the allocating CPU stole
          page [pfn] out of CPU [victim]'s per-CPU magazine *)
+  | Stream_reset of { obj : int; offset : int }
+      (* every read-ahead stream slot of object [obj] was owned by a
+         live reader, so the miss at [offset] recycled the least
+         recently used one — concurrent streams exceed the slot array *)
+  | Free_behind of { obj : int; offset : int; pages : int }
+      (* a ramped stream deactivated [pages] clean pages behind its
+         cursor (cluster start [offset]) to the head of the inactive
+         queue, so the stream reclaims its own wake first *)
 
-let kind_count = 27
+let kind_count = 29
 
 let kind_index = function
   | Fault_begin _ -> 0
@@ -106,6 +114,8 @@ let kind_index = function
   | Swap_full _ -> 24
   | Oom_kill _ -> 25
   | Page_steal _ -> 26
+  | Stream_reset _ -> 27
+  | Free_behind _ -> 28
 
 let kind_name_of_index = function
   | 0 -> "fault_begin"
@@ -135,6 +145,8 @@ let kind_name_of_index = function
   | 24 -> "swap_full"
   | 25 -> "oom_kill"
   | 26 -> "page_steal"
+  | 27 -> "stream_reset"
+  | 28 -> "free_behind"
   | _ -> invalid_arg "Obs.kind_name_of_index"
 
 let kind_name ev = kind_name_of_index (kind_index ev)
@@ -419,7 +431,8 @@ let record t ~ts ~cpu ev =
   | Tlb_flush _ | Pmap_enter _ | Pmap_remove _ | Pmap_protect _
   | Object_shadow _ | Task_switch _
   | Pager_retry _ | Pager_timeout _ | Pager_dead _ | Io_error _
-  | Swap_full _ | Oom_kill _ | Page_steal _ -> ()
+  | Swap_full _ | Oom_kill _ | Page_steal _ | Stream_reset _
+  | Free_behind _ -> ()
 
 let ring t = t.ring
 

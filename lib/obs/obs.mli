@@ -110,6 +110,17 @@ type event =
   | Page_steal of { victim : int; pfn : int }
       (** The shared free queues were dry, so the allocating CPU stole
           page [pfn] out of CPU [victim]'s per-CPU magazine. *)
+  | Stream_reset of { obj : int; offset : int }
+      (** A pager miss at [offset] on object [obj] matched no read-ahead
+          stream and every slot belonged to a live reader, so the least
+          recently used slot was recycled: more concurrent sequential
+          streams than [Vm_sys.stream_slots]. *)
+  | Free_behind of { obj : int; offset : int; pages : int }
+      (** A stream ramped past [Vm_sys.free_behind_min] deactivated
+          [pages] clean, unwired pages behind its cursor (the cluster it
+          just read starts at [offset]) to the {e head} of the inactive
+          queue, so a large streaming read reclaims its own wake instead
+          of flushing the working set. *)
 
 val kind_count : int
 val kind_index : event -> int

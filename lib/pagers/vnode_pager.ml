@@ -106,7 +106,7 @@ let map_file sys fs task ~name ?at ?(copy = false) () =
 (* A read() through the file's memory object: hit resident pages for the
    price of a copy; fill missing pages from the pager and leave them
    resident (and the object cached), so the second read is cheap. *)
-let read_through_object sys fs ~name ~offset ~len =
+let read_through_object sys ?stream fs ~name ~offset ~len =
   let pager = for_file sys fs ~name in
   let size = Simfs.file_size fs ~name in
   let obj = Vm_object.create_with_pager sys pager ~size in
@@ -124,12 +124,15 @@ let read_through_object sys fs ~name ~offset ~len =
           Vm_cluster.note_hit sys p;
           p
         | None ->
-          (* Sequential reads ramp the object's read-ahead window, so a
+          (* Sequential reads ramp the reader's stream slot, so a
              streaming read() pulls whole clusters per disk request; the
-             object (and its window) persist in the object cache across
-             reads.  Vm_cluster falls back to the guarded single-page
-             path — retries, backoff, death — on any cluster trouble. *)
-          (match Vm_cluster.pagein sys obj ~offset:page_off ~limit:max_int
+             object (and its slots) persist in the object cache across
+             reads.  Callers doing concurrent reads of one file pass
+             distinct [?stream] keys so each ramps its own slot.
+             Vm_cluster falls back to the guarded single-page path —
+             retries, backoff, death — on any cluster trouble. *)
+          (match Vm_cluster.pagein sys ?stream obj ~offset:page_off
+                   ~limit:max_int
            with
            | `Data (p, _) ->
              Resident.enqueue sys.Vm_sys.resident p Q_active;

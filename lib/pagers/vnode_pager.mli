@@ -25,10 +25,14 @@ val map_file :
     copy-on-write (private). *)
 
 val read_through_object :
-  Mach_core.Vm_sys.t -> Simfs.t -> name:string -> offset:int -> len:int ->
-  Bytes.t
+  Mach_core.Vm_sys.t -> ?stream:int * int -> Simfs.t -> name:string ->
+  offset:int -> len:int -> Bytes.t
 (** [read_through_object sys fs ~name ~offset ~len] performs a UNIX
     [read()] the Mach way: through the file's memory object and the
     resident page cache — pages already resident cost only the copy,
     missing pages are filled from the pager.  This is the path behind the
-    Table 7-1 file-reading rows. *)
+    Table 7-1 file-reading rows.  [stream] keys the read-ahead stream
+    slot (see {!Mach_core.Vm_cluster.pagein}): concurrent readers of one
+    file pass distinct keys to ramp independent windows; omitted, all
+    callers share the anonymous slot, which is the old single-cursor
+    behavior. *)

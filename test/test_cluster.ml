@@ -97,6 +97,120 @@ let test_random_keeps_window_shut () =
   Alcotest.(check int) "one request per touch" (n / 2) s.Vm_sys.pager_reads;
   Alcotest.(check int) "nothing prefetched" 0 s.Vm_sys.prefetch_issued
 
+(* ---- concurrent streams on one shared object ----------------------------- *)
+
+(* Two readers alternate single-page sequential reads over disjoint
+   halves of ONE shared file.  With per-(map,entry) stream slots each
+   ramps 1, 2, 4, 8 independently: 5 pager requests and 11 prefetched
+   pages apiece, every sequential miss matching its own slot.  This is
+   the regression for the seed's single shared cursor, where each
+   reader's miss landed where the *other* reader's cluster ended, reset
+   the window to one page on every fault, and nobody ever ramped. *)
+let test_two_readers_both_ramp () =
+  let machine, _, sys = boot ~frames:4096 () in
+  let fs = Simfs.create machine () in
+  let ps = sys.Vm_sys.page_size in
+  let half = 16 in
+  let data =
+    Bytes.init (2 * half * ps) (fun i -> Char.chr (i * 13 land 0xff))
+  in
+  Simfs.install_file fs ~name:"/shared" ~data;
+  let buf = Bytes.create (2 * half * ps) in
+  let read_chunk reader page =
+    let off = ((reader * half) + page) * ps in
+    Bytes.blit
+      (Vnode_pager.read_through_object sys ~stream:(reader + 1, 0) fs
+         ~name:"/shared" ~offset:off ~len:ps)
+      0 buf off ps
+  in
+  for page = 0 to half - 1 do
+    read_chunk 0 page;
+    read_chunk 1 page
+  done;
+  Alcotest.(check bool) "bytes intact" true (Bytes.equal buf data);
+  let s = sys.Vm_sys.stats in
+  (* 5 requests each: 1 + 2 + 4 + 8 pages, then the last page alone
+     (reader 0's final cluster is clipped at reader 1's first resident
+     page; reader 1's at end of file). *)
+  Alcotest.(check int) "pager requests" 10 s.Vm_sys.pager_reads;
+  Alcotest.(check int) "prefetch issued" 22 s.Vm_sys.prefetch_issued;
+  Alcotest.(check int) "prefetch hits" 22 s.Vm_sys.prefetch_hits;
+  Alcotest.(check int) "sequential misses matched their slot" 8
+    s.Vm_sys.stream_hits;
+  Alcotest.(check int) "no slot was stolen" 0 s.Vm_sys.stream_resets
+
+(* The same alternating workload with [stream_slots = 1] must reproduce
+   the seed's interference exactly: one shared cursor, every miss looks
+   random, 32 single-page requests and no read-ahead at all. *)
+let test_single_slot_is_legacy_interference () =
+  let machine, _, sys = boot ~frames:4096 () in
+  sys.Vm_sys.stream_slots <- 1;
+  let fs = Simfs.create machine () in
+  let ps = sys.Vm_sys.page_size in
+  let half = 16 in
+  Simfs.install_file fs ~name:"/shared"
+    ~data:(Bytes.make (2 * half * ps) 's');
+  for page = 0 to half - 1 do
+    List.iter
+      (fun reader ->
+         ignore
+           (Vnode_pager.read_through_object sys ~stream:(reader + 1, 0) fs
+              ~name:"/shared"
+              ~offset:(((reader * half) + page) * ps)
+              ~len:ps))
+      [ 0; 1 ]
+  done;
+  let s = sys.Vm_sys.stats in
+  Alcotest.(check int) "one request per page" 32 s.Vm_sys.pager_reads;
+  Alcotest.(check int) "window never ramped" 0 s.Vm_sys.prefetch_issued
+
+(* ---- free-behind ---------------------------------------------------------- *)
+
+(* A ramped stream deactivates the clean pages behind its cursor to the
+   head of the inactive queue; a dirty page in its wake is skipped (its
+   data exists nowhere else).  Memory is ample, so the pageout daemon
+   never runs: any page on the inactive queue that the prefetch tail did
+   not put there was moved by free-behind. *)
+let test_free_behind_skips_dirty () =
+  let machine, kernel, sys = boot ~frames:4096 () in
+  sys.Vm_sys.free_behind_min <- 2;
+  let fs = Simfs.create machine () in
+  let ps = sys.Vm_sys.page_size in
+  let n = 32 in
+  Simfs.install_file fs ~name:"/fb" ~data:(Bytes.make (n * ps) 'f');
+  let task = new_task kernel in
+  let addr =
+    match Vnode_pager.map_file sys fs task ~name:"/fb" () with
+    | Ok (a, _) -> a
+    | Error e -> Alcotest.fail (Kr.to_string e)
+  in
+  (* Dirty page 1 before the stream sweeps past it. *)
+  Machine.write machine ~cpu:0 ~va:(addr + ps) (Bytes.of_string "dirty");
+  for i = 0 to n - 1 do
+    Machine.touch machine ~cpu:0 ~va:(addr + (i * ps)) ~write:false
+  done;
+  let s = sys.Vm_sys.stats in
+  Alcotest.(check bool) "free-behind moved pages" true
+    (s.Vm_sys.free_behind_pages > 0);
+  let o =
+    match Vm_map.resolve_object_at sys (Task.map task) ~va:addr with
+    | Some (o, _) -> o
+    | None -> Alcotest.fail "no object behind the mapping"
+  in
+  let queue_of i =
+    match Vm_object.lookup_resident sys o ~offset:(i * ps) with
+    | Some p -> p.Types.pg_queue
+    | None -> Alcotest.fail (Printf.sprintf "page %d not resident" i)
+  in
+  Alcotest.(check bool) "dirty page stays active" true
+    (queue_of 1 = Types.Q_active);
+  (* A clean page well behind the final cursor was demoted. *)
+  Alcotest.(check bool) "clean page behind the cursor went inactive" true
+    (queue_of 4 = Types.Q_inactive);
+  (* And the data is untouched. *)
+  let got = Machine.read machine ~cpu:0 ~va:(addr + ps) ~len:5 in
+  Alcotest.(check string) "dirty bytes intact" "dirty" (Bytes.to_string got)
+
 (* ---- clustered pageout round trip ---------------------------------------- *)
 
 (* Dirty 16 contiguous anonymous pages, evict everything, fault it all
@@ -311,8 +425,13 @@ let test_failed_cluster_does_not_ramp () =
     clusters;
   match Vm_map.resolve_object_at sys (Task.map task) ~va:addr with
   | Some (o, _) ->
-    Alcotest.(check int) "committed window is still 1" 1
-      o.Types.obj_ra_window
+    Alcotest.(check bool) "stream slots exist" true
+      (Array.length o.Types.obj_streams > 0);
+    Array.iter
+      (fun st ->
+         Alcotest.(check int) "committed window is still 1" 1
+           st.Types.st_window)
+      o.Types.obj_streams
   | None -> Alcotest.fail "no object behind the mapping"
 
 (* ---- map-hint fast path for range operations ----------------------------- *)
@@ -384,12 +503,125 @@ let read_ahead_transparent =
        in
        run 8 = run 1)
 
+(* Free-behind must be invisible to data even when the file dwarfs
+   memory: random reads over a file ~4x physical memory, with the
+   pageout daemon reclaiming all the while, return identical bytes
+   whether free-behind is on or off — it only reorders the inactive
+   queue, and only with clean pages whose contents the pager can
+   reproduce. *)
+let free_behind_transparent =
+  let open QCheck2 in
+  Test.make ~name:"free-behind run byte-identical to free-behind off"
+    ~count:25
+    Gen.(
+      list_size (int_range 1 10)
+        (pair (int_range 0 ((256 * 4096) - 1)) (int_range 1 (4 * 4096))))
+    (fun ops ->
+       let run fb =
+         let machine =
+           (* 512 x 512 B hardware frames = 64 system pages; the file
+              below is 256 pages. *)
+           Machine.create ~arch:Arch.uvax2 ~memory_frames:512 ()
+         in
+         let kernel = Kernel.create ~page_multiple:8 machine in
+         let sys = Kernel.sys kernel in
+         sys.Vm_sys.free_behind_min <- fb;
+         let fs = Simfs.create machine () in
+         let size = 256 * sys.Vm_sys.page_size in
+         let data = Bytes.init size (fun i -> Char.chr (i * 31 land 0xff)) in
+         Simfs.install_file fs ~name:"/fbprop" ~data;
+         (* A long sequential pass ramps a stream and lets free-behind
+            eat its wake; then the random mix. *)
+         List.map
+           (fun (off, len) ->
+              Bytes.to_string
+                (Vnode_pager.read_through_object sys fs ~name:"/fbprop"
+                   ~offset:off ~len))
+           ((0, size) :: ops)
+       in
+       run 4 = run 0)
+
+(* With ample memory the daemon never runs, so the only thing that can
+   put a page of the mapped object on the inactive queue is read-ahead
+   or free-behind — and neither may ever park a dirty or wired page
+   there.  A page CAN become dirty *after* free-behind demoted it clean
+   (its writable mapping is still live, so the write never faults), so
+   the invariant exempts pages the workload wrote: every other inactive
+   page must be clean, every inactive page unwired, and the memory
+   image must match a free-behind-off run byte for byte. *)
+let free_behind_never_eats_dirty =
+  let open QCheck2 in
+  Test.make ~name:"free-behind never deactivates a dirty or wired page"
+    ~count:30
+    Gen.(list_size (int_range 1 40) (pair (int_range 0 31) bool))
+    (fun ops ->
+       let n = 32 in
+       let written =
+         List.filter_map (fun (p, w) -> if w then Some p else None) ops
+       in
+       let run fb =
+         let machine, kernel, sys = boot ~frames:4096 () in
+         sys.Vm_sys.free_behind_min <- fb;
+         let fs = Simfs.create machine () in
+         let ps = sys.Vm_sys.page_size in
+         Simfs.install_file fs ~name:"/fbdirty"
+           ~data:(Bytes.init (n * ps) (fun i -> Char.chr (i * 7 land 0xff)));
+         let task = new_task kernel in
+         let addr =
+           match Vnode_pager.map_file sys fs task ~name:"/fbdirty" () with
+           | Ok (a, _) -> a
+           | Error e -> Alcotest.fail (Kr.to_string e)
+         in
+         (* Sequential sweep to ramp, then the random read/write mix. *)
+         for i = 0 to n - 1 do
+           Machine.touch machine ~cpu:0 ~va:(addr + (i * ps)) ~write:false
+         done;
+         List.iter
+           (fun (page, write) ->
+              Machine.touch machine ~cpu:0 ~va:(addr + (page * ps)) ~write)
+           ops;
+         let image =
+           Bytes.to_string
+             (Machine.read machine ~cpu:0 ~va:addr ~len:(n * ps))
+         in
+         let clean =
+           match Vm_map.resolve_object_at sys (Task.map task) ~va:addr with
+           | None -> false
+           | Some (o, _) ->
+             let m = Resident.multiple sys.Vm_sys.resident in
+             List.for_all
+               (fun p ->
+                  p.Types.pg_queue <> Types.Q_inactive
+                  || (p.Types.pg_wire_count = 0
+                      && (List.mem (p.Types.pg_offset / ps) written
+                          || not
+                               (List.exists
+                                  (fun f ->
+                                     Mach_pmap.Pmap_domain.is_modified
+                                       kernel.Kernel.domain
+                                       ~pfn:(p.Types.pfn + f))
+                                  (List.init m Fun.id)))))
+               (Resident.object_pages o)
+         in
+         (image, clean)
+       in
+       let image_fb, clean_fb = run 2 in
+       let image_off, _ = run 0 in
+       clean_fb && image_fb = image_off)
+
 let () =
   Alcotest.run "cluster"
     [ ( "read-ahead",
         [ Alcotest.test_case "window ramp" `Quick test_window_ramp;
           Alcotest.test_case "random access" `Quick
             test_random_keeps_window_shut ] );
+      ( "streams",
+        [ Alcotest.test_case "two readers both ramp" `Quick
+            test_two_readers_both_ramp;
+          Alcotest.test_case "single slot reproduces interference" `Quick
+            test_single_slot_is_legacy_interference;
+          Alcotest.test_case "free-behind skips dirty pages" `Quick
+            test_free_behind_skips_dirty ] );
       ( "pageout",
         [ Alcotest.test_case "clustered round trip" `Quick
             test_clustered_pageout_roundtrip ] );
@@ -404,4 +636,6 @@ let () =
         [ Alcotest.test_case "range ops start at the hint" `Quick
             test_hint_accelerates_range_ops ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ read_ahead_transparent ] ) ]
+        List.map QCheck_alcotest.to_alcotest
+          [ read_ahead_transparent; free_behind_transparent;
+            free_behind_never_eats_dirty ] ) ]

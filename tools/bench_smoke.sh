@@ -45,6 +45,18 @@
 #   - every cell the -cpus 4 subset produces must match the committed
 #     BENCH_vm.json to the digit (the run is deterministic).
 #
+# And the concurrent-streams bench:
+#   - with 8 stream slots, 8 readers sharing one file must beat the
+#     single-cursor configuration (per-reader ramp restored), with fewer
+#     pager requests, non-zero slot hits and zero slot steals;
+#   - at K=1 the slotted run must cost exactly what the single-cursor
+#     run costs, to the digit (one reader never notices the slots);
+#   - machsim --chaos must replay identically with --streams 8
+#     --free-behind on, stdout and stats JSON both;
+#   - every streams cell must match the committed BENCH_vm.json to the
+#     digit, and the 223 cells that predate the streams experiment must
+#     all still be present in the committed file.
+#
 # And the cycle-attribution profiler:
 #   - machsim --profile must report exact conservation (every CPU's
 #     per-category totals sum to its clock) and drop no events at the
@@ -67,7 +79,8 @@ prof_out=$(mktemp /tmp/bench_smoke_prof.XXXXXX)
 prof_stats=$(mktemp /tmp/bench_smoke_prof.XXXXXX.json)
 mp_out=$(mktemp /tmp/bench_smoke_mp.XXXXXX.json)
 pr_out=$(mktemp /tmp/bench_smoke_pr.XXXXXX.json)
-trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b" "$prof_out" "$prof_stats" "$mp_out" "$pr_out"' EXIT
+st_out=$(mktemp /tmp/bench_smoke_st.XXXXXX.json)
+trap 'rm -f "$out" "$chaos_out" "$cluster_out" "$run_a" "$run_b" "$prof_out" "$prof_stats" "$mp_out" "$pr_out" "$st_out"' EXIT
 
 dune exec bench/main.exe -- -e shootdown -json "$out" >/dev/null
 
@@ -552,7 +565,132 @@ for name in $(tr ',' '\n' <"$pr_out" | sed -n 's/.*"name":"\(pressure\/[^"]*\)".
     fi
 done
 
+# ---- concurrent streams --------------------------------------------------
+# The K<=8 subset of the shared-file interference sweep; each (k, config)
+# run boots its own machine, so its cells must match the full committed
+# run to the digit.
+dune exec bench/main.exe -- -e streams -cpus 8 -json "$st_out" >/dev/null
+
+st_cell() {
+    sed -n "s/.*\"name\":\"$(echo "$1" | sed 's|/|\\/|g')\",\"measured_ms\":\([0-9.e+-]*\).*/\1/p" "$st_out"
+}
+
+for k in 1 2 4 8; do
+    for config in slotted unslotted fb; do
+        name="streams/k$k/$config"
+        if [ -z "$(st_cell "$name")" ]; then
+            echo "bench-smoke: FAIL missing cell $name" >&2
+            fail=1
+        fi
+    done
+done
+
+# Stream slots must fix the interference: 8 readers of one shared file
+# beat the single-cursor configuration, with fewer pager requests,
+# slot hits on re-faults, and no slot stealing (8 readers, 8 slots).
+sl8=$(st_cell streams/k8/slotted)
+un8=$(st_cell streams/k8/unslotted)
+if ! awk "BEGIN { exit !($sl8 < $un8) }"; then
+    echo "bench-smoke: FAIL streams/k8/slotted = $sl8 not below unslotted = $un8 (readers must ramp independently)" >&2
+    fail=1
+fi
+reads_sl=$(st_cell streams/pager_reads/k8_slotted)
+reads_un=$(st_cell streams/pager_reads/k8_unslotted)
+if ! awk "BEGIN { exit !($reads_sl < $reads_un) }"; then
+    echo "bench-smoke: FAIL slotted pager reads $reads_sl not below unslotted $reads_un at 8 readers" >&2
+    fail=1
+fi
+hits8=$(st_cell streams/stream_hits/k8_slotted)
+resets8=$(st_cell streams/stream_resets/k8_slotted)
+if ! awk "BEGIN { exit !($hits8 > 0) }"; then
+    echo "bench-smoke: FAIL streams/stream_hits/k8_slotted = $hits8; ramped readers must re-find their slot" >&2
+    fail=1
+fi
+if ! awk "BEGIN { exit !($resets8 == 0) }"; then
+    echo "bench-smoke: FAIL streams/stream_resets/k8_slotted = $resets8; 8 readers must fit in 8 slots" >&2
+    fail=1
+fi
+
+# One reader never notices the slots: K=1 slotted must cost exactly what
+# the single-cursor configuration costs, to the digit.
+sl1=$(st_cell streams/k1/slotted)
+un1=$(st_cell streams/k1/unslotted)
+if [ -z "$sl1" ] || [ "$sl1" != "$un1" ]; then
+    echo "bench-smoke: FAIL streams/k1/slotted ($sl1 ms) != unslotted ($un1 ms); slots must be free for a lone reader" >&2
+    fail=1
+fi
+
+# Free-behind must not slow the sweep down (clean wake pages are
+# deactivated, never unmapped, so re-reads still hit).
+fb8=$(st_cell streams/k8/fb)
+if ! awk "BEGIN { exit !($fb8 <= $sl8) }"; then
+    echo "bench-smoke: FAIL streams/k8/fb = $fb8 above slotted = $sl8 (free-behind must be transparent here)" >&2
+    fail=1
+fi
+fb_pages=$(st_cell streams/free_behind_pages/k8_fb)
+if ! awk "BEGIN { exit !($fb_pages > 0) }"; then
+    echo "bench-smoke: FAIL streams/free_behind_pages/k8_fb = $fb_pages; free-behind never fired" >&2
+    fail=1
+fi
+
+# Determinism: every cell the subset produced must match the committed
+# BENCH_vm.json to the digit.
+for name in $(tr ',' '\n' <"$st_out" | sed -n 's/.*"name":"\(streams\/[^"]*\)".*/\1/p'); do
+    now=$(st_cell "$name")
+    base=$(baseline_cell "$name")
+    if [ -z "$base" ]; then
+        echo "bench-smoke: FAIL no committed baseline for $name" >&2
+        fail=1
+    elif [ "$now" != "$base" ]; then
+        echo "bench-smoke: FAIL $name = $now drifted from committed $base (streams must replay to the digit)" >&2
+        fail=1
+    fi
+done
+
+# The streams experiment rides alongside the original 223 cells; none of
+# them may be dropped or renamed.
+pre_cells=$(tr ',' '\n' <BENCH_vm.json | sed -n 's/.*"name":"\([^"]*\)".*/\1/p' | grep -cv '^streams/')
+if [ "$pre_cells" -ne 223 ]; then
+    echo "bench-smoke: FAIL BENCH_vm.json carries $pre_cells non-stream cells, expected the original 223" >&2
+    fail=1
+fi
+
+# Replay identity with stream slots and free-behind on: chaos injection
+# is keyed to the virtual clocks, which the slot bookkeeping must not
+# perturb, so stdout and the stats JSON must both be run-to-run
+# identical.
+dune exec bin/machsim.exe -- compile --chaos 42:flaky --streams 8 \
+    --free-behind --stats "$run_a.stats" 2>&1 |
+    grep -v '^stats: ->' >"$run_a"
+dune exec bin/machsim.exe -- compile --chaos 42:flaky --streams 8 \
+    --free-behind --stats "$run_b.stats" 2>&1 |
+    grep -v '^stats: ->' >"$run_b"
+if ! cmp -s "$run_a" "$run_b"; then
+    echo "bench-smoke: FAIL machsim --chaos --streams 8 --free-behind is not replay-identical" >&2
+    diff "$run_a" "$run_b" >&2 || true
+    fail=1
+fi
+if ! cmp -s "$run_a.stats" "$run_b.stats"; then
+    echo "bench-smoke: FAIL machsim --chaos --streams 8 --free-behind stats JSON differs between replays" >&2
+    fail=1
+fi
+# The compile stats JSON carries per-kind event counts; the new stream
+# events must be exported, and free-behind must actually have fired on
+# the compiler's sequential source reads.
+for key in '"stream_reset":' '"free_behind":'; do
+    if ! grep -q "$key" "$run_a.stats"; then
+        echo "bench-smoke: FAIL stats JSON missing $key" >&2
+        fail=1
+    fi
+done
+fb_events=$(sed -n 's/.*"free_behind":\([0-9]*\).*/\1/p' "$run_a.stats")
+if [ -z "$fb_events" ] || [ "$fb_events" -eq 0 ]; then
+    echo "bench-smoke: FAIL no free_behind events under --free-behind" >&2
+    fail=1
+fi
+rm -f "$run_a.stats" "$run_b.stats"
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages — also under --numa 2, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events, mpfault scales on private objects and stalls on shared ones with burst=1 free to the digit, colored+pcpu allocator meets or beats the global queue at 8 CPUs with >90% NUMA locality, pressure sweep survives 4x overcommit with deterministic OOM kills)"
+echo "bench-smoke: OK (24 shootdown cells at baseline, zero-overhead guards clean, chaos run deterministic with 0 corrupt pages — also under --numa 2, clustered read-ahead beats UNIX on cold reads and is free at cluster_max=1, async disk overlaps at w>=8 and replays under chaos, profiler conserves every cycle with 0 dropped events, mpfault scales on private objects and stalls on shared ones with burst=1 free to the digit, colored+pcpu allocator meets or beats the global queue at 8 CPUs with >90% NUMA locality, pressure sweep survives 4x overcommit with deterministic OOM kills, stream slots un-interfere 8 shared-file readers and are free to the digit for one, chaos replays with --streams 8 --free-behind, all 223 pre-stream cells intact)"
